@@ -1,0 +1,245 @@
+package mix
+
+// One testing.B benchmark per experiment in DESIGN.md's experiment
+// index. cmd/mixbench prints the same data as human-readable tables;
+// these benches give stable, repeatable numbers (see EXPERIMENTS.md).
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"mix/internal/concrete"
+	"mix/internal/core"
+	"mix/internal/corpus"
+	"mix/internal/lang"
+	"mix/internal/langgen"
+	"mix/internal/microc"
+	"mix/internal/mixy"
+	"mix/internal/sym"
+	"mix/internal/types"
+)
+
+// BenchmarkE1Idioms checks every Section 2 idiom with the mixed
+// analysis (the precision workload of the paper's motivation).
+func BenchmarkE1Idioms(b *testing.B) {
+	for _, idiom := range corpus.CoreIdioms {
+		idiom := idiom
+		env := map[string]string{}
+		for _, p := range idiom.Env {
+			env[p[0]] = p[1]
+		}
+		b.Run(idiom.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := Check(idiom.Source, Config{Env: env})
+				if res.Err != nil {
+					b.Fatal(res.Err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE2Cases runs MIXY on the four vsftpd case studies, baseline
+// and mixed.
+func BenchmarkE2Cases(b *testing.B) {
+	for _, c := range corpus.Cases {
+		c := c
+		b.Run(c.Name+"/baseline", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := AnalyzeC(c.Source, CConfig{PureTypes: true}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(c.Name+"/mixy", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := AnalyzeC(c.Source, CConfig{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Warnings) != 0 {
+					b.Fatalf("unexpected warnings: %v", res.Warnings)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE3TimingSweep measures MIXY cost against the number of
+// symbolic blocks (the paper's Section 4.6 timing observation: <1s /
+// 5–25s / ~60s — the shape under test is monotone superlinear growth).
+func BenchmarkE3TimingSweep(b *testing.B) {
+	const n = 12
+	for _, k := range []int{0, 1, 2, 3} {
+		k := k
+		src := corpus.SyntheticVsftpd(n, k)
+		prog := microc.MustParse(src)
+		b.Run(fmt.Sprintf("blocks=%d", k), func(b *testing.B) {
+			var queries int
+			for i := 0; i < b.N; i++ {
+				a, err := mixy.Run(prog, mixy.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				queries = a.Stats.SolverQueries
+			}
+			b.ReportMetric(float64(queries), "solver-queries")
+		})
+	}
+}
+
+// BenchmarkE4ForkVsDefer measures the Section 3.1 deferral-vs-
+// execution tradeoff on sequential conditionals: forking explores 2^n
+// paths; deferring builds one path with conditional values.
+func BenchmarkE4ForkVsDefer(b *testing.B) {
+	for _, n := range []int{6, 8, 10} {
+		src, envPairs := corpus.Ladder(n)
+		e := lang.MustParse(src)
+		for _, mode := range []string{"fork", "defer"} {
+			mode := mode
+			b.Run(fmt.Sprintf("n=%d/%s", n, mode), func(b *testing.B) {
+				var paths int
+				for i := 0; i < b.N; i++ {
+					opts := core.Options{}
+					if mode == "defer" {
+						opts.IfMode = sym.DeferIf
+					}
+					checker := core.New(opts)
+					tenv := types.EmptyEnv()
+					for _, p := range envPairs {
+						tenv = tenv.Extend(p[0], types.Bool)
+					}
+					if _, err := checker.CheckSymbolic(tenv, e); err != nil {
+						b.Fatal(err)
+					}
+					paths = checker.Executor().Stats.Paths
+				}
+				b.ReportMetric(float64(paths), "paths")
+			})
+		}
+	}
+}
+
+// BenchmarkE5Frontier measures the headline precision/efficiency
+// claim: pure typing rejects, pure symbolic execution pays 2^n paths,
+// MIX accepts at ~constant cost.
+func BenchmarkE5Frontier(b *testing.B) {
+	for _, n := range []int{8, 10} {
+		plain, mixed, envPairs := corpus.DeepConditionals(n)
+		env := map[string]string{}
+		for _, p := range envPairs {
+			env[p[0]] = p[1]
+		}
+		b.Run(fmt.Sprintf("n=%d/pure-symbolic", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := Check(plain, Config{Mode: StartSymbolic, Env: env})
+				if res.Err != nil {
+					b.Fatal(res.Err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("n=%d/mix", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := Check(mixed, Config{Env: env})
+				if res.Err != nil {
+					b.Fatal(res.Err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE6Caching measures block caching (Section 4.3).
+func BenchmarkE6Caching(b *testing.B) {
+	src := cacheBenchProgram(12)
+	prog := microc.MustParse(src)
+	for _, cache := range []bool{true, false} {
+		cache := cache
+		name := "on"
+		if !cache {
+			name = "off"
+		}
+		b.Run("cache="+name, func(b *testing.B) {
+			var analyzed int
+			for i := 0; i < b.N; i++ {
+				a, err := mixy.Run(prog, mixy.Options{NoCache: !cache})
+				if err != nil {
+					b.Fatal(err)
+				}
+				analyzed = a.Stats.BlocksAnalyzed
+			}
+			b.ReportMetric(float64(analyzed), "blocks-analyzed")
+		})
+	}
+}
+
+func cacheBenchProgram(sites int) string {
+	src := "int *g;\nvoid blk(void) MIX(symbolic) { g = NULL; g = malloc(sizeof(int)); }\n"
+	outer := "void outer(void) MIX(symbolic) {\n"
+	for i := 0; i < sites; i++ {
+		src += fmt.Sprintf("void t%d(void) MIX(typed) { blk(); }\n", i)
+		outer += fmt.Sprintf("  t%d();\n", i)
+	}
+	src += outer + "}\nint main(void) { outer(); return 0; }\n"
+	return src
+}
+
+// BenchmarkE7Recursion measures recursion handling between typed and
+// symbolic blocks (Section 4.4).
+func BenchmarkE7Recursion(b *testing.B) {
+	src := `
+int *g;
+int counter;
+void typed_side(void) MIX(typed) { sym_side(); }
+void sym_side(void) MIX(symbolic) {
+  if (counter > 0) {
+    counter = counter - 1;
+    typed_side();
+  }
+  g = NULL;
+}
+int main(void) { sym_side(); return 0; }
+`
+	prog := microc.MustParse(src)
+	var cuts int
+	for i := 0; i < b.N; i++ {
+		a, err := mixy.Run(prog, mixy.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cuts = a.Stats.RecursionCuts
+	}
+	b.ReportMetric(float64(cuts), "recursion-cuts")
+}
+
+// BenchmarkE8Soundness measures the randomized Theorem 1 check:
+// generate, mix-check, concretely evaluate.
+func BenchmarkE8Soundness(b *testing.B) {
+	gen := langgen.New(20100605, langgen.DefaultConfig())
+	for i := 0; i < b.N; i++ {
+		prog := gen.Closed()
+		checker := core.New(core.Options{})
+		if _, err := checker.Check(types.EmptyEnv(), prog); err != nil {
+			continue
+		}
+		ev := concrete.NewEvaluator()
+		if _, cerr := ev.Eval(concrete.EmptyEnv(), concrete.NewMemory(), prog); errors.Is(cerr, concrete.ErrTypeError) {
+			b.Fatalf("UNSOUND on %s", prog)
+		}
+	}
+}
+
+// BenchmarkSolver measures the decision procedure on representative
+// queries (ablation support: the solver is the substituted STP).
+func BenchmarkSolver(b *testing.B) {
+	b.Run("trichotomy-tautology", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res := Check(`{s if x = 0 then {t 1 t} else (if x = 1 then {t 2 t} else {t 3 t}) s}`,
+				Config{Env: map[string]string{"x": "int"}})
+			if res.Err != nil {
+				b.Fatal(res.Err)
+			}
+		}
+	})
+}

@@ -1,0 +1,82 @@
+// Command mix checks a core-language program (.mix file) with the
+// mixed type checking / symbolic execution analysis.
+//
+// Usage:
+//
+//	mix [-symbolic] [-unsound] [-defer] [-env name:type,...] file.mix
+//
+// The program is read from the file (or stdin when the argument is
+// "-"). Free variables are declared with -env, e.g.
+// -env b:bool,x:int. Exit status 1 means the program was rejected.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"mix"
+)
+
+func main() {
+	symbolic := flag.Bool("symbolic", false, "treat the outermost scope as a symbolic block")
+	unsound := flag.Bool("unsound", false, "skip the exhaustive() check (bug-finding mode)")
+	deferIf := flag.Bool("defer", false, "use SEIF-DEFER instead of forking at conditionals")
+	envFlag := flag.String("env", "", "free variables as name:type pairs, comma separated (types: int, bool, int ref, bool ref)")
+	verbose := flag.Bool("v", false, "print discarded reports and statistics")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: mix [flags] file.mix")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	src, err := readInput(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mix:", err)
+		os.Exit(2)
+	}
+
+	cfg := mix.Config{
+		Unsound:           *unsound,
+		DeferConditionals: *deferIf,
+		Env:               map[string]string{},
+	}
+	if *symbolic {
+		cfg.Mode = mix.StartSymbolic
+	}
+	if *envFlag != "" {
+		for _, pair := range strings.Split(*envFlag, ",") {
+			name, ty, ok := strings.Cut(strings.TrimSpace(pair), ":")
+			if !ok {
+				fmt.Fprintf(os.Stderr, "mix: bad -env entry %q\n", pair)
+				os.Exit(2)
+			}
+			cfg.Env[name] = strings.ReplaceAll(ty, "_", " ")
+		}
+	}
+
+	res := mix.Check(src, cfg)
+	if *verbose {
+		for _, r := range res.Reports {
+			fmt.Println(r)
+		}
+		fmt.Printf("paths=%d solver-queries=%d\n", res.Paths, res.SolverQueries)
+	}
+	if res.Err != nil {
+		fmt.Fprintln(os.Stderr, res.Err)
+		os.Exit(1)
+	}
+	fmt.Println("type:", res.Type)
+}
+
+func readInput(path string) (string, error) {
+	if path == "-" {
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	}
+	b, err := os.ReadFile(path)
+	return string(b), err
+}

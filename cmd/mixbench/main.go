@@ -1,0 +1,458 @@
+// Command mixbench regenerates every experiment of the reproduction
+// (DESIGN.md, Section 4: experiment index). Each table corresponds to
+// an empirical claim of the paper; absolute numbers differ from the
+// paper's 2010 testbed, but the shapes are the claims under test.
+//
+// Usage:
+//
+//	mixbench [-table E1..E8|X1..X3|all]
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"mix"
+	"mix/internal/cexec"
+	"mix/internal/cgen"
+	"mix/internal/concrete"
+	"mix/internal/core"
+	"mix/internal/corpus"
+	"mix/internal/lang"
+	"mix/internal/langgen"
+	"mix/internal/microc"
+	"mix/internal/mixy"
+	"mix/internal/signs"
+	"mix/internal/sym"
+	"mix/internal/types"
+)
+
+func main() {
+	table := flag.String("table", "all", "experiment to run (E1..E8 or all)")
+	flag.Parse()
+
+	tables := map[string]func(){
+		"E1": tableE1, "E2": tableE2, "E3": tableE3, "E4": tableE4,
+		"E5": tableE5, "E6": tableE6, "E7": tableE7, "E8": tableE8,
+		"X1": tableX1, "X2": tableX2, "X3": tableX3,
+	}
+	if *table == "all" {
+		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "X1", "X2", "X3"} {
+			tables[id]()
+			fmt.Println()
+		}
+		return
+	}
+	run, ok := tables[*table]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "mixbench: unknown table %s\n", *table)
+		os.Exit(2)
+	}
+	run()
+}
+
+func newTab() *tabwriter.Writer {
+	return tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+}
+
+func envMap(pairs [][2]string) map[string]string {
+	m := map[string]string{}
+	for _, p := range pairs {
+		m[p[0]] = p[1]
+	}
+	return m
+}
+
+// tableE1 — Section 2 idioms: pure type checking vs MIX.
+func tableE1() {
+	fmt.Println("E1 — Section 2 motivating idioms (core language)")
+	fmt.Println("paper claim: each idiom false-positives under pure typing where marked, passes under MIX")
+	w := newTab()
+	fmt.Fprintln(w, "idiom\tpure types\tMIX\tfalse positive removed")
+	for _, idiom := range corpus.CoreIdioms {
+		env := envMap(idiom.Env)
+		pure := mix.Check(idiom.Stripped, mix.Config{Env: env})
+		mixed := mix.Check(idiom.Source, mix.Config{Env: env})
+		pureStr, mixedStr := verdict(pure.Err), verdict(mixed.Err)
+		removed := "-"
+		if pure.Err != nil && mixed.Err == nil {
+			removed = "yes"
+		}
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\n", idiom.Name, pureStr, mixedStr, removed)
+	}
+	w.Flush()
+}
+
+func verdict(err error) string {
+	if err == nil {
+		return "accepts"
+	}
+	return "rejects"
+}
+
+// tableE2 — the four vsftpd case studies (Section 4.5).
+func tableE2() {
+	fmt.Println("E2 — vsftpd case studies (Section 4.5)")
+	fmt.Println("paper claim: MIX(symbolic)/MIX(typed) annotations eliminate the false warnings of pure qualifier inference")
+	w := newTab()
+	fmt.Fprintln(w, "case\tbaseline warnings\tMIXY warnings\teliminated")
+	for _, c := range corpus.Cases {
+		baseCfg := mix.CConfig{PureTypes: true}
+		var baseWarn int
+		if c.Name == corpus.Case4.Name {
+			// Case 4's baseline is symbolic execution without the
+			// typed block (the fnptr failure), not pure typing.
+			res, err := mix.AnalyzeC(corpus.Case4NoTyped.Source, mix.CConfig{})
+			must(err)
+			baseWarn = len(res.Warnings)
+		} else {
+			res, err := mix.AnalyzeC(c.Source, baseCfg)
+			must(err)
+			baseWarn = len(res.Warnings)
+		}
+		mixed, err := mix.AnalyzeC(c.Source, mix.CConfig{})
+		must(err)
+		elim := "no"
+		if baseWarn > 0 && len(mixed.Warnings) == 0 {
+			elim = "yes"
+		}
+		fmt.Fprintf(w, "%s\t%d\t%d\t%s\n", c.Name, baseWarn, len(mixed.Warnings), elim)
+	}
+	// The combined program: warnings drop but context-insensitive
+	// aliasing leaves residuals, reproducing Section 4.6.
+	base, err := mix.AnalyzeC(corpus.VsftpdMini.Source, mix.CConfig{PureTypes: true})
+	must(err)
+	mixed, err := mix.AnalyzeC(corpus.VsftpdMini.Source, mix.CConfig{})
+	must(err)
+	fmt.Fprintf(w, "%s\t%d\t%d\t%s\n", corpus.VsftpdMini.Name,
+		len(base.Warnings), len(mixed.Warnings), "reduced (residual = §4.6 conflation)")
+	w.Flush()
+}
+
+// tableE3 — analysis time vs number of symbolic blocks (Section 4.6).
+func tableE3() {
+	fmt.Println("E3 — MIXY cost vs symbolic blocks (Section 4.6)")
+	fmt.Println("paper claim: <1s with 0 blocks, 5–25s with 1, ~60s with 2 — monotone, superlinear shape")
+	w := newTab()
+	fmt.Fprintln(w, "symbolic blocks\ttime\tvs k=0\tblocks analyzed\tfixpoint iters\tsolver queries")
+	const n = 12
+	var base time.Duration
+	for _, k := range []int{0, 1, 2, 3} {
+		src := corpus.SyntheticVsftpd(n, k)
+		prog := microc.MustParse(src)
+		start := time.Now()
+		a, err := mixy.Run(prog, mixy.Options{})
+		must(err)
+		dur := time.Since(start)
+		if k == 0 {
+			base = dur
+		}
+		ratio := float64(dur) / float64(base)
+		fmt.Fprintf(w, "%d\t%v\t%.1fx\t%d\t%d\t%d\n",
+			k, dur.Round(time.Microsecond), ratio,
+			a.Stats.BlocksAnalyzed, a.Stats.FixpointIters, a.Stats.SolverQueries)
+	}
+	w.Flush()
+}
+
+// tableE4 — deferral vs execution (Section 3.1).
+func tableE4() {
+	fmt.Println("E4 — fork vs defer at conditionals (Section 3.1)")
+	fmt.Println("paper claim: SEIF-DEFER avoids forking but hands the solver harder disjunctive formulas")
+	w := newTab()
+	fmt.Fprintln(w, "conditionals\tmode\tpaths\tsolver atoms\tsolver decisions\ttime")
+	for _, n := range []int{4, 6, 8, 10} {
+		src, env := corpus.Ladder(n)
+		for _, mode := range []string{"fork", "defer"} {
+			opts := core.Options{}
+			if mode == "defer" {
+				opts.IfMode = sym.DeferIf
+			}
+			checker := core.New(opts)
+			tenv := types.EmptyEnv()
+			for _, p := range env {
+				tenv = tenv.Extend(p[0], types.Bool)
+			}
+			e := lang.MustParse(src)
+			start := time.Now()
+			_, err := checker.CheckSymbolic(tenv, e)
+			must(err)
+			dur := time.Since(start)
+			fmt.Fprintf(w, "%d\t%s\t%d\t%d\t%d\t%v\n",
+				n, mode, checker.Executor().Stats.Paths,
+				checker.Solver().Stats.Atoms, checker.Solver().Stats.Decisions,
+				dur.Round(time.Microsecond))
+		}
+	}
+	w.Flush()
+}
+
+// tableE5 — the precision/efficiency frontier (Sections 1, 3.2).
+func tableE5() {
+	fmt.Println("E5 — precision/efficiency frontier")
+	fmt.Println("paper claim: MIX is more precise than typing alone and more efficient than exclusive symbolic execution")
+	w := newTab()
+	fmt.Fprintln(w, "n\tanalysis\tverdict\tpaths\ttime")
+	for _, n := range []int{8, 12} {
+		plain, mixed, env := corpus.DeepConditionals(n)
+		em := envMap(env)
+		rows := []struct {
+			name string
+			src  string
+			cfg  mix.Config
+		}{
+			{"pure types", plain, mix.Config{Env: em}},
+			{"pure symbolic", plain, mix.Config{Mode: mix.StartSymbolic, Env: em}},
+			{"MIX", mixed, mix.Config{Env: em}},
+		}
+		for _, r := range rows {
+			start := time.Now()
+			res := mix.Check(r.src, r.cfg)
+			dur := time.Since(start)
+			fmt.Fprintf(w, "%d\t%s\t%s\t%d\t%v\n",
+				n, r.name, verdict(res.Err), res.Paths, dur.Round(time.Microsecond))
+		}
+	}
+	w.Flush()
+}
+
+// tableE6 — block caching (Section 4.3).
+func tableE6() {
+	fmt.Println("E6 — block caching (Section 4.3)")
+	fmt.Println("paper claim: caching avoids repeated analysis of a block called from compatible contexts")
+	w := newTab()
+	fmt.Fprintln(w, "call sites\tcache\tblocks analyzed\tcache hits\ttime")
+	for _, sites := range []int{4, 16} {
+		src := cacheProgram(sites)
+		for _, cache := range []bool{true, false} {
+			prog := microc.MustParse(src)
+			start := time.Now()
+			a, err := mixy.Run(prog, mixy.Options{NoCache: !cache})
+			must(err)
+			dur := time.Since(start)
+			on := "on"
+			if !cache {
+				on = "off"
+			}
+			fmt.Fprintf(w, "%d\t%s\t%d\t%d\t%v\n",
+				sites, on, a.Stats.BlocksAnalyzed, a.Stats.CacheHits,
+				dur.Round(time.Microsecond))
+		}
+	}
+	w.Flush()
+}
+
+// cacheProgram routes `sites` typed functions through one symbolic
+// block: every typed call re-enters blk with a compatible context, so
+// with caching blk is analyzed once and hit sites-1 times.
+func cacheProgram(sites int) string {
+	var b strings.Builder
+	b.WriteString("int *g;\n")
+	b.WriteString("void blk(void) MIX(symbolic) {\n  g = NULL;\n  g = malloc(sizeof(int));\n}\n")
+	for i := 0; i < sites; i++ {
+		fmt.Fprintf(&b, "void t%d(void) MIX(typed) { blk(); }\n", i)
+	}
+	b.WriteString("void outer(void) MIX(symbolic) {\n")
+	for i := 0; i < sites; i++ {
+		fmt.Fprintf(&b, "  t%d();\n", i)
+	}
+	b.WriteString("}\n")
+	b.WriteString("int main(void) {\n  outer();\n  return 0;\n}\n")
+	return b.String()
+}
+
+// tableE7 — recursion between blocks (Section 4.4).
+func tableE7() {
+	fmt.Println("E7 — typed/symbolic block recursion (Section 4.4)")
+	fmt.Println("paper claim: recursion between blocks is detected and resolved by assumption + fixed point")
+	src := `
+int *g;
+int counter;
+void typed_side(void) MIX(typed) {
+  sym_side();
+}
+void sym_side(void) MIX(symbolic) {
+  if (counter > 0) {
+    counter = counter - 1;
+    typed_side();
+  }
+  g = NULL;
+}
+int main(void) {
+  sym_side();
+  return 0;
+}
+`
+	prog := microc.MustParse(src)
+	start := time.Now()
+	a, err := mixy.Run(prog, mixy.Options{})
+	must(err)
+	dur := time.Since(start)
+	w := newTab()
+	fmt.Fprintln(w, "metric\tvalue")
+	fmt.Fprintf(w, "terminated\tyes (%v)\n", dur.Round(time.Microsecond))
+	fmt.Fprintf(w, "recursion cuts\t%d\n", a.Stats.RecursionCuts)
+	fmt.Fprintf(w, "fixpoint iterations\t%d\n", a.Stats.FixpointIters)
+	g, _ := prog.Global("g")
+	fmt.Fprintf(w, "g's nullness discovered\t%t\n", a.Inf.IsNull(a.Inf.VarQ(g).Ptr))
+	w.Flush()
+}
+
+// tableE8 — soundness sampling (Theorem 1).
+func tableE8() {
+	fmt.Println("E8 — MIX soundness, randomized (Theorem 1)")
+	fmt.Println("paper claim: mix-accepted programs never hit a run-time type error")
+	const programs = 2000
+	gen := langgen.New(20100605, langgen.DefaultConfig())
+	accepted, rejected, unsound := 0, 0, 0
+	for i := 0; i < programs; i++ {
+		prog := gen.Closed()
+		checker := core.New(core.Options{})
+		_, err := checker.Check(types.EmptyEnv(), prog)
+		if err != nil {
+			rejected++
+			continue
+		}
+		accepted++
+		ev := concrete.NewEvaluator()
+		_, cerr := ev.Eval(concrete.EmptyEnv(), concrete.NewMemory(), prog)
+		if errors.Is(cerr, concrete.ErrTypeError) {
+			unsound++
+		}
+	}
+	w := newTab()
+	fmt.Fprintln(w, "metric\tvalue")
+	fmt.Fprintf(w, "programs generated\t%d\n", programs)
+	fmt.Fprintf(w, "accepted by MIX\t%d\n", accepted)
+	fmt.Fprintf(w, "rejected by MIX\t%d\n", rejected)
+	fmt.Fprintf(w, "accepted programs with run-time type errors\t%d (must be 0)\n", unsound)
+	w.Flush()
+}
+
+// tableX1 — extension: the sign-qualifier instantiation of MIX
+// (mechanizing the paper's Section 2 local-refinement example and its
+// claim that the approach generalizes to other analysis pairs).
+func tableX1() {
+	fmt.Println("X1 — extension: sign qualifiers mixed with the same symbolic executor")
+	fmt.Println("paper claim (Section 2/6): the mix approach applies to many combinations; sign refinement after tests")
+	w := newTab()
+	fmt.Fprintln(w, "program\tpure sign table\tmixed analysis")
+	rows := []struct {
+		src string
+		env func() *signs.Env
+	}{
+		{"if b then 1 + -1 else 0", func() *signs.Env {
+			return signs.EmptyEnv().Extend("b", signs.Bool)
+		}},
+		{"if 0 < x then x + -1 + 1 else 1", func() *signs.Env {
+			return signs.EmptyEnv().Extend("x", signs.Int(signs.Top))
+		}},
+		{"if 1 < x then x + -1 else x", func() *signs.Env {
+			return signs.EmptyEnv().Extend("x", signs.Int(signs.Pos))
+		}},
+	}
+	for _, r := range rows {
+		var pure signs.Checker
+		pureTy, pureErr := pure.Check(r.env(), lang.MustParse(r.src))
+		pureStr := "rejects"
+		if pureErr == nil {
+			pureStr = pureTy.String()
+		}
+		m := signs.NewMixer()
+		mixTy, mixErr := m.Check(r.env(), lang.MustParse("{s "+r.src+" s}"))
+		mixStr := "rejects"
+		if mixErr == nil {
+			mixStr = mixTy.String()
+		}
+		fmt.Fprintf(w, "%s\t%s\t%s\n", r.src, pureStr, mixStr)
+	}
+	w.Flush()
+}
+
+// tableX2 — extension: the Section 3.2 type-and-effect refinement of
+// SETYPBLOCK ("we could find the effect of e and limit applying this
+// havoc operation").
+func tableX2() {
+	fmt.Println("X2 — extension: effect-aware typed blocks (Section 3.2 refinement)")
+	fmt.Println("paper claim: an effect system would let SETYPBLOCK avoid havocking memory for pure blocks")
+	w := newTab()
+	fmt.Fprintln(w, "program\tplain SETYPBLOCK\teffect-aware")
+	rows := []string{
+		// A fact established before a pure typed block survives it.
+		`{s let r = ref 0 in let _ = {t 1 + 1 t} in
+		   if !r = 0 then 1 else (1 + true) s}`,
+		// A writing typed block still havocs under both.
+		`{s let r = ref 0 in let _ = {t (ref 9) := 1 t} in
+		   if !r = 0 then 1 else (1 + true) s}`,
+	}
+	for _, src := range rows {
+		plain := mix.Check(src, mix.Config{})
+		eff := mix.Check(src, mix.Config{EffectAware: true})
+		short := strings.Join(strings.Fields(src), " ")
+		if len(short) > 60 {
+			short = short[:57] + "..."
+		}
+		fmt.Fprintf(w, "%s\t%s\t%s\n", short, verdict(plain.Err), verdict(eff.Err))
+	}
+	w.Flush()
+}
+
+// tableX3 — extension: a randomized differential version of the
+// paper's case study. Generated null-idiom programs are deterministic,
+// so a concrete run (internal/cexec) decides ground truth; MIXY must
+// warn on every crashing program (soundness) and should warn on far
+// fewer clean programs than pure inference (precision).
+func tableX3() {
+	fmt.Println("X3 — extension: randomized differential against concrete execution")
+	fmt.Println("paper claim (generalized): MIXY removes false positives without losing true positives")
+	const programs = 400
+	cfg := cgen.DefaultConfig()
+	cfg.SymbolicEntry = true
+	gen := cgen.New(20100605, cfg)
+	crashes, missed, clean, pureFP, mixFP := 0, 0, 0, 0, 0
+	for i := 0; i < programs; i++ {
+		src := gen.Program()
+		prog := microc.MustParse(src)
+		_, runErr := cexec.New(prog, 1).Run("main")
+		crashed := errors.Is(runErr, cexec.ErrNullDeref)
+		mixed, err := mixy.Run(prog, mixy.Options{StrictInit: true})
+		must(err)
+		if crashed {
+			crashes++
+			if len(mixed.Warnings) == 0 {
+				missed++
+			}
+			continue
+		}
+		clean++
+		pure, err := mixy.Run(microc.MustParse(src), mixy.Options{IgnoreAnnotations: true, StrictInit: true})
+		must(err)
+		if len(pure.Warnings) > 0 {
+			pureFP++
+		}
+		if len(mixed.Warnings) > 0 {
+			mixFP++
+		}
+	}
+	w := newTab()
+	fmt.Fprintln(w, "metric\tvalue")
+	fmt.Fprintf(w, "programs generated\t%d\n", programs)
+	fmt.Fprintf(w, "concretely crashing\t%d\n", crashes)
+	fmt.Fprintf(w, "crashing programs MIXY missed\t%d (must be 0)\n", missed)
+	fmt.Fprintf(w, "concretely clean\t%d\n", clean)
+	fmt.Fprintf(w, "clean programs pure inference warns on\t%d\n", pureFP)
+	fmt.Fprintf(w, "clean programs MIXY warns on\t%d\n", mixFP)
+	w.Flush()
+}
+
+func must(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mixbench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,599 @@
+// Package cexec is a concrete interpreter for MicroC — the C-side
+// analogue of internal/concrete. It serves as ground truth for
+// differential testing of the MIXY analyses: a run that dereferences
+// null raises a runtime error, so
+//
+//   - any program MIXY reports clean should never crash concretely
+//     (soundness direction), and
+//   - a program that crashes concretely must be flagged by the
+//     symbolic executor (completeness spot-checks).
+//
+// Nondeterminism (extern calls, uninitialized locals) is resolved by a
+// seeded deterministic RNG so failures replay.
+package cexec
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"mix/internal/microc"
+)
+
+// Value is a concrete MicroC value.
+type Value interface {
+	isValue()
+	String() string
+}
+
+// CInt is an integer.
+type CInt struct{ V int64 }
+
+// CNull is the null pointer.
+type CNull struct{}
+
+// CPtr points to one cell of an object.
+type CPtr struct {
+	Obj   *Obj
+	Field string
+}
+
+// CFn is a function pointer.
+type CFn struct{ F *microc.FuncDef }
+
+func (CInt) isValue()  {}
+func (CNull) isValue() {}
+func (CPtr) isValue()  {}
+func (CFn) isValue()   {}
+
+func (v CInt) String() string { return fmt.Sprintf("%d", v.V) }
+func (CNull) String() string  { return "NULL" }
+func (v CPtr) String() string {
+	if v.Field == "" {
+		return "&" + v.Obj.Name
+	}
+	return "&" + v.Obj.Name + "." + v.Field
+}
+func (v CFn) String() string { return "&" + v.F.Name }
+
+// Obj is a concrete memory object with named cells ("" = scalar).
+type Obj struct {
+	Name  string
+	Cells map[string]Value
+}
+
+// RuntimeError is a concrete failure (null dereference, bad call).
+type RuntimeError struct {
+	Pos microc.Pos
+	Msg string
+}
+
+func (e *RuntimeError) Error() string {
+	return fmt.Sprintf("%s: runtime error: %s", e.Pos, e.Msg)
+}
+
+// ErrNullDeref tags null dereferences for errors.Is.
+var ErrNullDeref = errors.New("null dereference")
+
+// NullDerefError is a null dereference at a position.
+type NullDerefError struct{ Pos microc.Pos }
+
+func (e *NullDerefError) Error() string {
+	return fmt.Sprintf("%s: runtime error: null dereference", e.Pos)
+}
+
+func (e *NullDerefError) Unwrap() error { return ErrNullDeref }
+
+// ErrFuel is returned when execution exceeds its step budget.
+var ErrFuel = errors.New("cexec: out of fuel")
+
+// Interp runs MicroC programs concretely.
+type Interp struct {
+	Prog *microc.Program
+	// Fuel bounds execution steps.
+	Fuel int
+	rng  *rand.Rand
+
+	globals map[*microc.VarDecl]*Obj
+	locals  []map[*microc.VarDecl]*Obj // stack of frames
+	nextID  int
+}
+
+// New builds an interpreter with the given randomness seed for
+// extern-call results and uninitialized locals.
+func New(prog *microc.Program, seed int64) *Interp {
+	return &Interp{
+		Prog:    prog,
+		Fuel:    1 << 20,
+		rng:     rand.New(rand.NewSource(seed)),
+		globals: map[*microc.VarDecl]*Obj{},
+	}
+}
+
+// Run executes the entry function and returns its result.
+func (ip *Interp) Run(entry string) (Value, error) {
+	f, ok := ip.Prog.Func(entry)
+	if !ok {
+		return nil, fmt.Errorf("cexec: no function %s", entry)
+	}
+	// C globals are zero-initialized; explicit initializers override.
+	for _, g := range ip.Prog.Globals {
+		obj := ip.globalObj(g)
+		if g.Init != nil {
+			v, err := ip.eval(g.Init)
+			if err != nil {
+				return nil, err
+			}
+			obj.Cells[""] = v
+		}
+	}
+	args := make([]Value, len(f.Params))
+	for i, p := range f.Params {
+		args[i] = ip.arbitrary(p.Type, p.Name)
+	}
+	return ip.call(f, args, f.Pos)
+}
+
+func (ip *Interp) globalObj(d *microc.VarDecl) *Obj {
+	if o, ok := ip.globals[d]; ok {
+		return o
+	}
+	o := ip.newObj(d.Name, d.Type, true)
+	ip.globals[d] = o
+	return o
+}
+
+// newObj creates an object; zeroed when zero is true.
+func (ip *Interp) newObj(name string, ty microc.Type, zero bool) *Obj {
+	ip.nextID++
+	o := &Obj{Name: fmt.Sprintf("%s#%d", name, ip.nextID), Cells: map[string]Value{}}
+	fill := func(field string, ft microc.Type) {
+		if zero {
+			o.Cells[field] = zeroValue(ft)
+		} else {
+			o.Cells[field] = ip.arbitrary(ft, name)
+		}
+	}
+	if st, ok := ty.(microc.StructType); ok {
+		if sd, found := ip.Prog.Struct(st.Name); found {
+			for _, fd := range sd.Fields {
+				fill(fd.Name, fd.Type)
+			}
+			return o
+		}
+	}
+	fill("", ty)
+	return o
+}
+
+func zeroValue(t microc.Type) Value {
+	switch t.(type) {
+	case microc.PtrType, microc.FnPtrType:
+		return CNull{}
+	}
+	return CInt{0}
+}
+
+// arbitrary picks a random value of a type (extern results,
+// uninitialized locals, entry arguments).
+func (ip *Interp) arbitrary(t microc.Type, hint string) Value {
+	switch t := t.(type) {
+	case microc.PtrType:
+		if t.Qual != microc.QNonNull && ip.rng.Intn(2) == 0 {
+			return CNull{}
+		}
+		obj := ip.newObj(hint+".ext", t.Elem, true)
+		if _, isStruct := t.Elem.(microc.StructType); isStruct {
+			return CPtr{Obj: obj}
+		}
+		return CPtr{Obj: obj}
+	case microc.FnPtrType:
+		return CNull{}
+	case microc.VoidType:
+		return CInt{0}
+	}
+	return CInt{int64(ip.rng.Intn(7) - 3)}
+}
+
+type frame = map[*microc.VarDecl]*Obj
+
+func (ip *Interp) frameObj(d *microc.VarDecl) (*Obj, error) {
+	if d.Kind == microc.GlobalVar {
+		return ip.globalObj(d), nil
+	}
+	top := ip.locals[len(ip.locals)-1]
+	if o, ok := top[d]; ok {
+		return o, nil
+	}
+	// An uninitialized local: arbitrary contents.
+	o := ip.newObj(d.Name, d.Type, false)
+	top[d] = o
+	return o, nil
+}
+
+// call executes f with arguments.
+func (ip *Interp) call(f *microc.FuncDef, args []Value, pos microc.Pos) (Value, error) {
+	if f.IsExtern() {
+		return ip.arbitrary(f.Ret, f.Name), nil
+	}
+	fr := frame{}
+	ip.locals = append(ip.locals, fr)
+	defer func() { ip.locals = ip.locals[:len(ip.locals)-1] }()
+	for i, p := range f.Params {
+		o := ip.newObj(p.Name, p.Type, true)
+		if i < len(args) && args[i] != nil {
+			o.Cells[""] = args[i]
+		}
+		fr[p] = o
+	}
+	ret, returned, err := ip.exec(f.Body)
+	if err != nil {
+		return nil, err
+	}
+	if !returned || ret == nil {
+		return CInt{0}, nil
+	}
+	return ret, nil
+}
+
+// exec runs a statement; returned reports whether a return fired.
+func (ip *Interp) exec(s microc.Stmt) (Value, bool, error) {
+	if ip.Fuel <= 0 {
+		return nil, false, ErrFuel
+	}
+	ip.Fuel--
+	switch s := s.(type) {
+	case *microc.BlockStmt:
+		for _, inner := range s.Stmts {
+			v, returned, err := ip.exec(inner)
+			if err != nil || returned {
+				return v, returned, err
+			}
+		}
+		return nil, false, nil
+	case *microc.DeclStmt:
+		var o *Obj
+		if s.Decl.Init != nil {
+			v, err := ip.eval(s.Decl.Init)
+			if err != nil {
+				return nil, false, err
+			}
+			o = ip.newObj(s.Decl.Name, s.Decl.Type, true)
+			o.Cells[""] = v
+		} else {
+			o = ip.newObj(s.Decl.Name, s.Decl.Type, false)
+		}
+		ip.locals[len(ip.locals)-1][s.Decl] = o
+		return nil, false, nil
+	case *microc.ExprStmt:
+		_, err := ip.eval(s.X)
+		return nil, false, err
+	case *microc.IfStmt:
+		c, err := ip.evalTruth(s.Cond)
+		if err != nil {
+			return nil, false, err
+		}
+		if c {
+			return ip.exec(s.Then)
+		}
+		if s.Else != nil {
+			return ip.exec(s.Else)
+		}
+		return nil, false, nil
+	case *microc.WhileStmt:
+		for {
+			if ip.Fuel <= 0 {
+				return nil, false, ErrFuel
+			}
+			ip.Fuel--
+			c, err := ip.evalTruth(s.Cond)
+			if err != nil {
+				return nil, false, err
+			}
+			if !c {
+				return nil, false, nil
+			}
+			v, returned, err := ip.exec(s.Body)
+			if err != nil || returned {
+				return v, returned, err
+			}
+		}
+	case *microc.ReturnStmt:
+		if s.X == nil {
+			return CInt{0}, true, nil
+		}
+		v, err := ip.eval(s.X)
+		return v, true, err
+	}
+	return nil, false, fmt.Errorf("cexec: unknown statement %T", s)
+}
+
+// lvalue resolves an expression to an object cell.
+func (ip *Interp) lvalue(e microc.Expr) (*Obj, string, error) {
+	switch e := e.(type) {
+	case *microc.VarRef:
+		d, ok := e.Ref.(*microc.VarDecl)
+		if !ok {
+			return nil, "", &RuntimeError{e.ExprPos(), "not an lvalue"}
+		}
+		o, err := ip.frameObj(d)
+		return o, "", err
+	case *microc.Unary:
+		if e.Op == microc.OpDeref {
+			v, err := ip.eval(e.X)
+			if err != nil {
+				return nil, "", err
+			}
+			p, ok := v.(CPtr)
+			if !ok {
+				return nil, "", &NullDerefError{e.ExprPos()}
+			}
+			return p.Obj, p.Field, nil
+		}
+	case *microc.Field:
+		if e.Arrow {
+			v, err := ip.eval(e.X)
+			if err != nil {
+				return nil, "", err
+			}
+			p, ok := v.(CPtr)
+			if !ok {
+				return nil, "", &NullDerefError{e.ExprPos()}
+			}
+			return p.Obj, e.Name, nil
+		}
+		o, _, err := ip.lvalue(e.X)
+		if err != nil {
+			return nil, "", err
+		}
+		return o, e.Name, nil
+	case *microc.Cast:
+		return ip.lvalue(e.X)
+	}
+	return nil, "", &RuntimeError{e.ExprPos(), "not an lvalue"}
+}
+
+func (ip *Interp) readCell(o *Obj, field string, t microc.Type) Value {
+	if v, ok := o.Cells[field]; ok {
+		return v
+	}
+	v := ip.arbitrary(t, o.Name)
+	o.Cells[field] = v
+	return v
+}
+
+// eval evaluates an expression.
+func (ip *Interp) eval(e microc.Expr) (Value, error) {
+	if ip.Fuel <= 0 {
+		return nil, ErrFuel
+	}
+	ip.Fuel--
+	switch e := e.(type) {
+	case *microc.IntLit:
+		return CInt{e.Val}, nil
+	case *microc.NullLit:
+		return CNull{}, nil
+	case *microc.VarRef:
+		switch ref := e.Ref.(type) {
+		case *microc.VarDecl:
+			o, err := ip.frameObj(ref)
+			if err != nil {
+				return nil, err
+			}
+			return ip.readCell(o, "", ref.Type), nil
+		case *microc.FuncDef:
+			return CFn{ref}, nil
+		}
+		return nil, &RuntimeError{e.ExprPos(), "unresolved name"}
+	case *microc.Unary:
+		switch e.Op {
+		case microc.OpDeref:
+			o, field, err := ip.lvalue(e)
+			if err != nil {
+				return nil, err
+			}
+			return ip.readCell(o, field, e.StaticType()), nil
+		case microc.OpAddr:
+			o, field, err := ip.lvalue(e.X)
+			if err != nil {
+				return nil, err
+			}
+			return CPtr{Obj: o, Field: field}, nil
+		case microc.OpNot:
+			b, err := ip.evalTruth(e.X)
+			if err != nil {
+				return nil, err
+			}
+			return boolInt(!b), nil
+		case microc.OpNeg:
+			v, err := ip.eval(e.X)
+			if err != nil {
+				return nil, err
+			}
+			i, ok := v.(CInt)
+			if !ok {
+				return nil, &RuntimeError{e.ExprPos(), "negation of non-int"}
+			}
+			return CInt{-i.V}, nil
+		}
+	case *microc.Binary:
+		return ip.evalBinary(e)
+	case *microc.Assign:
+		v, err := ip.eval(e.RHS)
+		if err != nil {
+			return nil, err
+		}
+		o, field, err := ip.lvalue(e.LHS)
+		if err != nil {
+			return nil, err
+		}
+		o.Cells[field] = v
+		return v, nil
+	case *microc.Call:
+		return ip.evalCall(e)
+	case *microc.Field:
+		o, field, err := ip.lvalue(e)
+		if err != nil {
+			return nil, err
+		}
+		return ip.readCell(o, field, e.StaticType()), nil
+	case *microc.Malloc:
+		// malloc contents are arbitrary (uninitialized).
+		o := ip.newObj(fmt.Sprintf("malloc#%d", e.Site), e.ElemType, false)
+		return CPtr{Obj: o}, nil
+	case *microc.Cast:
+		return ip.eval(e.X)
+	}
+	return nil, fmt.Errorf("cexec: cannot evaluate %T", e)
+}
+
+func boolInt(b bool) Value {
+	if b {
+		return CInt{1}
+	}
+	return CInt{0}
+}
+
+// evalTruth evaluates an expression as a C condition.
+func (ip *Interp) evalTruth(e microc.Expr) (bool, error) {
+	v, err := ip.eval(e)
+	if err != nil {
+		return false, err
+	}
+	switch v := v.(type) {
+	case CInt:
+		return v.V != 0, nil
+	case CNull:
+		return false, nil
+	case CPtr, CFn:
+		return true, nil
+	}
+	return false, &RuntimeError{e.ExprPos(), "condition on unmodeled value"}
+}
+
+func (ip *Interp) evalBinary(e *microc.Binary) (Value, error) {
+	x, err := ip.eval(e.X)
+	if err != nil {
+		return nil, err
+	}
+	y, err := ip.eval(e.Y)
+	if err != nil {
+		return nil, err
+	}
+	switch e.Op {
+	case microc.OpEq, microc.OpNe:
+		eq := valueEq(x, y)
+		if e.Op == microc.OpNe {
+			eq = !eq
+		}
+		return boolInt(eq), nil
+	case microc.OpAnd:
+		return boolInt(truthy(x) && truthy(y)), nil
+	case microc.OpOr:
+		return boolInt(truthy(x) || truthy(y)), nil
+	}
+	xi, okx := x.(CInt)
+	yi, oky := y.(CInt)
+	if !okx || !oky {
+		return nil, &RuntimeError{e.ExprPos(), "arithmetic on non-ints"}
+	}
+	switch e.Op {
+	case microc.OpAdd:
+		return CInt{xi.V + yi.V}, nil
+	case microc.OpSub:
+		return CInt{xi.V - yi.V}, nil
+	case microc.OpLt:
+		return boolInt(xi.V < yi.V), nil
+	case microc.OpGt:
+		return boolInt(xi.V > yi.V), nil
+	case microc.OpLe:
+		return boolInt(xi.V <= yi.V), nil
+	case microc.OpGe:
+		return boolInt(xi.V >= yi.V), nil
+	}
+	return nil, fmt.Errorf("cexec: unknown binary op")
+}
+
+func truthy(v Value) bool {
+	switch v := v.(type) {
+	case CInt:
+		return v.V != 0
+	case CNull:
+		return false
+	}
+	return true
+}
+
+func valueEq(a, b Value) bool {
+	switch a := a.(type) {
+	case CInt:
+		if bi, ok := b.(CInt); ok {
+			return a.V == bi.V
+		}
+		if _, ok := b.(CNull); ok {
+			return a.V == 0
+		}
+	case CNull:
+		switch b := b.(type) {
+		case CNull:
+			return true
+		case CInt:
+			return b.V == 0
+		default:
+			return false
+		}
+	case CPtr:
+		if bp, ok := b.(CPtr); ok {
+			return a.Obj == bp.Obj && a.Field == bp.Field
+		}
+	case CFn:
+		if bf, ok := b.(CFn); ok {
+			return a.F == bf.F
+		}
+	}
+	return false
+}
+
+func (ip *Interp) evalCall(e *microc.Call) (Value, error) {
+	// Direct call?
+	if vr, ok := e.Fun.(*microc.VarRef); ok {
+		if f, isFunc := vr.Ref.(*microc.FuncDef); isFunc {
+			return ip.callWithArgs(e, f)
+		}
+	}
+	funExpr := e.Fun
+	if u, ok := funExpr.(*microc.Unary); ok && u.Op == microc.OpDeref {
+		funExpr = u.X
+	}
+	fv, err := ip.eval(funExpr)
+	if err != nil {
+		return nil, err
+	}
+	fn, ok := fv.(CFn)
+	if !ok {
+		return nil, &NullDerefError{e.ExprPos()}
+	}
+	return ip.callWithArgs(e, fn.F)
+}
+
+func (ip *Interp) callWithArgs(e *microc.Call, f *microc.FuncDef) (Value, error) {
+	args := make([]Value, len(e.Args))
+	for i, a := range e.Args {
+		v, err := ip.eval(a)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = v
+	}
+	// The analysis property: passing null for a nonnull parameter is
+	// the run-time violation MIXY checks statically (sysutil_free
+	// checks at run time in vsftpd).
+	for i, p := range f.Params {
+		if pt, ok := p.Type.(microc.PtrType); ok && pt.Qual == microc.QNonNull && i < len(args) {
+			if _, isNull := args[i].(CNull); isNull {
+				return nil, &NullDerefError{e.ExprPos()}
+			}
+		}
+	}
+	return ip.call(f, args, e.ExprPos())
+}

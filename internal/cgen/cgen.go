@@ -1,0 +1,85 @@
+// Package cgen generates random MicroC programs in the null-pointer
+// idiom space of the case study: pointer globals that are nulled,
+// reallocated, aliased, guarded, and passed to a nonnull sink. The
+// programs are deterministic (no extern calls), so a single concrete
+// run decides whether a null-pointer violation is real — giving a
+// differential soundness oracle for MIXY:
+//
+//	concrete crash  ⇒  MIXY must warn.
+package cgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Config tunes generation.
+type Config struct {
+	// Pointers is the number of pointer globals.
+	Pointers int
+	// Stmts is the number of statements in the entry function.
+	Stmts int
+	// SymbolicEntry marks the body MIX(symbolic) via a helper.
+	SymbolicEntry bool
+}
+
+// DefaultConfig returns a balanced configuration.
+func DefaultConfig() Config {
+	return Config{Pointers: 3, Stmts: 8}
+}
+
+// Gen generates programs.
+type Gen struct {
+	r   *rand.Rand
+	cfg Config
+}
+
+// New returns a generator.
+func New(seed int64, cfg Config) *Gen {
+	return &Gen{r: rand.New(rand.NewSource(seed)), cfg: cfg}
+}
+
+// Program generates one MicroC program with a nonnull sink and the
+// configured number of pointer manipulations.
+func (g *Gen) Program() string {
+	var b strings.Builder
+	b.WriteString("void sink(int *nonnull q) MIX(typed) { return; }\n")
+	for i := 0; i < g.cfg.Pointers; i++ {
+		if g.r.Intn(2) == 0 {
+			fmt.Fprintf(&b, "int *g%d;\n", i) // zero-initialized: null
+		} else {
+			fmt.Fprintf(&b, "int *g%d = NULL;\n", i)
+		}
+	}
+	body := &strings.Builder{}
+	for s := 0; s < g.cfg.Stmts; s++ {
+		i := g.r.Intn(g.cfg.Pointers)
+		switch g.r.Intn(6) {
+		case 0:
+			fmt.Fprintf(body, "  g%d = NULL;\n", i)
+		case 1:
+			fmt.Fprintf(body, "  g%d = malloc(sizeof(int));\n", i)
+		case 2:
+			fmt.Fprintf(body, "  if (g%d != NULL) { sink(g%d); }\n", i, i)
+		case 3:
+			fmt.Fprintf(body, "  sink(g%d);\n", i)
+		case 4:
+			j := g.r.Intn(g.cfg.Pointers)
+			fmt.Fprintf(body, "  g%d = g%d;\n", i, j)
+		case 5:
+			fmt.Fprintf(body, "  if (g%d == NULL) { g%d = malloc(sizeof(int)); }\n", i, i)
+		}
+	}
+	if g.cfg.SymbolicEntry {
+		b.WriteString("void work(void) MIX(symbolic) {\n")
+		b.WriteString(body.String())
+		b.WriteString("}\n")
+		b.WriteString("int main(void) {\n  work();\n  return 0;\n}\n")
+	} else {
+		b.WriteString("int main(void) {\n")
+		b.WriteString(body.String())
+		b.WriteString("  return 0;\n}\n")
+	}
+	return b.String()
+}

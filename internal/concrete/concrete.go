@@ -1,0 +1,314 @@
+// Package concrete implements the standard big-step operational
+// semantics E ⊢ ⟨M; e⟩ → r that the paper's Theorem 1 (MIX soundness)
+// is stated against. The evaluation result is either a memory–value
+// pair or a distinguished error token (ErrTypeError), raised exactly
+// when an operation is applied to a value of the wrong shape.
+//
+// Block annotations have no run-time meaning and are skipped, so this
+// evaluator is the ground truth for property tests: any program
+// accepted by the mixed checker must never evaluate to the error
+// token.
+package concrete
+
+import (
+	"errors"
+	"fmt"
+
+	"mix/internal/lang"
+)
+
+// Value is a concrete value: an integer, a boolean, or a location.
+type Value interface {
+	isValue()
+	String() string
+}
+
+// IntV is an integer value.
+type IntV struct{ Val int64 }
+
+// BoolV is a boolean value.
+type BoolV struct{ Val bool }
+
+// LocV is a heap location.
+type LocV struct{ Loc int }
+
+// ClosV is a function closure.
+type ClosV struct {
+	Param string
+	Body  lang.Expr
+	Env   *Env
+}
+
+func (IntV) isValue()  {}
+func (BoolV) isValue() {}
+func (LocV) isValue()  {}
+func (ClosV) isValue() {}
+
+func (v ClosV) String() string { return "<fun " + v.Param + ">" }
+
+func (v IntV) String() string { return fmt.Sprintf("%d", v.Val) }
+func (v BoolV) String() string {
+	if v.Val {
+		return "true"
+	}
+	return "false"
+}
+func (v LocV) String() string { return fmt.Sprintf("loc%d", v.Loc) }
+
+// Memory is a concrete memory M: a map from locations to values plus
+// an allocation counter.
+type Memory struct {
+	cells map[int]Value
+	next  int
+}
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory { return &Memory{cells: map[int]Value{}} }
+
+// Alloc stores v at a fresh location and returns it.
+func (m *Memory) Alloc(v Value) LocV {
+	m.next++
+	m.cells[m.next] = v
+	return LocV{m.next}
+}
+
+// Read returns the value at l.
+func (m *Memory) Read(l LocV) (Value, bool) {
+	v, ok := m.cells[l.Loc]
+	return v, ok
+}
+
+// Write stores v at l.
+func (m *Memory) Write(l LocV, v Value) { m.cells[l.Loc] = v }
+
+// Size reports the number of allocated cells.
+func (m *Memory) Size() int { return len(m.cells) }
+
+// Env is a concrete environment E.
+type Env struct {
+	name   string
+	val    Value
+	parent *Env
+}
+
+// EmptyEnv is the empty concrete environment.
+func EmptyEnv() *Env { return nil }
+
+// Extend binds name to v.
+func (e *Env) Extend(name string, v Value) *Env {
+	return &Env{name: name, val: v, parent: e}
+}
+
+// Lookup finds the value bound to name.
+func (e *Env) Lookup(name string) (Value, bool) {
+	for s := e; s != nil; s = s.parent {
+		if s.name == name {
+			return s.val, true
+		}
+	}
+	return nil, false
+}
+
+// ErrTypeError is the distinguished error token of the semantics.
+var ErrTypeError = errors.New("concrete: run-time type error")
+
+// ErrFuel is returned when evaluation exceeds its step budget.
+var ErrFuel = errors.New("concrete: out of fuel")
+
+// TypeError wraps ErrTypeError with a position and message.
+type TypeError struct {
+	Pos lang.Pos
+	Msg string
+}
+
+func (e *TypeError) Error() string {
+	return fmt.Sprintf("%s: %v: %s", e.Pos, ErrTypeError, e.Msg)
+}
+
+func (e *TypeError) Unwrap() error { return ErrTypeError }
+
+// Evaluator runs programs with a step budget.
+type Evaluator struct {
+	Fuel int
+}
+
+// NewEvaluator returns an evaluator with a generous default budget.
+func NewEvaluator() *Evaluator { return &Evaluator{Fuel: 1 << 20} }
+
+// Eval evaluates e under env and memory m, returning the result value.
+// The memory is updated in place.
+func (ev *Evaluator) Eval(env *Env, m *Memory, e lang.Expr) (Value, error) {
+	if ev.Fuel <= 0 {
+		return nil, ErrFuel
+	}
+	ev.Fuel--
+	switch e := e.(type) {
+	case lang.Var:
+		v, ok := env.Lookup(e.Name)
+		if !ok {
+			return nil, &TypeError{e.Pos(), fmt.Sprintf("unbound variable %s", e.Name)}
+		}
+		return v, nil
+	case lang.IntLit:
+		return IntV{e.Val}, nil
+	case lang.BoolLit:
+		return BoolV{e.Val}, nil
+	case lang.Plus:
+		x, err := ev.Eval(env, m, e.X)
+		if err != nil {
+			return nil, err
+		}
+		y, err := ev.Eval(env, m, e.Y)
+		if err != nil {
+			return nil, err
+		}
+		xi, ok1 := x.(IntV)
+		yi, ok2 := y.(IntV)
+		if !ok1 || !ok2 {
+			return nil, &TypeError{e.Pos(), "+ applied to non-integers"}
+		}
+		return IntV{xi.Val + yi.Val}, nil
+	case lang.Eq:
+		x, err := ev.Eval(env, m, e.X)
+		if err != nil {
+			return nil, err
+		}
+		y, err := ev.Eval(env, m, e.Y)
+		if err != nil {
+			return nil, err
+		}
+		switch xv := x.(type) {
+		case IntV:
+			if yv, ok := y.(IntV); ok {
+				return BoolV{xv.Val == yv.Val}, nil
+			}
+		case BoolV:
+			if yv, ok := y.(BoolV); ok {
+				return BoolV{xv.Val == yv.Val}, nil
+			}
+		case LocV:
+			if yv, ok := y.(LocV); ok {
+				return BoolV{xv.Loc == yv.Loc}, nil
+			}
+		}
+		return nil, &TypeError{e.Pos(), "= applied to differently shaped values"}
+	case lang.Lt:
+		x, err := ev.Eval(env, m, e.X)
+		if err != nil {
+			return nil, err
+		}
+		y, err := ev.Eval(env, m, e.Y)
+		if err != nil {
+			return nil, err
+		}
+		xi, ok1 := x.(IntV)
+		yi, ok2 := y.(IntV)
+		if !ok1 || !ok2 {
+			return nil, &TypeError{e.Pos(), "< applied to non-integers"}
+		}
+		return BoolV{xi.Val < yi.Val}, nil
+	case lang.Not:
+		x, err := ev.Eval(env, m, e.X)
+		if err != nil {
+			return nil, err
+		}
+		xb, ok := x.(BoolV)
+		if !ok {
+			return nil, &TypeError{e.Pos(), "not applied to non-boolean"}
+		}
+		return BoolV{!xb.Val}, nil
+	case lang.And:
+		x, err := ev.Eval(env, m, e.X)
+		if err != nil {
+			return nil, err
+		}
+		xb, ok := x.(BoolV)
+		if !ok {
+			return nil, &TypeError{e.Pos(), "&& applied to non-boolean"}
+		}
+		y, err := ev.Eval(env, m, e.Y)
+		if err != nil {
+			return nil, err
+		}
+		yb, ok := y.(BoolV)
+		if !ok {
+			return nil, &TypeError{e.Pos(), "&& applied to non-boolean"}
+		}
+		return BoolV{xb.Val && yb.Val}, nil
+	case lang.If:
+		cv, err := ev.Eval(env, m, e.Cond)
+		if err != nil {
+			return nil, err
+		}
+		cb, ok := cv.(BoolV)
+		if !ok {
+			return nil, &TypeError{e.Pos(), "if condition not boolean"}
+		}
+		if cb.Val {
+			return ev.Eval(env, m, e.Then)
+		}
+		return ev.Eval(env, m, e.Else)
+	case lang.Let:
+		bv, err := ev.Eval(env, m, e.Bound)
+		if err != nil {
+			return nil, err
+		}
+		return ev.Eval(env.Extend(e.Name, bv), m, e.Body)
+	case lang.Ref:
+		xv, err := ev.Eval(env, m, e.X)
+		if err != nil {
+			return nil, err
+		}
+		return m.Alloc(xv), nil
+	case lang.Deref:
+		xv, err := ev.Eval(env, m, e.X)
+		if err != nil {
+			return nil, err
+		}
+		l, ok := xv.(LocV)
+		if !ok {
+			return nil, &TypeError{e.Pos(), "dereference of non-location"}
+		}
+		v, ok := m.Read(l)
+		if !ok {
+			return nil, &TypeError{e.Pos(), "dangling location"}
+		}
+		return v, nil
+	case lang.Assign:
+		xv, err := ev.Eval(env, m, e.X)
+		if err != nil {
+			return nil, err
+		}
+		l, ok := xv.(LocV)
+		if !ok {
+			return nil, &TypeError{e.Pos(), "assignment to non-location"}
+		}
+		yv, err := ev.Eval(env, m, e.Y)
+		if err != nil {
+			return nil, err
+		}
+		m.Write(l, yv)
+		return yv, nil
+	case lang.Fun:
+		return ClosV{Param: e.Param, Body: e.Body, Env: env}, nil
+	case lang.App:
+		fv, err := ev.Eval(env, m, e.F)
+		if err != nil {
+			return nil, err
+		}
+		cl, ok := fv.(ClosV)
+		if !ok {
+			return nil, &TypeError{e.Pos(), "application of non-function"}
+		}
+		av, err := ev.Eval(env, m, e.X)
+		if err != nil {
+			return nil, err
+		}
+		return ev.Eval(cl.Env.Extend(cl.Param, av), m, cl.Body)
+	case lang.TypedBlock:
+		return ev.Eval(env, m, e.Body)
+	case lang.SymBlock:
+		return ev.Eval(env, m, e.Body)
+	}
+	return nil, fmt.Errorf("concrete: unknown expression %T", e)
+}

@@ -1,0 +1,122 @@
+package concrete
+
+import (
+	"errors"
+	"testing"
+
+	"mix/internal/lang"
+)
+
+func eval(t *testing.T, src string) (Value, error) {
+	t.Helper()
+	ev := NewEvaluator()
+	return ev.Eval(EmptyEnv(), NewMemory(), lang.MustParse(src))
+}
+
+func wantInt(t *testing.T, src string, want int64) {
+	t.Helper()
+	v, err := eval(t, src)
+	if err != nil {
+		t.Fatalf("eval(%q): %v", src, err)
+	}
+	iv, ok := v.(IntV)
+	if !ok || iv.Val != want {
+		t.Fatalf("eval(%q) = %v, want %d", src, v, want)
+	}
+}
+
+func wantBool(t *testing.T, src string, want bool) {
+	t.Helper()
+	v, err := eval(t, src)
+	if err != nil {
+		t.Fatalf("eval(%q): %v", src, err)
+	}
+	bv, ok := v.(BoolV)
+	if !ok || bv.Val != want {
+		t.Fatalf("eval(%q) = %v, want %t", src, v, want)
+	}
+}
+
+func wantTypeError(t *testing.T, src string) {
+	t.Helper()
+	_, err := eval(t, src)
+	if !errors.Is(err, ErrTypeError) {
+		t.Fatalf("eval(%q) err = %v, want the error token", src, err)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	wantInt(t, "1 + 2 + 3", 6)
+	wantBool(t, "1 = 1", true)
+	wantBool(t, "1 = 2", false)
+	wantBool(t, "true = true", true)
+	wantBool(t, "not (true && false)", true)
+}
+
+func TestControl(t *testing.T) {
+	wantInt(t, "if true then 1 else 2", 1)
+	wantInt(t, "if false then 1 else 2", 2)
+	wantInt(t, "let x = 40 in x + 2", 42)
+	wantInt(t, "let x = 1 in let x = 2 in x", 2)
+}
+
+func TestReferences(t *testing.T) {
+	wantInt(t, "!(ref 5)", 5)
+	wantInt(t, "let x = ref 1 in let _ = x := 9 in !x", 9)
+	wantBool(t, "(ref 1) = (ref 1)", false) // distinct locations
+	wantBool(t, "let x = ref 1 in x = x", true)
+	// Aliasing: writes through one alias are seen through the other.
+	wantInt(t, "let x = ref 1 in let y = x in let _ = y := 5 in !x", 5)
+}
+
+func TestUntypedButRunnable(t *testing.T) {
+	// The concrete semantics is untyped: reusing a cell at another
+	// shape is fine as long as no operation misapplies.
+	wantBool(t, "let x = ref 1 in let _ = x := true in !x", true)
+}
+
+func TestErrorToken(t *testing.T) {
+	wantTypeError(t, "1 + true")
+	wantTypeError(t, "true + 1")
+	wantTypeError(t, "1 = true")
+	wantTypeError(t, "not 0")
+	wantTypeError(t, "0 && true")
+	wantTypeError(t, "if 0 then 1 else 2")
+	wantTypeError(t, "!3")
+	wantTypeError(t, "3 := 4")
+	wantTypeError(t, "nope")
+	// The error can hide behind a feasible branch.
+	wantTypeError(t, "if false then 1 else (1 + true)")
+	// ... and not fire behind an infeasible one.
+	wantInt(t, "if true then 1 else (1 + true)", 1)
+}
+
+func TestBlocksAreTransparent(t *testing.T) {
+	wantInt(t, "{t 1 + {s 2 s} t}", 3)
+	wantInt(t, "{s let x = ref 1 in {t !x t} s}", 1)
+}
+
+func TestShortCircuitIsNotUsed(t *testing.T) {
+	// && evaluates both operands (matching the type system's view);
+	// an ill-typed right operand errors even when the left is false.
+	wantTypeError(t, "false && (not 1)")
+}
+
+func TestFuel(t *testing.T) {
+	ev := &Evaluator{Fuel: 2}
+	_, err := ev.Eval(EmptyEnv(), NewMemory(), lang.MustParse("1 + (2 + (3 + 4))"))
+	if !errors.Is(err, ErrFuel) {
+		t.Fatalf("got %v, want fuel error", err)
+	}
+}
+
+func TestMemorySize(t *testing.T) {
+	ev := NewEvaluator()
+	m := NewMemory()
+	if _, err := ev.Eval(EmptyEnv(), m, lang.MustParse("let a = ref 1 in ref 2")); err != nil {
+		t.Fatal(err)
+	}
+	if m.Size() != 2 {
+		t.Fatalf("Size = %d, want 2", m.Size())
+	}
+}

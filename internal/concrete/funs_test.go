@@ -1,0 +1,63 @@
+package concrete
+
+import (
+	"testing"
+
+	"mix/internal/lang"
+)
+
+func mustParse(t *testing.T, src string) lang.Expr {
+	t.Helper()
+	e, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestLt(t *testing.T) {
+	wantBool(t, "1 < 2", true)
+	wantBool(t, "2 < 1", false)
+	wantBool(t, "0 < 0", false)
+	wantTypeError(t, "true < 1")
+	wantTypeError(t, "1 < false")
+}
+
+func TestClosures(t *testing.T) {
+	wantInt(t, "(fun x -> x + 1) 4", 5)
+	wantInt(t, "(fun x -> fun y -> x + y) 1 2", 3)
+	wantInt(t, "let id = fun x -> x in id 7", 7)
+	wantInt(t, "let a = 10 in let f = fun x -> x + a in let a = 99 in f 1", 11)
+	wantBool(t, "let id = fun x -> x in id true", true)
+	wantInt(t, "let twice = fun f -> fun x -> f (f x) in twice (fun n -> n + 3) 1", 7)
+}
+
+func TestClosuresInStore(t *testing.T) {
+	wantInt(t, "let r = ref (fun x -> x + 1) in (!r) 4", 5)
+	wantInt(t, `let r = ref (fun x -> x + 1) in
+		let _ = r := (fun x -> x + 100) in (!r) 1`, 101)
+}
+
+func TestApplicationErrors(t *testing.T) {
+	wantTypeError(t, "1 2")
+	wantTypeError(t, "true 2")
+	wantTypeError(t, "(ref 1) 2")
+}
+
+func TestAnnotationIgnoredAtRuntime(t *testing.T) {
+	// The concrete semantics is untyped; annotations are inert.
+	wantInt(t, "(fun x : int -> x) 3", 3)
+	wantBool(t, "(fun x : int -> x) true", true)
+}
+
+func TestLandinKnotHitsFuel(t *testing.T) {
+	ev := &Evaluator{Fuel: 5000}
+	src := `let r = ref (fun x -> x) in
+		let f = fun n -> (!r) n in
+		let _ = r := f in
+		f 0`
+	_, err := ev.Eval(EmptyEnv(), NewMemory(), mustParse(t, src))
+	if err != ErrFuel {
+		t.Fatalf("got %v, want fuel exhaustion", err)
+	}
+}

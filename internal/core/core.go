@@ -1,0 +1,324 @@
+// Package core implements MIX itself: the two mix rules of the
+// paper's Figure 4 that connect an off-the-shelf type checker
+// (internal/types) and an off-the-shelf symbolic executor
+// (internal/sym).
+//
+//   - TSYMBLOCK type checks a symbolic block {s e s}: it builds a
+//     symbolic environment of fresh variables typed by Γ, runs the
+//     executor from ⟨true; μ⟩, demands every surviving path agree on
+//     one type and leave memory consistent, and demands the path
+//     conditions be exhaustive (their disjunction a tautology).
+//   - SETYPBLOCK symbolically executes a typed block {t e t}: it
+//     abstracts Σ to a typing environment (⊢ Σ : Γ), requires the
+//     current memory be consistent, type checks the body, and returns
+//     a fresh symbolic value of the derived type with a havocked
+//     memory μ′.
+//
+// Neither underlying analysis knows about the other; each reaches the
+// other only through the hook it already exposes.
+package core
+
+import (
+	"fmt"
+
+	"mix/internal/lang"
+	"mix/internal/solver"
+	"mix/internal/sym"
+	"mix/internal/types"
+)
+
+// Options configures a mixed analysis. The zero value gives the sound
+// forking configuration used throughout the paper's formalism.
+type Options struct {
+	// Unsound replaces the exhaustive(...) tautology check with the
+	// paper's "good enough check" (namely none), modeling how symbolic
+	// execution is typically deployed for bug finding.
+	Unsound bool
+	// IfMode selects forking (SEIF-TRUE/FALSE) or deferring
+	// (SEIF-DEFER) at conditionals.
+	IfMode sym.IfMode
+	// NoConcreteFold disables the SEPLUS-CONC style partial-evaluation
+	// rules.
+	NoConcreteFold bool
+	// SolverAddrEq uses the solver to decide address equality in the
+	// OVERWRITE-OK rule instead of syntactic equivalence.
+	SolverAddrEq bool
+	// MaxPaths bounds symbolic paths per block (0 = default).
+	MaxPaths int
+	// EffectAware enables the paper's Section 3.2 refinement: "if we
+	// were to use a type and effect system rather than just a type
+	// system, we could avoid introducing a completely fresh memory μ′
+	// in SETYPBLOCK". A simple syntactic effect analysis skips the
+	// memory havoc when the typed block provably performs no writes.
+	EffectAware bool
+	// Concolic enables the hybrid-concolic SEVAR variant (Section
+	// 3.1): symbolic-variable lookups return concrete values recorded
+	// in the path condition. Only meaningful together with Unsound,
+	// since a single concolic path cannot be exhaustive.
+	Concolic bool
+}
+
+// Report records one symbolic-execution finding and whether its path
+// was feasible (infeasible findings are discarded, which is exactly
+// how MIX eliminates false positives).
+type Report struct {
+	Pos      lang.Pos
+	Msg      string
+	Guard    string
+	Feasible bool
+}
+
+func (r Report) String() string {
+	verdict := "discarded (infeasible path)"
+	if r.Feasible {
+		verdict = "error"
+	}
+	return fmt.Sprintf("%s: %s: %s [under %s]", r.Pos, verdict, r.Msg, r.Guard)
+}
+
+// Checker runs a mixed analysis. Construct with New.
+type Checker struct {
+	opts    Options
+	typs    *types.Checker
+	exec    *sym.Executor
+	solv    *solver.Solver
+	Reports []Report
+}
+
+// New builds a mixed checker: a standard type checker and a standard
+// symbolic executor, each given a hook that invokes the corresponding
+// mix rule.
+func New(opts Options) *Checker {
+	c := &Checker{opts: opts, solv: solver.New()}
+	c.typs = &types.Checker{SymBlock: c.tSymBlock}
+	c.exec = sym.NewExecutor()
+	c.exec.Mode = opts.IfMode
+	c.exec.ConcreteFold = !opts.NoConcreteFold
+	c.exec.Concolic = opts.Concolic
+	if opts.MaxPaths > 0 {
+		c.exec.MaxPaths = opts.MaxPaths
+	}
+	c.exec.TypBlock = c.seTypBlock
+	c.exec.MemCheck = c.memOK
+	return c
+}
+
+// Solver exposes the underlying solver (for statistics).
+func (c *Checker) Solver() *solver.Solver { return c.solv }
+
+// Executor exposes the underlying symbolic executor (for statistics).
+func (c *Checker) Executor() *sym.Executor { return c.exec }
+
+// Check analyzes e as if wrapped in a typed block at the outermost
+// scope ("MIX can handle either case").
+func (c *Checker) Check(env *types.Env, e lang.Expr) (types.Type, error) {
+	return c.typs.Check(env, e)
+}
+
+// CheckSymbolic analyzes e as if wrapped in a symbolic block at the
+// outermost scope.
+func (c *Checker) CheckSymbolic(env *types.Env, e lang.Expr) (types.Type, error) {
+	return c.tSymBlock(env, e)
+}
+
+// tSymBlock is the TSYMBLOCK rule.
+func (c *Checker) tSymBlock(env *types.Env, e lang.Expr) (types.Type, error) {
+	// Σ(x) = α_x : Γ(x) for all x ∈ dom(Γ).
+	senv := sym.EmptyEnv()
+	for _, name := range env.Names() {
+		ty, _ := env.Lookup(name)
+		senv = senv.Extend(name, c.exec.Fresh.Var(ty, name))
+	}
+	// S = ⟨true; μ⟩ with μ fresh.
+	st := c.exec.InitialState()
+	results, err := c.exec.Run(senv, st, e)
+	if err != nil {
+		return nil, err
+	}
+
+	var okResults []sym.Result
+	for _, r := range results {
+		if r.Err == nil {
+			okResults = append(okResults, r)
+			continue
+		}
+		feasible, ferr := c.feasible(r.Err.State.Guard)
+		if ferr != nil {
+			return nil, fmt.Errorf("core: feasibility check failed: %w", ferr)
+		}
+		c.Reports = append(c.Reports, Report{
+			Pos: r.Err.Pos, Msg: r.Err.Msg,
+			Guard: r.Err.State.Guard.String(), Feasible: feasible,
+		})
+		if feasible {
+			return nil, &types.Error{Pos: r.Err.Pos, Msg: r.Err.Msg}
+		}
+	}
+	if len(okResults) == 0 {
+		return nil, &types.Error{Pos: e.Pos(), Msg: "symbolic block has no surviving execution paths"}
+	}
+
+	// All paths must produce one type τ and a consistent memory.
+	ty := okResults[0].Val.T
+	for _, r := range okResults[1:] {
+		if !types.Equal(r.Val.T, ty) {
+			return nil, &types.Error{Pos: e.Pos(),
+				Msg: fmt.Sprintf("symbolic block paths disagree on type: %s vs %s", ty, r.Val.T)}
+		}
+	}
+	for _, r := range okResults {
+		if err := c.memOK(r.State); err != nil {
+			// ⊢ m(S_i) ok failed on this path; a feasibility check
+			// applies just as for type errors.
+			feasible, ferr := c.feasible(r.State.Guard)
+			if ferr != nil {
+				return nil, fmt.Errorf("core: feasibility check failed: %w", ferr)
+			}
+			c.Reports = append(c.Reports, Report{
+				Pos: e.Pos(), Msg: err.Error(),
+				Guard: r.State.Guard.String(), Feasible: feasible,
+			})
+			if feasible {
+				return nil, &types.Error{Pos: e.Pos(),
+					Msg: fmt.Sprintf("memory inconsistent at end of symbolic block: %v", err)}
+			}
+		}
+	}
+
+	// exhaustive(g(S_1), ..., g(S_n)).
+	if !c.opts.Unsound {
+		tr := sym.NewTranslator()
+		guards := make([]solver.Formula, 0, len(okResults))
+		for _, r := range okResults {
+			g, err := tr.Formula(r.State.Guard)
+			if err != nil {
+				return nil, fmt.Errorf("core: translating guard: %w", err)
+			}
+			guards = append(guards, g)
+		}
+		// Valid(g1 ∨ ... ∨ gn) given the side constraints: check that
+		// ¬(g1 ∨ ... ∨ gn) ∧ sides is unsatisfiable.
+		counter, err := c.solv.Sat(solver.NewAnd(solver.NewNot(solver.Disj(guards...)), tr.Sides()))
+		if err != nil {
+			return nil, fmt.Errorf("core: exhaustiveness check failed: %w", err)
+		}
+		if counter {
+			return nil, &types.Error{Pos: e.Pos(),
+				Msg: "symbolic block executions are not exhaustive"}
+		}
+	}
+	return ty, nil
+}
+
+// seTypBlock is the SETYPBLOCK rule.
+func (c *Checker) seTypBlock(env *sym.Env, st sym.State, e lang.Expr) (sym.Result, error) {
+	// ⊢ Σ : Γ — abstract each symbolic value to its type.
+	tenv := types.EmptyEnv()
+	for _, name := range env.Names() {
+		v, _ := env.Lookup(name)
+		tenv = tenv.Extend(name, v.T)
+	}
+	// ⊢ m(S) ok: the typed block relies purely on type information, so
+	// the memory must be consistently typed on entry.
+	if err := c.memOK(st); err != nil {
+		return sym.Result{State: st, Err: &sym.PathError{
+			Pos: e.Pos(), Msg: fmt.Sprintf("memory inconsistent entering typed block: %v", err), State: st,
+		}}, nil
+	}
+	ty, err := c.typs.Check(tenv, e)
+	if err != nil {
+		// A type error inside a typed block is a path-conditioned
+		// finding: if the enclosing symbolic path is infeasible, the
+		// block is dead and the error is discarded (Section 2's
+		// unreachable-code example).
+		return sym.Result{State: st, Err: &sym.PathError{
+			Pos: e.Pos(), Msg: err.Error(), State: st,
+		}}, nil
+	}
+	// The block evaluates to a fresh α : τ; memory is havocked to a
+	// fresh μ′ since the type system does not track writes — unless
+	// the effect analysis proves the block write-free (Section 3.2's
+	// type-and-effect refinement).
+	out := st
+	if !c.opts.EffectAware || mayWrite(e) {
+		out.Mem = c.exec.Fresh.Memory()
+	}
+	return sym.Result{State: out, Val: c.exec.Fresh.Var(ty, "typblock")}, nil
+}
+
+// mayWrite is a syntactic effect analysis: it reports whether e can
+// write to memory. Applications are conservatively effectful (the
+// callee's body is unknown without an effect system proper), as are
+// nested symbolic blocks.
+func mayWrite(e lang.Expr) bool {
+	switch e := e.(type) {
+	case lang.Var, lang.IntLit, lang.BoolLit, lang.Fun:
+		// A function literal defers its body's effects to the
+		// application site, which is itself conservative.
+		return false
+	case lang.Plus:
+		return mayWrite(e.X) || mayWrite(e.Y)
+	case lang.Eq:
+		return mayWrite(e.X) || mayWrite(e.Y)
+	case lang.Lt:
+		return mayWrite(e.X) || mayWrite(e.Y)
+	case lang.Not:
+		return mayWrite(e.X)
+	case lang.And:
+		return mayWrite(e.X) || mayWrite(e.Y)
+	case lang.If:
+		return mayWrite(e.Cond) || mayWrite(e.Then) || mayWrite(e.Else)
+	case lang.Let:
+		return mayWrite(e.Bound) || mayWrite(e.Body)
+	case lang.Deref:
+		return mayWrite(e.X)
+	case lang.TypedBlock:
+		return mayWrite(e.Body)
+	}
+	// Assign, Ref (allocation), App (unknown callee body), SymBlock:
+	// conservatively effectful.
+	return true
+}
+
+// memOK applies ⊢ m ok with the configured address-equality oracle.
+func (c *Checker) memOK(st sym.State) error {
+	if !c.opts.SolverAddrEq {
+		return sym.MemOK(st.Mem)
+	}
+	guard := st.Guard
+	eq := func(a, b sym.Val) bool {
+		if sym.ValEqual(a, b) {
+			return true
+		}
+		if !types.Equal(a.T, b.T) {
+			return false
+		}
+		tr := sym.NewTranslator()
+		ta, err := tr.Term(a)
+		if err != nil {
+			return false
+		}
+		tb, err := tr.Term(b)
+		if err != nil {
+			return false
+		}
+		g, err := tr.Formula(guard)
+		if err != nil {
+			return false
+		}
+		// Valid under the path condition: g ∧ sides ∧ a≠b unsat.
+		sat, err := c.solv.Sat(solver.Conj(g, tr.Sides(), solver.Neq(ta, tb)))
+		return err == nil && !sat
+	}
+	return sym.MemOKWith(st.Mem, eq)
+}
+
+// feasible checks whether a path condition is satisfiable.
+func (c *Checker) feasible(g sym.Val) (bool, error) {
+	tr := sym.NewTranslator()
+	f, err := tr.Formula(g)
+	if err != nil {
+		return false, err
+	}
+	return c.solv.Sat(solver.NewAnd(f, tr.Sides()))
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"mix/internal/corpus"
+	"mix/internal/lang"
+	"mix/internal/types"
+)
+
+func TestContextSensitivityIdiom(t *testing.T) {
+	// The paper's id example: an unannotated identity applied at two
+	// types inside a symbolic block; pure typing cannot check it.
+	src := "{s let id = fun x -> x in (id 3) + (if id true then 1 else 0) s}"
+	ty, err := checkTyped(t, src)
+	wantOK(t, ty, err, types.Int)
+
+	var pure types.Checker
+	_, err = pure.Check(types.EmptyEnv(),
+		lang.MustParse("let id = fun x -> x in (id 3) + (if id true then 1 else 0)"))
+	wantErr(t, err, "needs a type annotation")
+}
+
+func TestDivIdiom(t *testing.T) {
+	// div returns bool only when the divisor is zero; symbolic
+	// execution checks each call in its own context.
+	src := `{s let div = fun x -> fun y ->
+		if y = 0 then true else x + y in (div 7 4) + 1 s}`
+	ty, err := checkTyped(t, src)
+	wantOK(t, ty, err, types.Int)
+
+	// Calling with zero makes the bool path feasible and the use of
+	// the result as an int a real error.
+	bad := `{s let div = fun x -> fun y ->
+		if y = 0 then true else x + y in (div 7 0) + 1 s}`
+	_, err = checkTyped(t, bad)
+	wantErr(t, err, "operand of +")
+}
+
+func TestDivSymbolicDivisorForks(t *testing.T) {
+	// With a symbolic divisor both return types are feasible; using
+	// the result as an int must be rejected (the bool path is real).
+	c := New(Options{})
+	env := types.EmptyEnv().Extend("y", types.Int)
+	src := `let div = fun x -> fun d ->
+		if d = 0 then true else x + d in (div 7 y) + 1`
+	_, err := c.CheckSymbolic(env, lang.MustParse(src))
+	wantErr(t, err, "operand of +")
+
+	// Guarding the call restores precision.
+	guarded := `let div = fun x -> fun d ->
+		if d = 0 then true else x + d in
+		if y = 0 then 0 else (div 7 y) + 1`
+	c2 := New(Options{})
+	ty, err := c2.CheckSymbolic(env, lang.MustParse(guarded))
+	wantOK(t, ty, err, types.Int)
+}
+
+func TestUnknownFunctionNeedsTypedBlock(t *testing.T) {
+	env := types.EmptyEnv().Extend("extfun", types.Fun(types.Int, types.Int))
+	// Bare symbolic application of an unknown function fails...
+	c := New(Options{})
+	_, err := c.CheckSymbolic(env, lang.MustParse("extfun 3"))
+	wantErr(t, err, "unknown function")
+	// ...but wrapping the call in a typed block models the result by
+	// its type (the paper's "helping symbolic execution").
+	c2 := New(Options{})
+	ty, err := c2.CheckSymbolic(env, lang.MustParse("{t extfun 3 t} + 1"))
+	wantOK(t, ty, err, types.Int)
+}
+
+func TestSignTrichotomyWithLt(t *testing.T) {
+	// The paper's Section 2 sign example, now with a real < operator:
+	// the three path conditions are exhaustive only together.
+	c := New(Options{})
+	env := types.EmptyEnv().Extend("x", types.Int)
+	src := "if 0 < x then {t 1 t} else (if x = 0 then {t 0 t} else {t 2 t})"
+	ty, err := c.CheckSymbolic(env, lang.MustParse(src))
+	wantOK(t, ty, err, types.Int)
+}
+
+func TestLtRefinementProvesDeadCode(t *testing.T) {
+	// 0 < x and x < 0 cannot both hold; the nested ill-typed block is
+	// dead and must be discarded by the solver.
+	c := New(Options{})
+	env := types.EmptyEnv().Extend("x", types.Int)
+	src := "if 0 < x then (if x < 0 then {t 1 + true t} else {t 1 t}) else {t 2 t}"
+	ty, err := c.CheckSymbolic(env, lang.MustParse(src))
+	wantOK(t, ty, err, types.Int)
+	found := false
+	for _, r := range c.Reports {
+		if !r.Feasible && strings.Contains(r.Msg, "operand of +") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected discarded report, got %v", c.Reports)
+	}
+}
+
+func TestAllIdiomsEndToEnd(t *testing.T) {
+	for _, idiom := range corpus.CoreIdioms {
+		idiom := idiom
+		t.Run(idiom.Name, func(t *testing.T) {
+			env := types.EmptyEnv()
+			for _, p := range idiom.Env {
+				te, err := lang.ParseType(p[1])
+				if err != nil {
+					t.Fatal(err)
+				}
+				ty, err := types.FromExpr(te)
+				if err != nil {
+					t.Fatal(err)
+				}
+				env = env.Extend(p[0], ty)
+			}
+			// MIX accepts the annotated program.
+			c := New(Options{})
+			if _, err := c.Check(env, lang.MustParse(idiom.Source)); err != nil {
+				t.Fatalf("MIX rejected %s: %v", idiom.Name, err)
+			}
+			// Pure typing agrees with the idiom's expectation on the
+			// stripped program.
+			var pure types.Checker
+			_, err := pure.Check(env, lang.MustParse(idiom.Stripped))
+			if idiom.PureTypeRejects && err == nil {
+				t.Fatalf("pure typing should reject stripped %s", idiom.Name)
+			}
+			if !idiom.PureTypeRejects && err != nil {
+				t.Fatalf("pure typing should accept stripped %s: %v", idiom.Name, err)
+			}
+		})
+	}
+}
+
+func TestClosureThroughTypedBoundaryIsAbstracted(t *testing.T) {
+	// A closure entering a typed block is abstracted to its (unknown)
+	// type; using it there is rejected — the lexical-scoping
+	// limitation the paper acknowledges in Section 1.
+	src := "{s let id = fun x -> x in {t id 3 t} s}"
+	_, err := checkTyped(t, src)
+	wantErr(t, err, "application of non-function")
+}

@@ -1,0 +1,96 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+
+	"mix/internal/lang"
+	"mix/internal/microc"
+)
+
+func TestCasesParse(t *testing.T) {
+	for _, c := range append(Cases, Case4NoTyped) {
+		if _, err := microc.Parse(c.Source); err != nil {
+			t.Errorf("%s does not parse: %v", c.Name, err)
+		}
+		if c.Entry != "main" {
+			t.Errorf("%s: unexpected entry %s", c.Name, c.Entry)
+		}
+	}
+}
+
+func TestCase4VariantDiffers(t *testing.T) {
+	if Case4.Source == Case4NoTyped.Source {
+		t.Fatal("Case4NoTyped must strip the MIX(typed) annotation")
+	}
+	prog := microc.MustParse(Case4NoTyped.Source)
+	f, ok := prog.Func("sysutil_exit_BLOCK")
+	if !ok || f.Mix != microc.MixNone {
+		t.Fatalf("annotation not stripped: %+v", f)
+	}
+}
+
+func TestIdiomsParse(t *testing.T) {
+	for _, idiom := range CoreIdioms {
+		if _, err := lang.Parse(idiom.Source); err != nil {
+			t.Errorf("%s source: %v", idiom.Name, err)
+		}
+		if _, err := lang.Parse(idiom.Stripped); err != nil {
+			t.Errorf("%s stripped: %v", idiom.Name, err)
+		}
+		if strings.Contains(idiom.Stripped, "{s") || strings.Contains(idiom.Stripped, "{t") {
+			t.Errorf("%s stripped still contains blocks", idiom.Name)
+		}
+	}
+}
+
+func TestSyntheticVsftpdShape(t *testing.T) {
+	for _, k := range []int{0, 1, 3} {
+		src := SyntheticVsftpd(6, k)
+		prog, err := microc.Parse(src)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		symbolic := 0
+		for _, f := range prog.Funcs {
+			if f.Mix == microc.MixSymbolic {
+				symbolic++
+			}
+		}
+		if symbolic != k {
+			t.Fatalf("k=%d: got %d symbolic functions", k, symbolic)
+		}
+		if _, ok := prog.Func("main"); !ok {
+			t.Fatal("main missing")
+		}
+	}
+}
+
+func TestLadderShape(t *testing.T) {
+	src, env := Ladder(5)
+	if len(env) != 5 {
+		t.Fatalf("env = %v", env)
+	}
+	if _, err := lang.Parse(src); err != nil {
+		t.Fatalf("ladder does not parse: %v", err)
+	}
+}
+
+func TestDeepConditionalsParse(t *testing.T) {
+	plain, mixed, env := DeepConditionals(4)
+	if _, err := lang.Parse(plain); err != nil {
+		t.Fatalf("plain: %v", err)
+	}
+	if _, err := lang.Parse(mixed); err != nil {
+		t.Fatalf("mixed: %v", err)
+	}
+	if len(env) != 5 { // 4 booleans + x
+		t.Fatalf("env = %v", env)
+	}
+	if !strings.Contains(mixed, "{s") || !strings.Contains(mixed, "{t") {
+		t.Fatal("mixed variant must contain blocks")
+	}
+	if strings.Contains(plain, "{s") {
+		t.Fatal("plain variant must not contain blocks")
+	}
+}

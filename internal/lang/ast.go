@@ -1,0 +1,292 @@
+// Package lang defines the core MIX source language of the paper's
+// Figure 1: an ML-like expression language with integers, booleans,
+// arithmetic and boolean operators, conditionals, let-bindings,
+// updatable references, and the two block forms {t e t} and {s e s}
+// that select type checking or symbolic execution for a subexpression.
+package lang
+
+import "fmt"
+
+// Pos is a source position (1-based line and column).
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Expr is a core-language expression.
+type Expr interface {
+	isExpr()
+	// Pos returns the source position of the expression, or the zero
+	// Pos for synthesized expressions.
+	Pos() Pos
+	String() string
+}
+
+type base struct{ P Pos }
+
+func (b base) Pos() Pos { return b.P }
+
+// Var is a variable reference x.
+type Var struct {
+	base
+	Name string
+}
+
+// IntLit is an integer constant n.
+type IntLit struct {
+	base
+	Val int64
+}
+
+// BoolLit is true or false.
+type BoolLit struct {
+	base
+	Val bool
+}
+
+// Plus is integer addition e + e.
+type Plus struct {
+	base
+	X, Y Expr
+}
+
+// Eq is equality e = e (over two operands of the same type).
+type Eq struct {
+	base
+	X, Y Expr
+}
+
+// Lt is integer comparison e < e (an extension beyond the paper's
+// Figure 1 grammar, needed for its Section 2 sign-refinement example).
+type Lt struct {
+	base
+	X, Y Expr
+}
+
+// Not is boolean negation.
+type Not struct {
+	base
+	X Expr
+}
+
+// And is boolean conjunction e && e.
+type And struct {
+	base
+	X, Y Expr
+}
+
+// If is the conditional if e then e else e.
+type If struct {
+	base
+	Cond, Then, Else Expr
+}
+
+// Let is let x = e1 in e2.
+type Let struct {
+	base
+	Name  string
+	Bound Expr
+	Body  Expr
+}
+
+// Ref is reference construction ref e.
+type Ref struct {
+	base
+	X Expr
+}
+
+// Deref is dereference !e.
+type Deref struct {
+	base
+	X Expr
+}
+
+// Assign is assignment e1 := e2; it evaluates to the assigned value.
+type Assign struct {
+	base
+	X, Y Expr
+}
+
+// Fun is a function literal fun x -> e or fun x : ty -> e. The
+// parameter annotation is required by the type checker but optional
+// for the symbolic executor, which is dynamically typed — this is the
+// paper's observation that symbolic blocks can check code "for which
+// fully general parametric polymorphic type inference might be
+// difficult" (Section 2, context sensitivity).
+type Fun struct {
+	base
+	Param string
+	// Ann is the optional parameter type annotation (nil if omitted).
+	Ann  TypeExpr
+	Body Expr
+}
+
+// App is function application e1 e2 (juxtaposition).
+type App struct {
+	base
+	F, X Expr
+}
+
+// TypeExpr is surface type syntax: int, bool, τ ref, τ -> τ.
+type TypeExpr interface {
+	isTypeExpr()
+	String() string
+}
+
+// TyInt is the int type syntax.
+type TyInt struct{}
+
+// TyBool is the bool type syntax.
+type TyBool struct{}
+
+// TyRef is the τ ref type syntax.
+type TyRef struct{ Elem TypeExpr }
+
+// TyFun is the τ -> τ type syntax.
+type TyFun struct{ Param, Ret TypeExpr }
+
+func (TyInt) isTypeExpr()  {}
+func (TyBool) isTypeExpr() {}
+func (TyRef) isTypeExpr()  {}
+func (TyFun) isTypeExpr()  {}
+
+func (TyInt) String() string   { return "int" }
+func (TyBool) String() string  { return "bool" }
+func (t TyRef) String() string { return t.Elem.String() + " ref" }
+func (t TyFun) String() string {
+	return "(" + t.Param.String() + " -> " + t.Ret.String() + ")"
+}
+
+// TypedBlock is {t e t}: analyze e with the type checker.
+type TypedBlock struct {
+	base
+	Body Expr
+}
+
+// SymBlock is {s e s}: analyze e with the symbolic executor.
+type SymBlock struct {
+	base
+	Body Expr
+}
+
+func (Var) isExpr()        {}
+func (IntLit) isExpr()     {}
+func (BoolLit) isExpr()    {}
+func (Plus) isExpr()       {}
+func (Eq) isExpr()         {}
+func (Lt) isExpr()         {}
+func (Not) isExpr()        {}
+func (And) isExpr()        {}
+func (If) isExpr()         {}
+func (Let) isExpr()        {}
+func (Ref) isExpr()        {}
+func (Deref) isExpr()      {}
+func (Assign) isExpr()     {}
+func (Fun) isExpr()        {}
+func (App) isExpr()        {}
+func (TypedBlock) isExpr() {}
+func (SymBlock) isExpr()   {}
+
+func (e Var) String() string    { return e.Name }
+func (e IntLit) String() string { return fmt.Sprintf("%d", e.Val) }
+func (e BoolLit) String() string {
+	if e.Val {
+		return "true"
+	}
+	return "false"
+}
+func (e Plus) String() string { return "(" + e.X.String() + " + " + e.Y.String() + ")" }
+func (e Eq) String() string   { return "(" + e.X.String() + " = " + e.Y.String() + ")" }
+func (e Lt) String() string   { return "(" + e.X.String() + " < " + e.Y.String() + ")" }
+func (e Not) String() string  { return "(not " + e.X.String() + ")" }
+func (e And) String() string  { return "(" + e.X.String() + " && " + e.Y.String() + ")" }
+func (e If) String() string {
+	return "(if " + e.Cond.String() + " then " + e.Then.String() + " else " + e.Else.String() + ")"
+}
+func (e Let) String() string {
+	return "(let " + e.Name + " = " + e.Bound.String() + " in " + e.Body.String() + ")"
+}
+func (e Fun) String() string {
+	if e.Ann != nil {
+		return "(fun " + e.Param + " : " + e.Ann.String() + " -> " + e.Body.String() + ")"
+	}
+	return "(fun " + e.Param + " -> " + e.Body.String() + ")"
+}
+func (e App) String() string        { return "(" + e.F.String() + " " + e.X.String() + ")" }
+func (e Ref) String() string        { return "(ref " + e.X.String() + ")" }
+func (e Deref) String() string      { return "(!" + e.X.String() + ")" }
+func (e Assign) String() string     { return "(" + e.X.String() + " := " + e.Y.String() + ")" }
+func (e TypedBlock) String() string { return "{t " + e.Body.String() + " t}" }
+func (e SymBlock) String() string   { return "{s " + e.Body.String() + " s}" }
+
+// Convenience constructors for programmatic AST building (used heavily
+// by tests, the program generator, and the example programs).
+
+// V builds a variable reference.
+func V(name string) Expr { return Var{Name: name} }
+
+// I builds an integer literal.
+func I(v int64) Expr { return IntLit{Val: v} }
+
+// B builds a boolean literal.
+func B(v bool) Expr { return BoolLit{Val: v} }
+
+// AddE builds e1 + e2.
+func AddE(x, y Expr) Expr { return Plus{X: x, Y: y} }
+
+// EqE builds e1 = e2.
+func EqE(x, y Expr) Expr { return Eq{X: x, Y: y} }
+
+// LtE builds e1 < e2.
+func LtE(x, y Expr) Expr { return Lt{X: x, Y: y} }
+
+// FunE builds fun param : ann -> body (nil ann for unannotated).
+func FunE(param string, ann TypeExpr, body Expr) Expr {
+	return Fun{Param: param, Ann: ann, Body: body}
+}
+
+// AppE builds f x.
+func AppE(f, x Expr) Expr { return App{F: f, X: x} }
+
+// NotE builds not e.
+func NotE(x Expr) Expr { return Not{X: x} }
+
+// AndE builds e1 && e2.
+func AndE(x, y Expr) Expr { return And{X: x, Y: y} }
+
+// IfE builds if c then t else f.
+func IfE(c, t, f Expr) Expr { return If{Cond: c, Then: t, Else: f} }
+
+// LetE builds let x = b in body.
+func LetE(name string, bound, body Expr) Expr {
+	return Let{Name: name, Bound: bound, Body: body}
+}
+
+// RefE builds ref e.
+func RefE(x Expr) Expr { return Ref{X: x} }
+
+// DerefE builds !e.
+func DerefE(x Expr) Expr { return Deref{X: x} }
+
+// AssignE builds e1 := e2.
+func AssignE(x, y Expr) Expr { return Assign{X: x, Y: y} }
+
+// TB builds a typed block {t e t}.
+func TB(body Expr) Expr { return TypedBlock{Body: body} }
+
+// SB builds a symbolic block {s e s}.
+func SB(body Expr) Expr { return SymBlock{Body: body} }
+
+// Seq builds "e1; e2" as let _ = e1 in e2 (the language has no
+// dedicated sequencing form).
+func Seq(es ...Expr) Expr {
+	if len(es) == 0 {
+		panic("lang.Seq: empty sequence")
+	}
+	acc := es[len(es)-1]
+	for i := len(es) - 2; i >= 0; i-- {
+		acc = LetE("_", es[i], acc)
+	}
+	return acc
+}

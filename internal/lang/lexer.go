@@ -1,0 +1,232 @@
+package lang
+
+import (
+	"fmt"
+	"unicode"
+)
+
+// tokenKind enumerates lexical token kinds of the core language.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokInt
+	tokIdent
+	tokLet     // let
+	tokIn      // in
+	tokIf      // if
+	tokThen    // then
+	tokElse    // else
+	tokRef     // ref
+	tokNot     // not
+	tokTrue    // true
+	tokFalse   // false
+	tokPlus    // +
+	tokEq      // =
+	tokLt      // <
+	tokAndAnd  // &&
+	tokBang    // !
+	tokAssign  // :=
+	tokColon   // :
+	tokArrow   // ->
+	tokFun     // fun
+	tokLParen  // (
+	tokRParen  // )
+	tokLBraceT // {t
+	tokRBraceT // t}
+	tokLBraceS // {s
+	tokRBraceS // s}
+)
+
+var tokenNames = map[tokenKind]string{
+	tokEOF: "end of input", tokInt: "integer", tokIdent: "identifier",
+	tokLet: "'let'", tokIn: "'in'", tokIf: "'if'", tokThen: "'then'",
+	tokElse: "'else'", tokRef: "'ref'", tokNot: "'not'", tokTrue: "'true'",
+	tokFalse: "'false'", tokPlus: "'+'", tokEq: "'='", tokLt: "'<'",
+	tokAndAnd: "'&&'", tokBang: "'!'", tokAssign: "':='", tokColon: "':'",
+	tokArrow: "'->'", tokFun: "'fun'", tokLParen: "'('", tokRParen: "')'",
+	tokLBraceT: "'{t'", tokRBraceT: "'t}'", tokLBraceS: "'{s'", tokRBraceS: "'s}'",
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  Pos
+}
+
+var keywords = map[string]tokenKind{
+	"let": tokLet, "in": tokIn, "if": tokIf, "then": tokThen,
+	"else": tokElse, "ref": tokRef, "not": tokNot,
+	"true": tokTrue, "false": tokFalse, "fun": tokFun,
+}
+
+// SyntaxError reports a lexical or parse error with its position.
+type SyntaxError struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("%s: syntax error: %s", e.Pos, e.Msg)
+}
+
+type lexer struct {
+	src  []rune
+	i    int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: []rune(src), line: 1, col: 1}
+}
+
+func (l *lexer) peek() rune {
+	if l.i >= len(l.src) {
+		return 0
+	}
+	return l.src[l.i]
+}
+
+func (l *lexer) peekAt(off int) rune {
+	if l.i+off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.i+off]
+}
+
+func (l *lexer) advance() rune {
+	r := l.src[l.i]
+	l.i++
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func (l *lexer) pos() Pos { return Pos{l.line, l.col} }
+
+func isIdentStart(r rune) bool { return r == '_' || unicode.IsLetter(r) }
+func isIdentRune(r rune) bool  { return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r) }
+
+// next returns the next token. Comments run from "--" to end of line.
+func (l *lexer) next() (token, error) {
+	for l.i < len(l.src) {
+		r := l.peek()
+		switch {
+		case r == ' ' || r == '\t' || r == '\r' || r == '\n':
+			l.advance()
+		case r == '-' && l.peekAt(1) == '-' && l.peekAt(2) != '>':
+			for l.i < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		default:
+			goto lexeme
+		}
+	}
+	return token{kind: tokEOF, pos: l.pos()}, nil
+
+lexeme:
+	p := l.pos()
+	r := l.peek()
+	switch {
+	case unicode.IsDigit(r), r == '-' && unicode.IsDigit(l.peekAt(1)):
+		start := l.i
+		l.advance() // first digit or the '-' sign
+		for l.i < len(l.src) && unicode.IsDigit(l.peek()) {
+			l.advance()
+		}
+		return token{tokInt, string(l.src[start:l.i]), p}, nil
+	case isIdentStart(r):
+		start := l.i
+		for l.i < len(l.src) && isIdentRune(l.peek()) {
+			l.advance()
+		}
+		text := string(l.src[start:l.i])
+		// Block closers: the identifier "t" or "s" immediately followed
+		// by '}' closes a block.
+		if l.peek() == '}' && (text == "t" || text == "s") {
+			l.advance()
+			if text == "t" {
+				return token{tokRBraceT, "t}", p}, nil
+			}
+			return token{tokRBraceS, "s}", p}, nil
+		}
+		if kw, ok := keywords[text]; ok {
+			return token{kw, text, p}, nil
+		}
+		return token{tokIdent, text, p}, nil
+	}
+	switch r {
+	case '+':
+		l.advance()
+		return token{tokPlus, "+", p}, nil
+	case '=':
+		l.advance()
+		return token{tokEq, "=", p}, nil
+	case '<':
+		l.advance()
+		return token{tokLt, "<", p}, nil
+	case '-':
+		l.advance()
+		if l.peek() != '>' {
+			return token{}, &SyntaxError{p, "expected '->'"}
+		}
+		l.advance()
+		return token{tokArrow, "->", p}, nil
+	case '!':
+		l.advance()
+		return token{tokBang, "!", p}, nil
+	case '(':
+		l.advance()
+		return token{tokLParen, "(", p}, nil
+	case ')':
+		l.advance()
+		return token{tokRParen, ")", p}, nil
+	case '&':
+		l.advance()
+		if l.peek() != '&' {
+			return token{}, &SyntaxError{p, "expected '&&'"}
+		}
+		l.advance()
+		return token{tokAndAnd, "&&", p}, nil
+	case ':':
+		l.advance()
+		if l.peek() == '=' {
+			l.advance()
+			return token{tokAssign, ":=", p}, nil
+		}
+		return token{tokColon, ":", p}, nil
+	case '{':
+		l.advance()
+		switch l.peek() {
+		case 't':
+			l.advance()
+			return token{tokLBraceT, "{t", p}, nil
+		case 's':
+			l.advance()
+			return token{tokLBraceS, "{s", p}, nil
+		}
+		return token{}, &SyntaxError{p, "expected '{t' or '{s'"}
+	}
+	return token{}, &SyntaxError{p, fmt.Sprintf("unexpected character %q", r)}
+}
+
+// lexAll tokenizes the whole input.
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var toks []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tokEOF {
+			return toks, nil
+		}
+	}
+}

@@ -1,0 +1,212 @@
+// Package langgen generates random core-language programs for
+// property-based testing of MIX soundness (Theorem 1): programs are
+// mostly well-typed by construction, decorated with random typed and
+// symbolic blocks, and occasionally seeded with deliberate type errors
+// so that rejection paths are exercised too.
+package langgen
+
+import (
+	"math/rand"
+
+	"mix/internal/lang"
+	"mix/internal/types"
+)
+
+// Config tunes generation.
+type Config struct {
+	// MaxDepth bounds expression depth.
+	MaxDepth int
+	// BlockProb is the probability of wrapping a subexpression in a
+	// typed or symbolic block.
+	BlockProb float64
+	// ErrorProb is the probability of injecting an ill-typed leaf.
+	ErrorProb float64
+	// WithRefs enables reference operations.
+	WithRefs bool
+	// WithFuns enables function literals and applications.
+	WithFuns bool
+}
+
+// DefaultConfig returns a balanced configuration.
+func DefaultConfig() Config {
+	return Config{MaxDepth: 5, BlockProb: 0.2, ErrorProb: 0.05, WithRefs: true, WithFuns: true}
+}
+
+// Gen generates programs.
+type Gen struct {
+	r   *rand.Rand
+	cfg Config
+}
+
+// New returns a generator with the given seed.
+func New(seed int64, cfg Config) *Gen {
+	return &Gen{r: rand.New(rand.NewSource(seed)), cfg: cfg}
+}
+
+// scopeEntry is a variable in scope with its (intended) type.
+type scopeEntry struct {
+	name string
+	ty   types.Type
+}
+
+// Closed generates a closed program of a random base type.
+func (g *Gen) Closed() lang.Expr {
+	return g.expr(g.cfg.MaxDepth, g.baseType(), nil)
+}
+
+// ClosedTyped generates a closed program intended to have type ty.
+func (g *Gen) ClosedTyped(ty types.Type) lang.Expr {
+	return g.expr(g.cfg.MaxDepth, ty, nil)
+}
+
+func (g *Gen) baseType() types.Type {
+	switch g.r.Intn(3) {
+	case 0:
+		return types.Bool
+	case 1:
+		if g.cfg.WithRefs {
+			return types.Ref(types.Int)
+		}
+		return types.Int
+	default:
+		return types.Int
+	}
+}
+
+// expr generates an expression intended to have type want under the
+// given scope. With probability ErrorProb a leaf of the wrong type is
+// produced instead.
+func (g *Gen) expr(depth int, want types.Type, scope []scopeEntry) lang.Expr {
+	if g.r.Float64() < g.cfg.ErrorProb {
+		return g.wrongLeaf(want, scope)
+	}
+	e := g.exprRight(depth, want, scope)
+	if g.r.Float64() < g.cfg.BlockProb {
+		if g.r.Intn(2) == 0 {
+			e = lang.TB(e)
+		} else {
+			e = lang.SB(e)
+		}
+	}
+	return e
+}
+
+func (g *Gen) exprRight(depth int, want types.Type, scope []scopeEntry) lang.Expr {
+	if depth <= 0 {
+		return g.leaf(want, scope)
+	}
+	// Generic productions available at every type.
+	switch g.r.Intn(8) {
+	case 0: // if
+		return lang.IfE(
+			g.expr(depth-1, types.Bool, scope),
+			g.expr(depth-1, want, scope),
+			g.expr(depth-1, want, scope),
+		)
+	case 1: // let
+		bt := g.baseType()
+		name := g.freshName(scope)
+		bound := g.expr(depth-1, bt, scope)
+		body := g.expr(depth-1, want, append(scope, scopeEntry{name, bt}))
+		return lang.LetE(name, bound, body)
+	case 2: // deref of a generated ref
+		if g.cfg.WithRefs {
+			return lang.DerefE(g.expr(depth-1, types.Ref(want), scope))
+		}
+	case 3: // assignment producing the written value
+		if g.cfg.WithRefs {
+			return lang.AssignE(g.expr(depth-1, types.Ref(want), scope), g.expr(depth-1, want, scope))
+		}
+	case 4: // immediate application of an annotated lambda
+		if g.cfg.WithFuns {
+			pt := g.baseTypeNonRef()
+			name := g.freshName(scope)
+			body := g.expr(depth-1, want, append(scope, scopeEntry{name, pt}))
+			return lang.AppE(
+				lang.FunE(name, typeExprOf(pt), body),
+				g.expr(depth-1, pt, scope),
+			)
+		}
+	}
+	// Type-directed productions.
+	switch want := want.(type) {
+	case types.IntType:
+		if g.r.Intn(2) == 0 {
+			return lang.AddE(g.expr(depth-1, types.Int, scope), g.expr(depth-1, types.Int, scope))
+		}
+	case types.BoolType:
+		switch g.r.Intn(4) {
+		case 0:
+			return lang.NotE(g.expr(depth-1, types.Bool, scope))
+		case 1:
+			return lang.AndE(g.expr(depth-1, types.Bool, scope), g.expr(depth-1, types.Bool, scope))
+		case 2:
+			t := g.baseTypeNonRef()
+			return lang.EqE(g.expr(depth-1, t, scope), g.expr(depth-1, t, scope))
+		case 3:
+			return lang.LtE(g.expr(depth-1, types.Int, scope), g.expr(depth-1, types.Int, scope))
+		}
+	case types.RefType:
+		return lang.RefE(g.expr(depth-1, want.Elem, scope))
+	}
+	return g.leaf(want, scope)
+}
+
+func (g *Gen) baseTypeNonRef() types.Type {
+	if g.r.Intn(2) == 0 {
+		return types.Bool
+	}
+	return types.Int
+}
+
+// leaf produces a minimal expression of type want.
+func (g *Gen) leaf(want types.Type, scope []scopeEntry) lang.Expr {
+	// Prefer an in-scope variable of the right type.
+	var candidates []string
+	for _, s := range scope {
+		if types.Equal(s.ty, want) {
+			candidates = append(candidates, s.name)
+		}
+	}
+	if len(candidates) > 0 && g.r.Intn(2) == 0 {
+		return lang.V(candidates[g.r.Intn(len(candidates))])
+	}
+	switch want := want.(type) {
+	case types.IntType:
+		return lang.I(int64(g.r.Intn(7) - 3))
+	case types.BoolType:
+		return lang.B(g.r.Intn(2) == 0)
+	case types.RefType:
+		return lang.RefE(g.leaf(want.Elem, scope))
+	}
+	return lang.I(0)
+}
+
+// wrongLeaf produces a leaf of a type other than want, injecting a
+// type error.
+func (g *Gen) wrongLeaf(want types.Type, scope []scopeEntry) lang.Expr {
+	if _, ok := want.(types.IntType); ok {
+		return lang.B(true)
+	}
+	return lang.I(1)
+}
+
+func (g *Gen) freshName(scope []scopeEntry) string {
+	letters := []string{"x", "y", "z", "w", "v", "u"}
+	return letters[g.r.Intn(len(letters))] + string(rune('a'+g.r.Intn(26)))
+}
+
+// typeExprOf converts a semantic type back to surface syntax (for
+// generated parameter annotations).
+func typeExprOf(t types.Type) lang.TypeExpr {
+	switch t := t.(type) {
+	case types.BoolType:
+		return lang.TyBool{}
+	case types.RefType:
+		return lang.TyRef{Elem: typeExprOf(t.Elem)}
+	case types.FunType:
+		return lang.TyFun{Param: typeExprOf(t.Param), Ret: typeExprOf(t.Ret)}
+	default:
+		return lang.TyInt{}
+	}
+}

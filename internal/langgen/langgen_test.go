@@ -1,0 +1,108 @@
+package langgen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mix/internal/lang"
+	"mix/internal/types"
+)
+
+func TestDeterministicForSeed(t *testing.T) {
+	a := New(42, DefaultConfig())
+	b := New(42, DefaultConfig())
+	for i := 0; i < 50; i++ {
+		if a.Closed().String() != b.Closed().String() {
+			t.Fatal("same seed must generate the same programs")
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := New(1, DefaultConfig())
+	b := New(2, DefaultConfig())
+	same := 0
+	for i := 0; i < 50; i++ {
+		if a.Closed().String() == b.Closed().String() {
+			same++
+		}
+	}
+	if same > 25 {
+		t.Fatalf("seeds too correlated: %d/50 identical", same)
+	}
+}
+
+// TestQuickGeneratedPrintParseFixpoint: every generated program's
+// printed form reparses to the same printed form (parser/printer
+// round-trip on a far richer distribution than hand-written cases).
+func TestQuickGeneratedPrintParseFixpoint(t *testing.T) {
+	gen := New(7, DefaultConfig())
+	property := func() bool {
+		e := gen.Closed()
+		src := e.String()
+		re, err := lang.Parse(src)
+		if err != nil {
+			t.Logf("generated program does not reparse: %s: %v", src, err)
+			return false
+		}
+		return re.String() == src
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrorInjectionRate(t *testing.T) {
+	// With ErrorProb 0, mostly-well-typed construction should yield a
+	// high acceptance rate under the pure type checker when blocks are
+	// disabled.
+	gen := New(3, Config{MaxDepth: 4, BlockProb: 0, ErrorProb: 0, WithRefs: true, WithFuns: true})
+	accepted := 0
+	const n = 200
+	for i := 0; i < n; i++ {
+		var c types.Checker
+		if _, err := c.Check(types.EmptyEnv(), gen.Closed()); err == nil {
+			accepted++
+		}
+	}
+	if accepted < n*9/10 {
+		t.Fatalf("only %d/%d error-free programs type check", accepted, n)
+	}
+}
+
+func TestTypedGeneration(t *testing.T) {
+	gen := New(5, Config{MaxDepth: 4, BlockProb: 0, ErrorProb: 0, WithRefs: false, WithFuns: false})
+	for i := 0; i < 100; i++ {
+		e := gen.ClosedTyped(types.Bool)
+		var c types.Checker
+		ty, err := c.Check(types.EmptyEnv(), e)
+		if err != nil {
+			t.Fatalf("generated bool program rejected: %s: %v", e, err)
+		}
+		if !types.Equal(ty, types.Bool) {
+			t.Fatalf("ClosedTyped(bool) gave %s for %s", ty, e)
+		}
+	}
+}
+
+func TestBlocksAppear(t *testing.T) {
+	gen := New(11, Config{MaxDepth: 5, BlockProb: 0.5, ErrorProb: 0, WithRefs: true, WithFuns: true})
+	blocks := 0
+	for i := 0; i < 100; i++ {
+		if s := gen.Closed().String(); containsBlock(s) {
+			blocks++
+		}
+	}
+	if blocks < 30 {
+		t.Fatalf("blocks too rare: %d/100", blocks)
+	}
+}
+
+func containsBlock(s string) bool {
+	for i := 0; i+1 < len(s); i++ {
+		if s[i] == '{' && (s[i+1] == 's' || s[i+1] == 't') {
+			return true
+		}
+	}
+	return false
+}

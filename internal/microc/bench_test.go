@@ -1,0 +1,26 @@
+package microc
+
+import (
+	"testing"
+
+	"mix/internal/corpus"
+)
+
+func BenchmarkParseVsftpdMini(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(corpus.VsftpdMini.Source); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseSynthetic(b *testing.B) {
+	src := corpus.SyntheticVsftpd(50, 5)
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

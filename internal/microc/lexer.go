@@ -1,0 +1,260 @@
+package microc
+
+import (
+	"fmt"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tInt
+	tIdent
+	// keywords
+	tKwInt
+	tKwVoid
+	tKwStruct
+	tKwIf
+	tKwElse
+	tKwWhile
+	tKwReturn
+	tKwNull    // NULL
+	tKwMalloc  // malloc
+	tKwSizeof  // sizeof
+	tKwMix     // MIX
+	tKwQNull   // null
+	tKwQNonnul // nonnull
+	tKwTyped   // typed
+	tKwSymb    // symbolic
+	tKwFnptr   // fnptr
+	// punctuation
+	tLParen
+	tRParen
+	tLBrace
+	tRBrace
+	tSemi
+	tComma
+	tStar
+	tAmp
+	tPlus
+	tMinus
+	tBang
+	tAssign
+	tEq
+	tNe
+	tLt
+	tGt
+	tLe
+	tGe
+	tAndAnd
+	tOrOr
+	tArrow
+	tDot
+)
+
+var kindNames = map[tokKind]string{
+	tEOF: "end of input", tInt: "integer", tIdent: "identifier",
+	tKwInt: "'int'", tKwVoid: "'void'", tKwStruct: "'struct'", tKwIf: "'if'",
+	tKwElse: "'else'", tKwWhile: "'while'", tKwReturn: "'return'",
+	tKwNull: "'NULL'", tKwMalloc: "'malloc'", tKwSizeof: "'sizeof'",
+	tKwMix: "'MIX'", tKwQNull: "'null'", tKwQNonnul: "'nonnull'",
+	tKwTyped: "'typed'", tKwSymb: "'symbolic'", tKwFnptr: "'fnptr'",
+	tLParen: "'('", tRParen: "')'", tLBrace: "'{'", tRBrace: "'}'",
+	tSemi: "';'", tComma: "','", tStar: "'*'", tAmp: "'&'", tPlus: "'+'",
+	tMinus: "'-'", tBang: "'!'", tAssign: "'='", tEq: "'=='", tNe: "'!='",
+	tLt: "'<'", tGt: "'>'", tLe: "'<='", tGe: "'>='", tAndAnd: "'&&'",
+	tOrOr: "'||'", tArrow: "'->'", tDot: "'.'",
+}
+
+var cKeywords = map[string]tokKind{
+	"int": tKwInt, "void": tKwVoid, "struct": tKwStruct, "if": tKwIf,
+	"else": tKwElse, "while": tKwWhile, "return": tKwReturn,
+	"NULL": tKwNull, "malloc": tKwMalloc, "sizeof": tKwSizeof,
+	"MIX": tKwMix, "null": tKwQNull, "nonnull": tKwQNonnul,
+	"typed": tKwTyped, "symbolic": tKwSymb, "fnptr": tKwFnptr,
+}
+
+type tok struct {
+	kind tokKind
+	text string
+	pos  Pos
+}
+
+// ParseError reports a lexical or syntax error.
+type ParseError struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("%s: parse error: %s", e.Pos, e.Msg)
+}
+
+type clexer struct {
+	src  []rune
+	i    int
+	line int
+	col  int
+}
+
+func (l *clexer) peek() rune {
+	if l.i >= len(l.src) {
+		return 0
+	}
+	return l.src[l.i]
+}
+
+func (l *clexer) peek2() rune {
+	if l.i+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.i+1]
+}
+
+func (l *clexer) adv() rune {
+	r := l.src[l.i]
+	l.i++
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func (l *clexer) pos() Pos { return Pos{l.line, l.col} }
+
+func lexC(src string) ([]tok, error) {
+	l := &clexer{src: []rune(src), line: 1, col: 1}
+	var out []tok
+	for {
+		// Skip whitespace and comments.
+		for l.i < len(l.src) {
+			r := l.peek()
+			if r == ' ' || r == '\t' || r == '\r' || r == '\n' {
+				l.adv()
+				continue
+			}
+			if r == '/' && l.peek2() == '/' {
+				for l.i < len(l.src) && l.peek() != '\n' {
+					l.adv()
+				}
+				continue
+			}
+			if r == '/' && l.peek2() == '*' {
+				p := l.pos()
+				l.adv()
+				l.adv()
+				closed := false
+				for l.i < len(l.src) {
+					if l.peek() == '*' && l.peek2() == '/' {
+						l.adv()
+						l.adv()
+						closed = true
+						break
+					}
+					l.adv()
+				}
+				if !closed {
+					return nil, &ParseError{p, "unterminated comment"}
+				}
+				continue
+			}
+			break
+		}
+		if l.i >= len(l.src) {
+			out = append(out, tok{tEOF, "", l.pos()})
+			return out, nil
+		}
+		p := l.pos()
+		r := l.peek()
+		switch {
+		case unicode.IsDigit(r):
+			start := l.i
+			for l.i < len(l.src) && unicode.IsDigit(l.peek()) {
+				l.adv()
+			}
+			out = append(out, tok{tInt, string(l.src[start:l.i]), p})
+			continue
+		case r == '_' || unicode.IsLetter(r):
+			start := l.i
+			for l.i < len(l.src) && (l.peek() == '_' || unicode.IsLetter(l.peek()) || unicode.IsDigit(l.peek())) {
+				l.adv()
+			}
+			text := string(l.src[start:l.i])
+			if k, ok := cKeywords[text]; ok {
+				out = append(out, tok{k, text, p})
+			} else {
+				out = append(out, tok{tIdent, text, p})
+			}
+			continue
+		}
+		two := func(second rune, both, single tokKind) {
+			l.adv()
+			if l.peek() == second {
+				l.adv()
+				out = append(out, tok{both, "", p})
+			} else {
+				out = append(out, tok{single, "", p})
+			}
+		}
+		switch r {
+		case '(':
+			l.adv()
+			out = append(out, tok{tLParen, "(", p})
+		case ')':
+			l.adv()
+			out = append(out, tok{tRParen, ")", p})
+		case '{':
+			l.adv()
+			out = append(out, tok{tLBrace, "{", p})
+		case '}':
+			l.adv()
+			out = append(out, tok{tRBrace, "}", p})
+		case ';':
+			l.adv()
+			out = append(out, tok{tSemi, ";", p})
+		case ',':
+			l.adv()
+			out = append(out, tok{tComma, ",", p})
+		case '*':
+			l.adv()
+			out = append(out, tok{tStar, "*", p})
+		case '+':
+			l.adv()
+			out = append(out, tok{tPlus, "+", p})
+		case '.':
+			l.adv()
+			out = append(out, tok{tDot, ".", p})
+		case '-':
+			l.adv()
+			if l.peek() == '>' {
+				l.adv()
+				out = append(out, tok{tArrow, "->", p})
+			} else {
+				out = append(out, tok{tMinus, "-", p})
+			}
+		case '=':
+			two('=', tEq, tAssign)
+		case '!':
+			two('=', tNe, tBang)
+		case '<':
+			two('=', tLe, tLt)
+		case '>':
+			two('=', tGe, tGt)
+		case '&':
+			two('&', tAndAnd, tAmp)
+		case '|':
+			l.adv()
+			if l.peek() != '|' {
+				return nil, &ParseError{p, "expected '||'"}
+			}
+			l.adv()
+			out = append(out, tok{tOrOr, "||", p})
+		default:
+			return nil, &ParseError{p, fmt.Sprintf("unexpected character %q", r)}
+		}
+	}
+}

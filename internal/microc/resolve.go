@@ -1,0 +1,463 @@
+package microc
+
+import "fmt"
+
+// resolve binds names, computes static types for every expression, and
+// validates the program well enough to drive the analyses (it is a
+// front-end check, not a full C type checker).
+func resolve(prog *Program) error {
+	prog.structsByName = map[string]*StructDef{}
+	prog.funcsByName = map[string]*FuncDef{}
+	prog.globalsByName = map[string]*VarDecl{}
+	for _, s := range prog.Structs {
+		if _, dup := prog.structsByName[s.Name]; dup {
+			return &ParseError{s.Pos, fmt.Sprintf("duplicate struct %s", s.Name)}
+		}
+		prog.structsByName[s.Name] = s
+	}
+	for _, f := range prog.Funcs {
+		if _, dup := prog.funcsByName[f.Name]; dup {
+			return &ParseError{f.Pos, fmt.Sprintf("duplicate function %s", f.Name)}
+		}
+		prog.funcsByName[f.Name] = f
+	}
+	for _, g := range prog.Globals {
+		if _, dup := prog.globalsByName[g.Name]; dup {
+			return &ParseError{g.Pos, fmt.Sprintf("duplicate global %s", g.Name)}
+		}
+		prog.globalsByName[g.Name] = g
+	}
+	// Validate struct field types refer to defined structs.
+	for _, s := range prog.Structs {
+		for _, f := range s.Fields {
+			if err := checkTypeDefined(prog, f.Type, f.Pos); err != nil {
+				return err
+			}
+		}
+	}
+	r := &resolver{prog: prog}
+	for _, g := range prog.Globals {
+		if err := checkTypeDefined(prog, g.Type, g.Pos); err != nil {
+			return err
+		}
+		if g.Init != nil {
+			if err := r.expr(g.Init); err != nil {
+				return err
+			}
+			if err := assignable(g.Type, g.Init, g.Pos); err != nil {
+				return err
+			}
+		}
+	}
+	for _, f := range prog.Funcs {
+		if err := r.function(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func checkTypeDefined(prog *Program, ty Type, pos Pos) error {
+	switch ty := ty.(type) {
+	case StructType:
+		if _, ok := prog.structsByName[ty.Name]; !ok {
+			return &ParseError{pos, fmt.Sprintf("undefined struct %s", ty.Name)}
+		}
+	case PtrType:
+		return checkTypeDefined(prog, ty.Elem, pos)
+	}
+	return nil
+}
+
+type resolver struct {
+	prog   *Program
+	fn     *FuncDef
+	scopes []map[string]*VarDecl
+}
+
+func (r *resolver) push() { r.scopes = append(r.scopes, map[string]*VarDecl{}) }
+func (r *resolver) pop()  { r.scopes = r.scopes[:len(r.scopes)-1] }
+
+func (r *resolver) declare(d *VarDecl) error {
+	top := r.scopes[len(r.scopes)-1]
+	if _, dup := top[d.Name]; dup {
+		return &ParseError{d.Pos, fmt.Sprintf("duplicate declaration of %s", d.Name)}
+	}
+	top[d.Name] = d
+	return nil
+}
+
+func (r *resolver) lookup(name string) (*VarDecl, bool) {
+	for i := len(r.scopes) - 1; i >= 0; i-- {
+		if d, ok := r.scopes[i][name]; ok {
+			return d, true
+		}
+	}
+	if g, ok := r.prog.globalsByName[name]; ok {
+		return g, true
+	}
+	return nil, false
+}
+
+func (r *resolver) function(f *FuncDef) error {
+	if err := checkTypeDefined(r.prog, f.Ret, f.Pos); err != nil {
+		return err
+	}
+	for _, p := range f.Params {
+		if err := checkTypeDefined(r.prog, p.Type, p.Pos); err != nil {
+			return err
+		}
+	}
+	if f.Body == nil {
+		return nil
+	}
+	r.fn = f
+	r.push()
+	defer r.pop()
+	for _, p := range f.Params {
+		if err := r.declare(p); err != nil {
+			return err
+		}
+	}
+	return r.stmt(f.Body)
+}
+
+func (r *resolver) stmt(s Stmt) error {
+	switch s := s.(type) {
+	case *BlockStmt:
+		r.push()
+		defer r.pop()
+		for _, inner := range s.Stmts {
+			if err := r.stmt(inner); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *DeclStmt:
+		d := s.Decl
+		d.Owner = r.fn.Name
+		if err := checkTypeDefined(r.prog, d.Type, d.Pos); err != nil {
+			return err
+		}
+		if d.Init != nil {
+			if err := r.expr(d.Init); err != nil {
+				return err
+			}
+			if err := assignable(d.Type, d.Init, d.Pos); err != nil {
+				return err
+			}
+		}
+		if err := r.declare(d); err != nil {
+			return err
+		}
+		r.fn.Locals = append(r.fn.Locals, d)
+		return nil
+	case *ExprStmt:
+		return r.expr(s.X)
+	case *IfStmt:
+		if err := r.expr(s.Cond); err != nil {
+			return err
+		}
+		if err := r.stmt(s.Then); err != nil {
+			return err
+		}
+		if s.Else != nil {
+			return r.stmt(s.Else)
+		}
+		return nil
+	case *WhileStmt:
+		if err := r.expr(s.Cond); err != nil {
+			return err
+		}
+		return r.stmt(s.Body)
+	case *ReturnStmt:
+		if s.X == nil {
+			return nil
+		}
+		if err := r.expr(s.X); err != nil {
+			return err
+		}
+		if _, isVoid := r.fn.Ret.(VoidType); isVoid {
+			return &ParseError{s.StmtPos(), fmt.Sprintf("void function %s returns a value", r.fn.Name)}
+		}
+		return assignable(r.fn.Ret, s.X, s.StmtPos())
+	}
+	return fmt.Errorf("microc: unknown statement %T", s)
+}
+
+// setType writes the computed static type into the expression node.
+func setType(e Expr, ty Type) {
+	switch e := e.(type) {
+	case *IntLit:
+		e.Ty = ty
+	case *NullLit:
+		e.Ty = ty
+	case *VarRef:
+		e.Ty = ty
+	case *Unary:
+		e.Ty = ty
+	case *Binary:
+		e.Ty = ty
+	case *Assign:
+		e.Ty = ty
+	case *Call:
+		e.Ty = ty
+	case *Field:
+		e.Ty = ty
+	case *Malloc:
+		e.Ty = ty
+	case *Cast:
+		e.Ty = ty
+	}
+}
+
+func (r *resolver) expr(e Expr) error {
+	switch e := e.(type) {
+	case *IntLit:
+		setType(e, IntType{})
+		return nil
+	case *NullLit:
+		// NULL has type void* and is assignable to any pointer.
+		setType(e, PtrType{Elem: VoidType{}, Qual: QNull})
+		return nil
+	case *VarRef:
+		if d, ok := r.lookup(e.Name); ok {
+			e.Ref = d
+			setType(e, d.Type)
+			return nil
+		}
+		if f, ok := r.prog.funcsByName[e.Name]; ok {
+			e.Ref = f
+			setType(e, FnPtrType{})
+			return nil
+		}
+		return &ParseError{e.ExprPos(), fmt.Sprintf("undefined name %s", e.Name)}
+	case *Unary:
+		if err := r.expr(e.X); err != nil {
+			return err
+		}
+		switch e.Op {
+		case OpDeref:
+			pt, ok := e.X.StaticType().(PtrType)
+			if !ok {
+				return &ParseError{e.ExprPos(), fmt.Sprintf("dereference of non-pointer %s", e.X.StaticType())}
+			}
+			if _, isVoid := pt.Elem.(VoidType); isVoid {
+				return &ParseError{e.ExprPos(), "dereference of void*"}
+			}
+			setType(e, pt.Elem)
+		case OpAddr:
+			if !isLValue(e.X) {
+				return &ParseError{e.ExprPos(), "cannot take address of non-lvalue"}
+			}
+			setType(e, PtrType{Elem: e.X.StaticType()})
+		case OpNot, OpNeg:
+			setType(e, IntType{})
+		}
+		return nil
+	case *Binary:
+		if err := r.expr(e.X); err != nil {
+			return err
+		}
+		if err := r.expr(e.Y); err != nil {
+			return err
+		}
+		switch e.Op {
+		case OpEq, OpNe:
+			xt, yt := e.X.StaticType(), e.Y.StaticType()
+			if !comparable2(xt, yt) {
+				return &ParseError{e.ExprPos(), fmt.Sprintf("cannot compare %s and %s", xt, yt)}
+			}
+		case OpAdd, OpSub, OpLt, OpGt, OpLe, OpGe:
+			for _, side := range [2]Expr{e.X, e.Y} {
+				if _, ok := side.StaticType().(IntType); !ok {
+					return &ParseError{side.ExprPos(), fmt.Sprintf("arithmetic on non-int %s", side.StaticType())}
+				}
+			}
+		}
+		setType(e, IntType{})
+		return nil
+	case *Assign:
+		if err := r.expr(e.LHS); err != nil {
+			return err
+		}
+		if !isLValue(e.LHS) {
+			return &ParseError{e.ExprPos(), "assignment to non-lvalue"}
+		}
+		if err := r.expr(e.RHS); err != nil {
+			return err
+		}
+		if err := assignable(e.LHS.StaticType(), e.RHS, e.ExprPos()); err != nil {
+			return err
+		}
+		setType(e, e.LHS.StaticType())
+		return nil
+	case *Call:
+		// Direct call to a named function?
+		if vr, ok := e.Fun.(*VarRef); ok {
+			if f, isFunc := r.prog.funcsByName[vr.Name]; isFunc {
+				if _, shadowed := r.lookup(vr.Name); !shadowed {
+					vr.Ref = f
+					setType(vr, FnPtrType{})
+					if len(e.Args) != len(f.Params) {
+						return &ParseError{e.ExprPos(),
+							fmt.Sprintf("%s expects %d arguments, got %d", f.Name, len(f.Params), len(e.Args))}
+					}
+					for i, a := range e.Args {
+						if err := r.expr(a); err != nil {
+							return err
+						}
+						if err := assignable(f.Params[i].Type, a, a.ExprPos()); err != nil {
+							return err
+						}
+					}
+					setType(e, f.Ret)
+					return nil
+				}
+			}
+		}
+		// Indirect call through a function pointer: f(...) or (*f)(...).
+		if u, ok := e.Fun.(*Unary); ok && u.Op == OpDeref {
+			// (*f)(): the deref of a fnptr is only legal in call
+			// position, so handle it here rather than in Unary.
+			if err := r.expr(u.X); err != nil {
+				return err
+			}
+			if _, ok := u.X.StaticType().(FnPtrType); !ok {
+				return &ParseError{e.ExprPos(), fmt.Sprintf("call of non-function %s", u.X.StaticType())}
+			}
+			setType(u, FnPtrType{})
+		} else {
+			if err := r.expr(e.Fun); err != nil {
+				return err
+			}
+			if _, ok := e.Fun.StaticType().(FnPtrType); !ok {
+				return &ParseError{e.ExprPos(), fmt.Sprintf("call of non-function %s", e.Fun.StaticType())}
+			}
+		}
+		for _, a := range e.Args {
+			if err := r.expr(a); err != nil {
+				return err
+			}
+		}
+		setType(e, VoidType{})
+		return nil
+	case *Field:
+		if err := r.expr(e.X); err != nil {
+			return err
+		}
+		var st StructType
+		xt := e.X.StaticType()
+		if e.Arrow {
+			pt, ok := xt.(PtrType)
+			if !ok {
+				return &ParseError{e.ExprPos(), fmt.Sprintf("-> on non-pointer %s", xt)}
+			}
+			st, ok = pt.Elem.(StructType)
+			if !ok {
+				return &ParseError{e.ExprPos(), fmt.Sprintf("-> on pointer to non-struct %s", pt.Elem)}
+			}
+		} else {
+			var ok bool
+			st, ok = xt.(StructType)
+			if !ok {
+				return &ParseError{e.ExprPos(), fmt.Sprintf(". on non-struct %s", xt)}
+			}
+		}
+		def, _ := r.prog.structsByName[st.Name]
+		fld, ok := def.Field(e.Name)
+		if !ok {
+			return &ParseError{e.ExprPos(), fmt.Sprintf("struct %s has no field %s", st.Name, e.Name)}
+		}
+		setType(e, fld.Type)
+		return nil
+	case *Malloc:
+		if err := checkTypeDefined(r.prog, e.ElemType, e.ExprPos()); err != nil {
+			return err
+		}
+		setType(e, PtrType{Elem: e.ElemType})
+		return nil
+	case *Cast:
+		if err := r.expr(e.X); err != nil {
+			return err
+		}
+		if err := checkTypeDefined(r.prog, e.To, e.ExprPos()); err != nil {
+			return err
+		}
+		setType(e, e.To)
+		return nil
+	}
+	return fmt.Errorf("microc: unknown expression %T", e)
+}
+
+// isLValue reports whether e may appear on the left of an assignment
+// or under &.
+func isLValue(e Expr) bool {
+	switch e := e.(type) {
+	case *VarRef:
+		_, isVar := e.Ref.(*VarDecl)
+		return isVar
+	case *Unary:
+		return e.Op == OpDeref
+	case *Field:
+		return true
+	}
+	return false
+}
+
+// comparable2 reports whether == / != applies.
+func comparable2(a, b Type) bool {
+	if _, ok := a.(IntType); ok {
+		_, ok2 := b.(IntType)
+		return ok2
+	}
+	ap, aok := a.(PtrType)
+	bp, bok := b.(PtrType)
+	if aok && bok {
+		_, av := ap.Elem.(VoidType)
+		_, bv := bp.Elem.(VoidType)
+		return av || bv || TypeEqual(ap.Elem, bp.Elem)
+	}
+	if _, ok := a.(FnPtrType); ok {
+		return isFnPtrOrNull(b)
+	}
+	if _, ok := b.(FnPtrType); ok {
+		return isFnPtrOrNull(a)
+	}
+	return false
+}
+
+// isFnPtrOrNull accepts fnptr or void* (the type of NULL).
+func isFnPtrOrNull(t Type) bool {
+	if _, ok := t.(FnPtrType); ok {
+		return true
+	}
+	if p, ok := t.(PtrType); ok {
+		_, v := p.Elem.(VoidType)
+		return v
+	}
+	return false
+}
+
+// assignable checks dst = src compatibility with C-ish leniency:
+// identical types, any-pointer ↔ void-pointer, NULL to any pointer.
+func assignable(dst Type, src Expr, pos Pos) error {
+	st := src.StaticType()
+	if TypeEqual(dst, st) {
+		return nil
+	}
+	dp, dok := dst.(PtrType)
+	sp, sok := st.(PtrType)
+	if dok && sok {
+		if _, v := dp.Elem.(VoidType); v {
+			return nil
+		}
+		if _, v := sp.Elem.(VoidType); v {
+			return nil
+		}
+	}
+	if _, ok := dst.(FnPtrType); ok && isFnPtrOrNull(st) {
+		return nil
+	}
+	return &ParseError{pos, fmt.Sprintf("cannot assign %s to %s", st, dst)}
+}

@@ -1,0 +1,73 @@
+package mixy
+
+import (
+	"fmt"
+	"testing"
+
+	"mix/internal/corpus"
+	"mix/internal/microc"
+)
+
+func BenchmarkCases(b *testing.B) {
+	for _, c := range corpus.Cases {
+		c := c
+		prog := microc.MustParse(c.Source)
+		b.Run(c.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(prog, Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkVsftpdMini(b *testing.B) {
+	prog := microc.MustParse(corpus.VsftpdMini.Source)
+	for _, pure := range []bool{true, false} {
+		pure := pure
+		name := "mixy"
+		if pure {
+			name = "pure-types"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(prog, Options{IgnoreAnnotations: pure}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSyntheticSweep(b *testing.B) {
+	for _, k := range []int{0, 1, 2} {
+		k := k
+		prog := microc.MustParse(corpus.SyntheticVsftpd(10, k))
+		b.Run(fmt.Sprintf("blocks=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(prog, Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkHavocAblation(b *testing.B) {
+	prog := microc.MustParse(corpus.SyntheticVsftpd(8, 2))
+	for _, havoc := range []bool{true, false} {
+		havoc := havoc
+		name := "havoc=on"
+		if !havoc {
+			name = "havoc=off"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(prog, Options{NoHavoc: !havoc}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

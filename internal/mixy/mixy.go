@@ -1,0 +1,587 @@
+// Package mixy is the MIXY prototype of the paper's Section 4: it
+// mixes flow-insensitive null/nonnull type qualifier inference
+// (internal/qual) with a symbolic executor (internal/symexec) for
+// MicroC programs, switching between the analyses at function
+// boundaries annotated MIX(typed) or MIX(symbolic).
+//
+// The implementation follows the paper's structure:
+//
+//   - Section 4.1 — translation between qualifiers and symbolic
+//     values in both directions, with optimistic (nonnull) defaults
+//     and a global least fixed point as nullness is discovered.
+//   - Section 4.2 — a memory model seeded from the may points-to
+//     analysis; aliasing relationships are restored with unification
+//     constraints when entering typed blocks.
+//   - Section 4.3 — block results are cached keyed by their typed
+//     calling context.
+//   - Section 4.4 — recursion between typed and symbolic blocks is
+//     cut with a block stack and resolved by the fixed point.
+package mixy
+
+import (
+	"fmt"
+	"sort"
+
+	"mix/internal/microc"
+	"mix/internal/pointer"
+	"mix/internal/qual"
+	"mix/internal/solver"
+	"mix/internal/symexec"
+)
+
+// Options configures a MIXY run.
+type Options struct {
+	// Entry is the entry function; defaults to "main".
+	Entry string
+	// IgnoreAnnotations treats every function as typed, giving pure
+	// qualifier inference (the paper's baseline).
+	IgnoreAnnotations bool
+	// NoCache disables block caching (Section 4.3 ablation).
+	NoCache bool
+	// NoHavoc keeps symbolic memory across typed calls instead of
+	// havocking it (ablating the formalism-faithful μ′ behavior).
+	NoHavoc bool
+	// StrictInit treats uninitialized pointer globals as null sources
+	// (C zero-initialization). The paper's MIXY only tracks explicit
+	// NULL uses; strict mode is what the concrete semantics validates.
+	StrictInit bool
+	// MaxFixpoint bounds global fixed-point iterations.
+	MaxFixpoint int
+}
+
+// Warning is an analysis finding.
+type Warning struct {
+	Source string // "qual" or "symexec"
+	Msg    string
+}
+
+func (w Warning) String() string { return w.Source + ": " + w.Msg }
+
+// Stats counts MIXY work; the E3 timing experiment reads these.
+type Stats struct {
+	FixpointIters  int
+	BlocksAnalyzed int
+	CacheHits      int
+	CacheMisses    int
+	RecursionCuts  int
+	SolverQueries  int
+}
+
+// Analysis is one MIXY run over a program.
+type Analysis struct {
+	Prog *microc.Program
+	PA   *pointer.Analysis
+	Inf  *qual.Inference
+	Exec *symexec.Executor
+
+	opts     Options
+	Warnings []Warning
+	Stats    Stats
+
+	// frontier is the set of discovered MIX(symbolic) functions.
+	frontier []*microc.FuncDef
+	inFront  map[*microc.FuncDef]bool
+	// typedSeen tracks functions already added to the typed region.
+	typedSeen map[*microc.FuncDef]bool
+	// cache maps block+context to the qualifier variables the block
+	// constrained to null (Section 4.3).
+	cache map[string][]*qual.QVar
+	// stack is the block stack for recursion detection (Section 4.4).
+	stack []string
+	// aliasDone marks the one-time aliasing restoration.
+	aliasDone bool
+}
+
+// Run analyzes prog with MIXY.
+func Run(prog *microc.Program, opts Options) (*Analysis, error) {
+	if opts.Entry == "" {
+		opts.Entry = "main"
+	}
+	if opts.MaxFixpoint == 0 {
+		opts.MaxFixpoint = 16
+	}
+	m := &Analysis{
+		Prog:      prog,
+		PA:        pointer.Analyze(prog),
+		opts:      opts,
+		inFront:   map[*microc.FuncDef]bool{},
+		typedSeen: map[*microc.FuncDef]bool{},
+		cache:     map[string][]*qual.QVar{},
+	}
+	m.Inf = qual.New(prog)
+	if opts.StrictInit {
+		m.Inf.AddImplicitNullGlobals()
+	}
+	m.Exec = symexec.New(prog, m.PA)
+	m.Exec.InitCell = m.initCell
+	m.Exec.TypedCall = m.typedCall
+
+	entry, ok := prog.Func(opts.Entry)
+	if !ok {
+		return nil, fmt.Errorf("mixy: no entry function %s", opts.Entry)
+	}
+
+	if opts.IgnoreAnnotations {
+		// Pure qualifier inference over everything.
+		for _, f := range prog.Funcs {
+			m.Inf.AddFunction(f)
+		}
+		m.collectWarnings()
+		return m, nil
+	}
+
+	// Determine the outermost analysis from the entry's annotation:
+	// MIX(symbolic) starts in symbolic mode, anything else in typed
+	// mode (the paper's command-line option).
+	if entry.Mix == microc.MixSymbolic {
+		m.addFrontier(entry)
+	} else {
+		m.addTypedRegion(entry)
+	}
+
+	// Global least fixed point (Section 4.1): analyze symbolic blocks,
+	// fold discovered nullness into the inference, repeat.
+	for iter := 0; iter < m.opts.MaxFixpoint; iter++ {
+		m.Stats.FixpointIters++
+		changed := false
+		// The frontier can grow while analyzing (typed regions found
+		// inside symbolic blocks can expose new symbolic functions).
+		for i := 0; i < len(m.frontier); i++ {
+			if m.analyzeSymBlock(m.frontier[i]) {
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	m.collectWarnings()
+	return m, nil
+}
+
+// addTypedRegion adds f and everything reachable from it up to the
+// frontier of MIX(symbolic) functions to the qualifier inference, and
+// returns the symbolic functions found at the frontier of this walk.
+func (m *Analysis) addTypedRegion(f *microc.FuncDef) []*microc.FuncDef {
+	var syms []*microc.FuncDef
+	symSeen := map[*microc.FuncDef]bool{}
+	visited := map[*microc.FuncDef]bool{}
+	var walk func(g *microc.FuncDef)
+	walk = func(g *microc.FuncDef) {
+		if visited[g] {
+			return
+		}
+		visited[g] = true
+		m.typedSeen[g] = true
+		m.Inf.AddFunction(g)
+		for _, callee := range m.callees(g) {
+			if callee.Mix == microc.MixSymbolic {
+				m.addFrontier(callee)
+				if !symSeen[callee] {
+					symSeen[callee] = true
+					syms = append(syms, callee)
+				}
+				continue
+			}
+			walk(callee)
+		}
+	}
+	walk(f)
+	return syms
+}
+
+func (m *Analysis) addFrontier(f *microc.FuncDef) {
+	if !m.inFront[f] {
+		m.inFront[f] = true
+		m.frontier = append(m.frontier, f)
+	}
+}
+
+// callees returns the possible callees of every call site in f,
+// resolving function pointers through the pointer analysis.
+func (m *Analysis) callees(f *microc.FuncDef) []*microc.FuncDef {
+	var out []*microc.FuncDef
+	seen := map[*microc.FuncDef]bool{}
+	var visitStmt func(s microc.Stmt)
+	var visitExpr func(e microc.Expr)
+	add := func(g *microc.FuncDef) {
+		if g != nil && !seen[g] {
+			seen[g] = true
+			out = append(out, g)
+		}
+	}
+	visitExpr = func(e microc.Expr) {
+		switch e := e.(type) {
+		case *microc.Unary:
+			visitExpr(e.X)
+		case *microc.Binary:
+			visitExpr(e.X)
+			visitExpr(e.Y)
+		case *microc.Assign:
+			visitExpr(e.LHS)
+			visitExpr(e.RHS)
+		case *microc.Field:
+			visitExpr(e.X)
+		case *microc.Cast:
+			visitExpr(e.X)
+		case *microc.Call:
+			for _, t := range m.PA.CallTargets(e) {
+				add(t)
+			}
+			if vr, ok := e.Fun.(*microc.VarRef); ok {
+				if g, isFunc := vr.Ref.(*microc.FuncDef); isFunc {
+					add(g)
+				}
+			}
+			for _, a := range e.Args {
+				visitExpr(a)
+			}
+		}
+	}
+	visitStmt = func(s microc.Stmt) {
+		switch s := s.(type) {
+		case *microc.BlockStmt:
+			for _, inner := range s.Stmts {
+				visitStmt(inner)
+			}
+		case *microc.DeclStmt:
+			if s.Decl.Init != nil {
+				visitExpr(s.Decl.Init)
+			}
+		case *microc.ExprStmt:
+			visitExpr(s.X)
+		case *microc.IfStmt:
+			visitExpr(s.Cond)
+			visitStmt(s.Then)
+			if s.Else != nil {
+				visitStmt(s.Else)
+			}
+		case *microc.WhileStmt:
+			visitExpr(s.Cond)
+			visitStmt(s.Body)
+		case *microc.ReturnStmt:
+			if s.X != nil {
+				visitExpr(s.X)
+			}
+		}
+	}
+	if f.Body != nil {
+		visitStmt(f.Body)
+	}
+	return out
+}
+
+// contextOf builds the typed calling context of a block: the solved
+// qualifiers of its parameters and of all pointer-typed globals
+// (Section 4.3: "the types for all variables that will be translated
+// into symbolic values").
+func (m *Analysis) contextOf(f *microc.FuncDef) string {
+	var parts []string
+	for _, p := range f.Params {
+		parts = append(parts, p.Name+"="+m.qualString(m.Inf.VarQ(p)))
+	}
+	var globalParts []string
+	for _, g := range m.Prog.Globals {
+		globalParts = append(globalParts, g.Name+"="+m.qualString(m.Inf.VarQ(g)))
+	}
+	sort.Strings(globalParts)
+	return f.Name + "(" + fmt.Sprint(parts) + ")" + fmt.Sprint(globalParts)
+}
+
+func (m *Analysis) qualString(q *qual.QType) string {
+	var s string
+	for q != nil && q.Ptr != nil {
+		s += m.Inf.QualOf(q.Ptr).String() + "*"
+		q = q.Elem
+	}
+	return s
+}
+
+// analyzeSymBlock analyzes one MIX(symbolic) function in its current
+// typed calling context; reports whether new constraints were learned.
+func (m *Analysis) analyzeSymBlock(f *microc.FuncDef) bool {
+	if f.Body == nil {
+		return false
+	}
+	ctx := m.contextOf(f)
+	key := f.Name + "@" + ctx
+	// Recursion (Section 4.4): if this block with this context is
+	// already on the stack, return the optimistic assumption that the
+	// block has no effect; the global fixed point revisits it.
+	for _, s := range m.stack {
+		if s == key {
+			m.Stats.RecursionCuts++
+			return false
+		}
+	}
+	// Caching (Section 4.3): reuse the translated types of a previous
+	// analysis with a compatible context.
+	if !m.opts.NoCache {
+		if cached, ok := m.cache[key]; ok {
+			m.Stats.CacheHits++
+			changed := false
+			for _, q := range cached {
+				if m.Inf.ConstrainNull(q, "cached result of "+f.Name) {
+					changed = true
+				}
+			}
+			return changed
+		}
+		m.Stats.CacheMisses++
+	}
+	m.stack = append(m.stack, key)
+	defer func() { m.stack = m.stack[:len(m.stack)-1] }()
+
+	m.Stats.BlocksAnalyzed++
+	// The symbolic block starts with a fresh memory (the formalism's
+	// fresh μ); cells are lazily initialized from the typed context
+	// through the InitCell hook.
+	st := symexec.State{PC: solver.True, Mem: symexec.NewMemory()}
+	outs, err := m.Exec.RunFunc(f, st, nil)
+	if err != nil {
+		m.Warnings = append(m.Warnings, Warning{Source: "symexec", Msg: err.Error()})
+		return false
+	}
+	// Symbolic-to-typed translation (Section 4.1): for every named
+	// cell in every final memory, constrain the corresponding
+	// qualifier variable to null if the value may be null under the
+	// path condition.
+	var constrained []*qual.QVar
+	changed := false
+	for _, o := range outs {
+		o.St.Mem.Cells(func(obj *symexec.Object, field string, v symexec.Value) {
+			q := m.qvarForCell(obj, field)
+			if q == nil {
+				return
+			}
+			m.Stats.SolverQueries++
+			sat, err := m.Exec.Solv.Sat(solver.NewAnd(o.St.PC, symexec.NullFormula(v)))
+			if err != nil || sat {
+				if m.Inf.ConstrainNull(q, fmt.Sprintf("symbolic block %s leaves %s possibly null", f.Name, obj.Name)) {
+					changed = true
+				}
+				constrained = append(constrained, q)
+			}
+		})
+		// The return value translates to the function's return type.
+		if rq := m.Inf.RetQ(f); rq != nil && rq.Ptr != nil && o.Ret != nil {
+			m.Stats.SolverQueries++
+			sat, err := m.Exec.Solv.Sat(solver.NewAnd(o.St.PC, symexec.NullFormula(o.Ret)))
+			if err != nil || sat {
+				if m.Inf.ConstrainNull(rq.Ptr, "symbolic block "+f.Name+" may return null") {
+					changed = true
+				}
+				constrained = append(constrained, rq.Ptr)
+			}
+		}
+	}
+	// Restore aliasing relationships before handing results back to
+	// the typed world (Section 4.2).
+	m.restoreAliasing()
+	if !m.opts.NoCache {
+		m.cache[key] = constrained
+	}
+	return changed
+}
+
+// qvarForCell maps an object cell back to the qualifier variable of
+// its declared position, if the cell holds a pointer.
+func (m *Analysis) qvarForCell(obj *symexec.Object, field string) *qual.QVar {
+	if field != "" {
+		// A field cell: per-(struct, field) qualifier.
+		if sn, ok := structNameOfType(obj.Type); ok {
+			if sd, found := m.Prog.Struct(sn); found {
+				if fd, found := sd.Field(field); found {
+					if _, isPtr := fd.Type.(microc.PtrType); isPtr {
+						return m.Inf.VarQ(fd).Ptr
+					}
+				}
+			}
+		}
+		return nil
+	}
+	if obj.HasLoc {
+		switch obj.Loc.Kind {
+		case pointer.VarLoc:
+			if _, isPtr := obj.Loc.Var.Type.(microc.PtrType); isPtr {
+				return m.Inf.VarQ(obj.Loc.Var).Ptr
+			}
+		case pointer.FieldLoc:
+			if sd, found := m.Prog.Struct(obj.Loc.Struct); found {
+				if fd, found := sd.Field(obj.Loc.Field); found {
+					if _, isPtr := fd.Type.(microc.PtrType); isPtr {
+						return m.Inf.VarQ(fd).Ptr
+					}
+				}
+			}
+		case pointer.MallocLoc:
+			if _, isPtr := obj.Type.(microc.PtrType); isPtr {
+				return m.Inf.SiteQ(obj.Loc.Site, obj.Type).Ptr
+			}
+		}
+		return nil
+	}
+	if obj.Site > 0 {
+		if _, isPtr := obj.Type.(microc.PtrType); isPtr {
+			return m.Inf.SiteQ(obj.Site, obj.Type).Ptr
+		}
+	}
+	return nil
+}
+
+func structNameOfType(t microc.Type) (string, bool) {
+	switch t := t.(type) {
+	case microc.StructType:
+		return t.Name, true
+	case microc.PtrType:
+		return structNameOfType(t.Elem)
+	}
+	return "", false
+}
+
+// restoreAliasing adds unification constraints so that all may-aliased
+// positions share qualifiers (Section 4.2: "we add constraints to
+// require that all may-aliased expressions have the same type"). The
+// constraint set is monotone, so one pass suffices.
+func (m *Analysis) restoreAliasing() {
+	if m.aliasDone {
+		return
+	}
+	m.aliasDone = true
+	unifyClass := func(locs []pointer.Loc) {
+		var first *qual.QVar
+		for _, l := range locs {
+			q := m.qvarForLoc(l)
+			if q == nil {
+				continue
+			}
+			if first == nil {
+				first = q
+			} else {
+				m.Inf.Unify(first, q)
+			}
+		}
+	}
+	for _, g := range m.Prog.Globals {
+		unifyClass(m.PA.PointsToVar(g))
+	}
+	for _, f := range m.Prog.Funcs {
+		for _, p := range f.Params {
+			unifyClass(m.PA.PointsToVar(p))
+		}
+		for _, l := range f.Locals {
+			unifyClass(m.PA.PointsToVar(l))
+		}
+	}
+	for _, s := range m.Prog.Structs {
+		for _, fd := range s.Fields {
+			unifyClass(m.PA.PointsToField(s.Name, fd.Name))
+		}
+	}
+}
+
+// qvarForLoc maps an abstract location holding a pointer to its
+// content qualifier variable.
+func (m *Analysis) qvarForLoc(l pointer.Loc) *qual.QVar {
+	switch l.Kind {
+	case pointer.VarLoc:
+		if _, isPtr := l.Var.Type.(microc.PtrType); isPtr {
+			return m.Inf.VarQ(l.Var).Ptr
+		}
+	case pointer.FieldLoc:
+		if sd, found := m.Prog.Struct(l.Struct); found {
+			if fd, found := sd.Field(l.Field); found {
+				if _, isPtr := fd.Type.(microc.PtrType); isPtr {
+					return m.Inf.VarQ(fd).Ptr
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// initCell is the typed-to-symbolic translation (Section 4.1),
+// installed as the executor's lazy initializer: pointers are seeded
+// with the qualifier inference's current solution — nonnull becomes a
+// fresh location, null becomes (α ? loc : 0), unconstrained variables
+// optimistically nonnull.
+func (m *Analysis) initCell(x *symexec.Executor, st symexec.State, obj *symexec.Object, field string) symexec.Value {
+	ty := x.CellType(obj, field)
+	pt, isPtr := ty.(microc.PtrType)
+	if !isPtr {
+		return nil // default initialization
+	}
+	q := m.qvarForCell(obj, field)
+	if q == nil {
+		return nil
+	}
+	pt.Qual = m.Inf.QualOf(q)
+	return x.InitPointerCell(obj, field, pt)
+}
+
+// typedCall is the symbolic-to-typed switch (Section 4.1, 4.2): a call
+// to a MIX(typed) function from symbolic code adds the callee's region
+// to the qualifier inference, translates the symbolic arguments into
+// qualifier constraints, havocs the symbolic memory (the formalism's
+// fresh μ′), and returns a fresh value typed by the callee's inferred
+// return qualifier.
+func (m *Analysis) typedCall(x *symexec.Executor, st symexec.State, f *microc.FuncDef, args []symexec.Value, pos microc.Pos) ([]symexec.Outcome, error) {
+	m.restoreAliasing()
+	nested := m.addTypedRegion(f)
+	// Translate arguments to qualifier constraints.
+	for i, p := range f.Params {
+		if i >= len(args) || args[i] == nil {
+			continue
+		}
+		if _, isPtr := p.Type.(microc.PtrType); !isPtr {
+			continue
+		}
+		m.Stats.SolverQueries++
+		sat, err := x.Solv.Sat(solver.NewAnd(st.PC, symexec.NullFormula(args[i])))
+		if err != nil || sat {
+			m.Inf.ConstrainNull(m.Inf.VarQ(p).Ptr,
+				fmt.Sprintf("possibly-null argument to typed function %s at %s", f.Name, pos))
+		}
+	}
+	// Symbolic blocks nested in this typed region are analyzed now —
+	// this is where typed/symbolic block recursion arises and is cut
+	// by the block stack (Section 4.4).
+	for _, g := range nested {
+		m.analyzeSymBlock(g)
+	}
+	// The typed block may write anything: havoc memory.
+	out := st
+	if !m.opts.NoHavoc {
+		out = symexec.State{PC: st.PC, Mem: symexec.NewMemory()}
+	}
+	// The result is an arbitrary value of the return type, refined by
+	// the inferred return qualifier.
+	ret := m.typedReturnValue(x, f)
+	return []symexec.Outcome{{St: out, Ret: ret}}, nil
+}
+
+func (m *Analysis) typedReturnValue(x *symexec.Executor, f *microc.FuncDef) symexec.Value {
+	rt := f.Ret
+	if pt, isPtr := rt.(microc.PtrType); isPtr {
+		if rq := m.Inf.RetQ(f); rq != nil && rq.Ptr != nil {
+			pt.Qual = m.Inf.QualOf(rq.Ptr)
+		}
+		rt = pt
+	}
+	return x.HavocValue(rt, f.Name+"_typed")
+}
+
+// collectWarnings merges qualifier warnings and symbolic-execution
+// reports.
+func (m *Analysis) collectWarnings() {
+	for _, w := range m.Inf.Solve() {
+		m.Warnings = append(m.Warnings, Warning{Source: "qual", Msg: w.String()})
+	}
+	for _, r := range m.Exec.Reports {
+		switch r.Kind {
+		case symexec.NullDeref, symexec.NullArg, symexec.UnsupportedFnPtr:
+			m.Warnings = append(m.Warnings, Warning{Source: "symexec", Msg: r.String()})
+		}
+	}
+	m.Stats.SolverQueries += m.Exec.Solv.Stats.SatQueries
+}

@@ -1,0 +1,400 @@
+// Package signs is a second instantiation of MIX, mechanizing the
+// paper's Section 2 "Local Refinements of Data" example: a type
+// qualifier system that tracks the sign of integers (pos, zero, neg,
+// or unknown), mixed with the SAME off-the-shelf symbolic executor
+// (internal/sym) used by the core system.
+//
+// This demonstrates the paper's closing claim — "we expect that the
+// ideas behind MIX can be applied to many different combinations of
+// many different analyses" — with zero changes to the executor: only
+// the two mix rules differ.
+//
+//   - Type checking a symbolic block constrains the initial path
+//     condition with the signs of the environment (x : pos int enters
+//     as α_x with α_x > 0), executes all paths, and derives the sign
+//     of each path's result by asking the solver whether the path
+//     condition forces it positive, zero, or negative; path signs are
+//     joined.
+//   - Symbolically executing a sign block refines the environment
+//     signs from the current path condition (the paper's "on entering
+//     the typed block in each branch, the type system will start with
+//     the appropriate type for x"), checks the body, and returns a
+//     fresh symbolic value whose sign is asserted back into the path
+//     condition — a richer translation than the base type system's,
+//     because signs carry information both ways.
+//
+// To keep the system sound without effect tracking, references carry
+// unknown-signed elements (a write through a reference cannot break a
+// sign invariant because there is none).
+package signs
+
+import (
+	"fmt"
+
+	"mix/internal/lang"
+)
+
+// Sign is the qualifier lattice: Pos, Zero, Neg below Top.
+type Sign int
+
+const (
+	// Pos is strictly positive.
+	Pos Sign = iota
+	// Zero is exactly zero.
+	Zero
+	// Neg is strictly negative.
+	Neg
+	// Top is unknown sign.
+	Top
+)
+
+func (s Sign) String() string {
+	switch s {
+	case Pos:
+		return "pos"
+	case Zero:
+		return "zero"
+	case Neg:
+		return "neg"
+	}
+	return "unknown"
+}
+
+// Join is the lattice join.
+func Join(a, b Sign) Sign {
+	if a == b {
+		return a
+	}
+	return Top
+}
+
+// Leq is the lattice order: s ⊑ s and s ⊑ Top.
+func Leq(a, b Sign) bool { return a == b || b == Top }
+
+// Type is a sign-qualified type.
+type Type interface {
+	isType()
+	String() string
+}
+
+// IntType is an integer with a sign qualifier.
+type IntType struct{ S Sign }
+
+// BoolType is bool.
+type BoolType struct{}
+
+// RefType is a reference to unknown-signed storage (see the package
+// comment for why element signs are not tracked).
+type RefType struct{ Elem Type }
+
+func (IntType) isType()  {}
+func (BoolType) isType() {}
+func (RefType) isType()  {}
+
+func (t IntType) String() string { return t.S.String() + " int" }
+func (BoolType) String() string  { return "bool" }
+func (t RefType) String() string { return t.Elem.String() + " ref" }
+
+// Int builds a sign-qualified int type.
+func Int(s Sign) Type { return IntType{s} }
+
+// Bool is the bool type.
+var Bool Type = BoolType{}
+
+// Ref builds a reference type, widening any element sign to Top.
+func Ref(elem Type) Type { return RefType{Widen(elem)} }
+
+// Widen replaces every sign with Top (the shape of the type).
+func Widen(t Type) Type {
+	switch t := t.(type) {
+	case IntType:
+		return IntType{Top}
+	case RefType:
+		return RefType{Widen(t.Elem)}
+	}
+	return t
+}
+
+// Equal is structural equality including signs.
+func Equal(a, b Type) bool {
+	switch a := a.(type) {
+	case IntType:
+		ab, ok := b.(IntType)
+		return ok && a.S == ab.S
+	case BoolType:
+		_, ok := b.(BoolType)
+		return ok
+	case RefType:
+		ab, ok := b.(RefType)
+		return ok && Equal(a.Elem, ab.Elem)
+	}
+	return false
+}
+
+// Subtype is the qualified subtype relation: signs may widen to Top
+// covariantly on ints; references are invariant.
+func Subtype(a, b Type) bool {
+	switch a := a.(type) {
+	case IntType:
+		ab, ok := b.(IntType)
+		return ok && Leq(a.S, ab.S)
+	case BoolType:
+		_, ok := b.(BoolType)
+		return ok
+	case RefType:
+		ab, ok := b.(RefType)
+		return ok && Equal(a.Elem, ab.Elem)
+	}
+	return false
+}
+
+// JoinTypes joins two types of the same shape (for conditionals).
+func JoinTypes(a, b Type) (Type, bool) {
+	switch a := a.(type) {
+	case IntType:
+		ab, ok := b.(IntType)
+		if !ok {
+			return nil, false
+		}
+		return IntType{Join(a.S, ab.S)}, true
+	case BoolType:
+		_, ok := b.(BoolType)
+		return Bool, ok
+	case RefType:
+		ab, ok := b.(RefType)
+		if !ok || !Equal(a.Elem, ab.Elem) {
+			return nil, false
+		}
+		return a, true
+	}
+	return nil, false
+}
+
+// Env is a sign typing environment.
+type Env struct {
+	name   string
+	ty     Type
+	parent *Env
+}
+
+// EmptyEnv is the empty environment.
+func EmptyEnv() *Env { return nil }
+
+// Extend binds name : ty.
+func (g *Env) Extend(name string, ty Type) *Env {
+	return &Env{name: name, ty: ty, parent: g}
+}
+
+// Lookup finds a binding.
+func (g *Env) Lookup(name string) (Type, bool) {
+	for e := g; e != nil; e = e.parent {
+		if e.name == name {
+			return e.ty, true
+		}
+	}
+	return nil, false
+}
+
+// Names returns the domain, innermost first, without duplicates.
+func (g *Env) Names() []string {
+	seen := map[string]bool{}
+	var out []string
+	for e := g; e != nil; e = e.parent {
+		if !seen[e.name] {
+			seen[e.name] = true
+			out = append(out, e.name)
+		}
+	}
+	return out
+}
+
+// Error is a sign type error.
+type Error struct {
+	Pos lang.Pos
+	Msg string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("%s: sign error: %s", e.Pos, e.Msg)
+}
+
+// plusSign is the abstract addition table.
+func plusSign(a, b Sign) Sign {
+	switch {
+	case a == Zero:
+		return b
+	case b == Zero:
+		return a
+	case a == Pos && b == Pos:
+		return Pos
+	case a == Neg && b == Neg:
+		return Neg
+	}
+	return Top
+}
+
+// litSign is the sign of an integer literal.
+func litSign(v int64) Sign {
+	switch {
+	case v > 0:
+		return Pos
+	case v < 0:
+		return Neg
+	}
+	return Zero
+}
+
+// Checker is the standalone sign type system. Like types.Checker it
+// exposes one hook for symbolic blocks; nil rejects them.
+type Checker struct {
+	SymBlock func(env *Env, e lang.Expr) (Type, error)
+}
+
+// Check proves the sign judgment for e.
+func (c *Checker) Check(env *Env, e lang.Expr) (Type, error) {
+	switch e := e.(type) {
+	case lang.Var:
+		t, ok := env.Lookup(e.Name)
+		if !ok {
+			return nil, &Error{e.Pos(), "unbound variable " + e.Name}
+		}
+		return t, nil
+	case lang.IntLit:
+		return Int(litSign(e.Val)), nil
+	case lang.BoolLit:
+		return Bool, nil
+	case lang.Plus:
+		ta, err := c.checkInt(env, e.X, "left operand of +")
+		if err != nil {
+			return nil, err
+		}
+		tb, err := c.checkInt(env, e.Y, "right operand of +")
+		if err != nil {
+			return nil, err
+		}
+		return Int(plusSign(ta, tb)), nil
+	case lang.Eq:
+		ta, err := c.Check(env, e.X)
+		if err != nil {
+			return nil, err
+		}
+		tb, err := c.Check(env, e.Y)
+		if err != nil {
+			return nil, err
+		}
+		if !Equal(Widen(ta), Widen(tb)) {
+			return nil, &Error{e.Pos(), fmt.Sprintf("operands of = have shapes %s and %s", ta, tb)}
+		}
+		return Bool, nil
+	case lang.Lt:
+		if _, err := c.checkInt(env, e.X, "left operand of <"); err != nil {
+			return nil, err
+		}
+		if _, err := c.checkInt(env, e.Y, "right operand of <"); err != nil {
+			return nil, err
+		}
+		return Bool, nil
+	case lang.Not:
+		if err := c.checkBool(env, e.X, "operand of not"); err != nil {
+			return nil, err
+		}
+		return Bool, nil
+	case lang.And:
+		if err := c.checkBool(env, e.X, "left operand of &&"); err != nil {
+			return nil, err
+		}
+		if err := c.checkBool(env, e.Y, "right operand of &&"); err != nil {
+			return nil, err
+		}
+		return Bool, nil
+	case lang.If:
+		if err := c.checkBool(env, e.Cond, "condition of if"); err != nil {
+			return nil, err
+		}
+		tt, err := c.Check(env, e.Then)
+		if err != nil {
+			return nil, err
+		}
+		tf, err := c.Check(env, e.Else)
+		if err != nil {
+			return nil, err
+		}
+		joined, ok := JoinTypes(tt, tf)
+		if !ok {
+			return nil, &Error{e.Pos(), fmt.Sprintf("branches of if have shapes %s and %s", tt, tf)}
+		}
+		return joined, nil
+	case lang.Let:
+		tb, err := c.Check(env, e.Bound)
+		if err != nil {
+			return nil, err
+		}
+		return c.Check(env.Extend(e.Name, tb), e.Body)
+	case lang.Ref:
+		tx, err := c.Check(env, e.X)
+		if err != nil {
+			return nil, err
+		}
+		return Ref(tx), nil
+	case lang.Deref:
+		tx, err := c.Check(env, e.X)
+		if err != nil {
+			return nil, err
+		}
+		r, ok := tx.(RefType)
+		if !ok {
+			return nil, &Error{e.Pos(), fmt.Sprintf("dereference of non-reference %s", tx)}
+		}
+		return r.Elem, nil
+	case lang.Assign:
+		tx, err := c.Check(env, e.X)
+		if err != nil {
+			return nil, err
+		}
+		r, ok := tx.(RefType)
+		if !ok {
+			return nil, &Error{e.Pos(), fmt.Sprintf("assignment to non-reference %s", tx)}
+		}
+		ty, err := c.Check(env, e.Y)
+		if err != nil {
+			return nil, err
+		}
+		if !Subtype(ty, r.Elem) {
+			return nil, &Error{e.Pos(), fmt.Sprintf("assigning %s to %s reference", ty, r.Elem)}
+		}
+		return ty, nil
+	case lang.Fun, lang.App:
+		return nil, &Error{e.Pos(), "the sign system does not cover functions"}
+	case lang.TypedBlock:
+		return c.Check(env, e.Body)
+	case lang.SymBlock:
+		if c.SymBlock == nil {
+			return nil, &Error{e.Pos(), "symbolic block not supported by standalone sign checker"}
+		}
+		return c.SymBlock(env, e.Body)
+	}
+	return nil, fmt.Errorf("signs: unknown expression %T", e)
+}
+
+func (c *Checker) checkInt(env *Env, e lang.Expr, what string) (Sign, error) {
+	t, err := c.Check(env, e)
+	if err != nil {
+		return Top, err
+	}
+	it, ok := t.(IntType)
+	if !ok {
+		return Top, &Error{e.Pos(), fmt.Sprintf("%s has type %s, want int", what, t)}
+	}
+	return it.S, nil
+}
+
+func (c *Checker) checkBool(env *Env, e lang.Expr, what string) error {
+	t, err := c.Check(env, e)
+	if err != nil {
+		return err
+	}
+	if _, ok := t.(BoolType); !ok {
+		return &Error{e.Pos(), fmt.Sprintf("%s has type %s, want bool", what, t)}
+	}
+	return nil
+}

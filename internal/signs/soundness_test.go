@@ -1,0 +1,84 @@
+package signs
+
+import (
+	"testing"
+
+	"mix/internal/concrete"
+	"mix/internal/lang"
+	"mix/internal/langgen"
+)
+
+// TestSignSoundness is the Theorem-1 analogue for the sign
+// instantiation of MIX: if the mixed sign analysis assigns a closed
+// program the type s int, concretely evaluating the program must
+// produce an integer with sign s.
+func TestSignSoundness(t *testing.T) {
+	gen := langgen.New(20100605, langgen.Config{
+		MaxDepth: 4, BlockProb: 0.25, ErrorProb: 0.05,
+		WithRefs: true, WithFuns: false, // the sign system has no functions
+	})
+	accepted := 0
+	for i := 0; i < 400; i++ {
+		prog := gen.Closed()
+		m := NewMixer()
+		ty, err := m.Check(EmptyEnv(), prog)
+		if err != nil {
+			continue
+		}
+		it, isInt := ty.(IntType)
+		if !isInt {
+			continue
+		}
+		accepted++
+		ev := concrete.NewEvaluator()
+		v, cerr := ev.Eval(concrete.EmptyEnv(), concrete.NewMemory(), prog)
+		if cerr != nil {
+			t.Fatalf("sign-accepted program errs concretely: %s: %v", prog, cerr)
+		}
+		iv, ok := v.(concrete.IntV)
+		if !ok {
+			t.Fatalf("sign-typed %s evaluated to non-int %s", prog, v)
+		}
+		switch it.S {
+		case Pos:
+			if iv.Val <= 0 {
+				t.Fatalf("UNSOUND: %s : pos int but evaluates to %d", prog, iv.Val)
+			}
+		case Neg:
+			if iv.Val >= 0 {
+				t.Fatalf("UNSOUND: %s : neg int but evaluates to %d", prog, iv.Val)
+			}
+		case Zero:
+			if iv.Val != 0 {
+				t.Fatalf("UNSOUND: %s : zero int but evaluates to %d", prog, iv.Val)
+			}
+		}
+	}
+	if accepted < 30 {
+		t.Fatalf("only %d int programs accepted; property too weak", accepted)
+	}
+	t.Logf("validated %d sign-typed programs", accepted)
+}
+
+// TestSignMixMorePrecise: for programs where the pure sign table says
+// Top, the symbolic block can recover a precise sign.
+func TestSignMixMorePrecise(t *testing.T) {
+	env := EmptyEnv().Extend("b", Bool)
+	src := "if b then 1 + -1 else 0" // table: pos+neg = Top, joined Top
+	var pure Checker
+	ty, err := pure.Check(env, lang.MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(ty, Int(Top)) {
+		t.Fatalf("pure checker should say unknown, got %s", ty)
+	}
+	m := NewMixer()
+	ty, err = m.Check(env, lang.MustParse("{s "+src+" s}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(ty, Int(Zero)) {
+		t.Fatalf("mixed analysis should prove zero, got %s", ty)
+	}
+}

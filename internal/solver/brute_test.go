@@ -1,0 +1,182 @@
+package solver
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// bruteEnv is an assignment of small integers to integer variables and
+// truth values to boolean variables, used by the brute-force reference
+// evaluator.
+type bruteEnv struct {
+	ints  map[string]int64
+	bools map[string]bool
+}
+
+func bruteEvalTerm(t Term, env bruteEnv) int64 {
+	switch t := t.(type) {
+	case IntConst:
+		return t.Val
+	case IntVar:
+		return env.ints[t.Name]
+	case Add:
+		return bruteEvalTerm(t.X, env) + bruteEvalTerm(t.Y, env)
+	case Neg:
+		return -bruteEvalTerm(t.X, env)
+	case Mul:
+		return t.K * bruteEvalTerm(t.X, env)
+	}
+	panic("brute: unsupported term")
+}
+
+func bruteEvalFormula(f Formula, env bruteEnv) bool {
+	switch f := f.(type) {
+	case BoolConst:
+		return f.Val
+	case BoolVar:
+		return env.bools[f.Name]
+	case Not:
+		return !bruteEvalFormula(f.X, env)
+	case And:
+		return bruteEvalFormula(f.X, env) && bruteEvalFormula(f.Y, env)
+	case Or:
+		return bruteEvalFormula(f.X, env) || bruteEvalFormula(f.Y, env)
+	case Iff:
+		return bruteEvalFormula(f.X, env) == bruteEvalFormula(f.Y, env)
+	case Eq:
+		return bruteEvalTerm(f.X, env) == bruteEvalTerm(f.Y, env)
+	case Le:
+		return bruteEvalTerm(f.X, env) <= bruteEvalTerm(f.Y, env)
+	case Lt:
+		return bruteEvalTerm(f.X, env) < bruteEvalTerm(f.Y, env)
+	}
+	panic("brute: unsupported formula")
+}
+
+// bruteSat searches assignments of {-3..3} to x,y and {t,f} to p,q.
+func bruteSat(f Formula) bool {
+	for xi := int64(-3); xi <= 3; xi++ {
+		for yi := int64(-3); yi <= 3; yi++ {
+			for _, pv := range [2]bool{false, true} {
+				for _, qv := range [2]bool{false, true} {
+					env := bruteEnv{
+						ints:  map[string]int64{"x": xi, "y": yi},
+						bools: map[string]bool{"p": pv, "q": qv},
+					}
+					if bruteEvalFormula(f, env) {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// genFormula builds a random formula over x, y, p, q with small
+// constants.
+func genFormula(r *rand.Rand, depth int) Formula {
+	if depth <= 0 {
+		switch r.Intn(5) {
+		case 0:
+			return BoolVar{[]string{"p", "q"}[r.Intn(2)]}
+		case 1:
+			return Eq{genTerm(r), genTerm(r)}
+		case 2:
+			return Le{genTerm(r), genTerm(r)}
+		case 3:
+			return Lt{genTerm(r), genTerm(r)}
+		default:
+			return BoolConst{r.Intn(2) == 0}
+		}
+	}
+	switch r.Intn(4) {
+	case 0:
+		return And{genFormula(r, depth-1), genFormula(r, depth-1)}
+	case 1:
+		return Or{genFormula(r, depth-1), genFormula(r, depth-1)}
+	case 2:
+		return Not{genFormula(r, depth-1)}
+	default:
+		return Iff{genFormula(r, depth-1), genFormula(r, depth-1)}
+	}
+}
+
+func genTerm(r *rand.Rand) Term {
+	switch r.Intn(4) {
+	case 0:
+		return IntVar{[]string{"x", "y"}[r.Intn(2)]}
+	case 1:
+		return IntConst{int64(r.Intn(5) - 2)}
+	case 2:
+		return Add{genTerm(r), genTerm(r)}
+	default:
+		return Mul{int64(r.Intn(3) + 1), IntVar{[]string{"x", "y"}[r.Intn(2)]}}
+	}
+}
+
+// TestQuickBruteImpliesSat: any formula with a model in the small
+// domain must be reported satisfiable (the solver's "unsat" answers
+// must never be wrong — this is the soundness direction every client
+// relies on).
+func TestQuickBruteImpliesSat(t *testing.T) {
+	r := rand.New(rand.NewSource(20100605)) // PLDI 2010 conference date
+	property := func() bool {
+		f := genFormula(r, 3)
+		if !bruteSat(f) {
+			return true // no small model; no claim either way
+		}
+		sat, err := New().Sat(f)
+		if err != nil {
+			t.Logf("resource error on %s: %v", f, err)
+			return true
+		}
+		if !sat {
+			t.Logf("counterexample: %s has a small model but solver says unsat", f)
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 400}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickValidImpliesBruteTrue: if the solver claims validity, the
+// formula must hold at every point of the small domain.
+func TestQuickValidImpliesBruteTrue(t *testing.T) {
+	r := rand.New(rand.NewSource(1976)) // King 1976
+	property := func() bool {
+		f := genFormula(r, 3)
+		valid, err := New().Valid(f)
+		if err != nil || !valid {
+			return true
+		}
+		return !bruteSat(NewNot(f))
+	}
+	cfg := &quick.Config{MaxCount: 400}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickNegationConsistency: f and !f cannot both be unsatisfiable.
+func TestQuickNegationConsistency(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	property := func() bool {
+		f := genFormula(r, 3)
+		s := New()
+		satF, err1 := s.Sat(f)
+		satNotF, err2 := s.Sat(NewNot(f))
+		if err1 != nil || err2 != nil {
+			return true
+		}
+		return satF || satNotF
+	}
+	cfg := &quick.Config{MaxCount: 300}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,142 @@
+package solver
+
+// Formula is a boolean-sorted formula over integer atoms and boolean
+// variables.
+type Formula interface {
+	isFormula()
+	String() string
+}
+
+// BoolConst is true or false.
+type BoolConst struct{ Val bool }
+
+// BoolVar is a boolean-sorted variable (a symbolic boolean α:bool).
+type BoolVar struct{ Name string }
+
+// Not is logical negation.
+type Not struct{ X Formula }
+
+// And is conjunction.
+type And struct{ X, Y Formula }
+
+// Or is disjunction.
+type Or struct{ X, Y Formula }
+
+// Eq is integer equality between two terms.
+type Eq struct{ X, Y Term }
+
+// Le is X <= Y.
+type Le struct{ X, Y Term }
+
+// Lt is X < Y.
+type Lt struct{ X, Y Term }
+
+// Iff is boolean equivalence; it is what integer-equality on
+// bool-sorted symbolic expressions translates to.
+type Iff struct{ X, Y Formula }
+
+func (BoolConst) isFormula() {}
+func (BoolVar) isFormula()   {}
+func (Not) isFormula()       {}
+func (And) isFormula()       {}
+func (Or) isFormula()        {}
+func (Eq) isFormula()        {}
+func (Le) isFormula()        {}
+func (Lt) isFormula()        {}
+func (Iff) isFormula()       {}
+
+func (f BoolConst) String() string {
+	if f.Val {
+		return "true"
+	}
+	return "false"
+}
+func (f BoolVar) String() string { return f.Name }
+func (f Not) String() string     { return "!" + f.X.String() }
+func (f And) String() string     { return "(" + f.X.String() + " && " + f.Y.String() + ")" }
+func (f Or) String() string      { return "(" + f.X.String() + " || " + f.Y.String() + ")" }
+func (f Eq) String() string      { return "(" + f.X.String() + " == " + f.Y.String() + ")" }
+func (f Le) String() string      { return "(" + f.X.String() + " <= " + f.Y.String() + ")" }
+func (f Lt) String() string      { return "(" + f.X.String() + " < " + f.Y.String() + ")" }
+func (f Iff) String() string     { return "(" + f.X.String() + " <=> " + f.Y.String() + ")" }
+
+// True and False are the boolean constants.
+var (
+	True  Formula = BoolConst{true}
+	False Formula = BoolConst{false}
+)
+
+// NewAnd conjoins with constant folding.
+func NewAnd(x, y Formula) Formula {
+	if bx, ok := x.(BoolConst); ok {
+		if bx.Val {
+			return y
+		}
+		return False
+	}
+	if by, ok := y.(BoolConst); ok {
+		if by.Val {
+			return x
+		}
+		return False
+	}
+	return And{x, y}
+}
+
+// NewOr disjoins with constant folding.
+func NewOr(x, y Formula) Formula {
+	if bx, ok := x.(BoolConst); ok {
+		if bx.Val {
+			return True
+		}
+		return y
+	}
+	if by, ok := y.(BoolConst); ok {
+		if by.Val {
+			return True
+		}
+		return x
+	}
+	return Or{x, y}
+}
+
+// NewNot negates with constant folding and double-negation elimination.
+func NewNot(x Formula) Formula {
+	switch x := x.(type) {
+	case BoolConst:
+		return BoolConst{!x.Val}
+	case Not:
+		return x.X
+	}
+	return Not{x}
+}
+
+// Conj conjoins a list of formulas.
+func Conj(fs ...Formula) Formula {
+	acc := True
+	for _, f := range fs {
+		acc = NewAnd(acc, f)
+	}
+	return acc
+}
+
+// Disj disjoins a list of formulas.
+func Disj(fs ...Formula) Formula {
+	acc := False
+	for _, f := range fs {
+		acc = NewOr(acc, f)
+	}
+	return acc
+}
+
+// Implies builds x -> y.
+func Implies(x, y Formula) Formula { return NewOr(NewNot(x), y) }
+
+// Ge builds x >= y.
+func Ge(x, y Term) Formula { return Le{y, x} }
+
+// Gt builds x > y.
+func Gt(x, y Term) Formula { return Lt{y, x} }
+
+// Neq builds x != y.
+func Neq(x, y Term) Formula { return NewNot(Eq{x, y}) }

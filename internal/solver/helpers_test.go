@@ -1,0 +1,81 @@
+package solver
+
+import "testing"
+
+func TestHelperConstructors(t *testing.T) {
+	mustValid(t, Implies(Eq{x(), c(1)}, Ge(x(), c(1))))
+	mustValid(t, Implies(Gt(x(), c(0)), Ge(x(), c(0))))
+	mustInvalid(t, Implies(Ge(x(), c(0)), Gt(x(), c(0))))
+	mustValid(t, Eq{Sub(x(), x()), c(0)})
+	mustValid(t, Eq{Sum(), c(0)})
+	mustValid(t, Eq{Sum(c(1), c(2), c(3)), c(6)})
+	mustValid(t, Conj())
+	mustUnsat(t, Disj())
+	mustValid(t, Iff{Neq(x(), y()), NewNot(Eq{x(), y()})})
+}
+
+func TestConstantFoldingHelpers(t *testing.T) {
+	if NewAnd(True, BoolVar{"p"}) != (Formula)(BoolVar{"p"}) {
+		t.Fatal("true && p should fold")
+	}
+	if NewAnd(False, BoolVar{"p"}) != False {
+		t.Fatal("false && p should fold")
+	}
+	if NewOr(True, BoolVar{"p"}) != True {
+		t.Fatal("true || p should fold")
+	}
+	if NewNot(NewNot(BoolVar{"p"})) != (Formula)(BoolVar{"p"}) {
+		t.Fatal("double negation should fold")
+	}
+	if NewNot(True) != False {
+		t.Fatal("!true should fold")
+	}
+}
+
+func TestMaxDecisionsBound(t *testing.T) {
+	s := New()
+	s.MaxDecisions = 2
+	// Needs more than 2 decisions to decide.
+	f := Conj(
+		NewOr(BoolVar{"a"}, BoolVar{"b"}),
+		NewOr(BoolVar{"c"}, BoolVar{"d"}),
+		NewOr(BoolVar{"e"}, BoolVar{"f"}),
+		Neq(x(), c(0)),
+	)
+	if _, err := s.Sat(f); err == nil {
+		t.Fatal("expected decision-budget error")
+	}
+}
+
+func TestFormulaStrings(t *testing.T) {
+	f := Iff{NewAnd(BoolVar{"p"}, Lt{x(), y()}), NewOr(Le{x(), c(1)}, Not{X: BoolVar{"q"}})}
+	s := f.String()
+	for _, frag := range []string{"<=>", "&&", "||", "<", "<=", "!q"} {
+		if !contains(s, frag) {
+			t.Fatalf("formula print %q missing %q", s, frag)
+		}
+	}
+	terms := Sum(Neg{x()}, Mul{3, y()}, App{Fn: "f", Args: []Term{x()}})
+	ts := terms.String()
+	for _, frag := range []string{"-x", "3*y", "f(x)"} {
+		if !contains(ts, frag) {
+			t.Fatalf("term print %q missing %q", ts, frag)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestErrResourceMessage(t *testing.T) {
+	err := ErrResource{Msg: "boom"}
+	if err.Error() != "solver: boom" {
+		t.Fatalf("got %q", err.Error())
+	}
+}

@@ -1,0 +1,216 @@
+package solver
+
+import "fmt"
+
+// atomKind distinguishes the kinds of decision atoms.
+type atomKind int
+
+const (
+	atomBool atomKind = iota // a boolean variable
+	atomEq                   // lin = 0
+	atomLe                   // lin <= 0
+	atomLt                   // lin < 0
+)
+
+// atom is a canonicalized decision atom. Arithmetic atoms carry their
+// normalized linear form; boolean atoms carry the variable name.
+type atom struct {
+	kind atomKind
+	key  string
+	l    *lin
+	name string
+}
+
+// node is a formula in negation normal form: negation appears only on
+// literals, and the only arithmetic literal that can be negative is
+// equality (a disequality); <= and < are flipped during conversion.
+type node interface{ isNode() }
+
+type nConst struct{ val bool }
+type nAnd struct{ x, y node }
+type nOr struct{ x, y node }
+type nLit struct {
+	a   *atom
+	pos bool
+}
+
+func (nConst) isNode() {}
+func (nAnd) isNode()   {}
+func (nOr) isNode()    {}
+func (nLit) isNode()   {}
+
+// atomTable interns atoms by canonical key so that syntactically
+// distinct but arithmetically identical atoms share one decision
+// variable.
+type atomTable struct {
+	byKey map[string]*atom
+}
+
+func newAtomTable() *atomTable { return &atomTable{byKey: map[string]*atom{}} }
+
+func (t *atomTable) intern(a *atom) *atom {
+	if got, ok := t.byKey[a.key]; ok {
+		return got
+	}
+	t.byKey[a.key] = a
+	return a
+}
+
+func (t *atomTable) boolAtom(name string) *atom {
+	return t.intern(&atom{kind: atomBool, key: "b:" + name, name: name})
+}
+
+// arithAtom canonicalizes lin ⋈ 0 and returns either a constant node
+// (when lin is variable-free) or a literal.
+func (t *atomTable) arithAtom(kind atomKind, l *lin, pos bool) node {
+	if l.isConst() {
+		var v bool
+		switch kind {
+		case atomEq:
+			v = l.k.Sign() == 0
+		case atomLe:
+			v = l.k.Sign() <= 0
+		case atomLt:
+			v = l.k.Sign() < 0
+		}
+		return nConst{v == pos}
+	}
+	var prefix string
+	switch kind {
+	case atomEq:
+		l.normalizeSign()
+		prefix = "eq:"
+	case atomLe:
+		prefix = "le:"
+	case atomLt:
+		prefix = "lt:"
+	}
+	a := t.intern(&atom{kind: kind, key: prefix + l.canon(), l: l})
+	return nLit{a, pos}
+}
+
+// toNNF converts f (under polarity pos) to negation normal form,
+// interning atoms into t.
+func toNNF(f Formula, pos bool, t *atomTable) (node, error) {
+	switch f := f.(type) {
+	case BoolConst:
+		return nConst{f.Val == pos}, nil
+	case BoolVar:
+		return nLit{t.boolAtom(f.Name), pos}, nil
+	case Not:
+		return toNNF(f.X, !pos, t)
+	case And:
+		x, err := toNNF(f.X, pos, t)
+		if err != nil {
+			return nil, err
+		}
+		y, err := toNNF(f.Y, pos, t)
+		if err != nil {
+			return nil, err
+		}
+		if pos {
+			return mkAnd(x, y), nil
+		}
+		return mkOr(x, y), nil
+	case Or:
+		x, err := toNNF(f.X, pos, t)
+		if err != nil {
+			return nil, err
+		}
+		y, err := toNNF(f.Y, pos, t)
+		if err != nil {
+			return nil, err
+		}
+		if pos {
+			return mkOr(x, y), nil
+		}
+		return mkAnd(x, y), nil
+	case Iff:
+		// pos:  (x && y) || (!x && !y)
+		// !pos: (x && !y) || (!x && y)
+		xT, err := toNNF(f.X, true, t)
+		if err != nil {
+			return nil, err
+		}
+		xF, err := toNNF(f.X, false, t)
+		if err != nil {
+			return nil, err
+		}
+		yT, err := toNNF(f.Y, true, t)
+		if err != nil {
+			return nil, err
+		}
+		yF, err := toNNF(f.Y, false, t)
+		if err != nil {
+			return nil, err
+		}
+		if pos {
+			return mkOr(mkAnd(xT, yT), mkAnd(xF, yF)), nil
+		}
+		return mkOr(mkAnd(xT, yF), mkAnd(xF, yT)), nil
+	case Eq:
+		l, err := linSub(f.X, f.Y)
+		if err != nil {
+			return nil, err
+		}
+		return t.arithAtom(atomEq, l, pos), nil
+	case Le:
+		l, err := linSub(f.X, f.Y) // X - Y <= 0
+		if err != nil {
+			return nil, err
+		}
+		if pos {
+			return t.arithAtom(atomLe, l, true), nil
+		}
+		// !(X <= Y)  ==  Y < X  ==  Y - X < 0.
+		l.scale(ratNegOne())
+		return t.arithAtom(atomLt, l, true), nil
+	case Lt:
+		l, err := linSub(f.X, f.Y) // X - Y < 0
+		if err != nil {
+			return nil, err
+		}
+		if pos {
+			return t.arithAtom(atomLt, l, true), nil
+		}
+		// !(X < Y)  ==  Y <= X.
+		l.scale(ratNegOne())
+		return t.arithAtom(atomLe, l, true), nil
+	case nil:
+		return nil, fmt.Errorf("solver: nil formula")
+	default:
+		return nil, fmt.Errorf("solver: unknown formula %T", f)
+	}
+}
+
+func mkAnd(x, y node) node {
+	if c, ok := x.(nConst); ok {
+		if c.val {
+			return y
+		}
+		return nConst{false}
+	}
+	if c, ok := y.(nConst); ok {
+		if c.val {
+			return x
+		}
+		return nConst{false}
+	}
+	return nAnd{x, y}
+}
+
+func mkOr(x, y node) node {
+	if c, ok := x.(nConst); ok {
+		if c.val {
+			return nConst{true}
+		}
+		return y
+	}
+	if c, ok := y.(nConst); ok {
+		if c.val {
+			return nConst{true}
+		}
+		return x
+	}
+	return nOr{x, y}
+}

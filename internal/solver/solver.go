@@ -1,0 +1,198 @@
+package solver
+
+import (
+	"fmt"
+	"math/big"
+)
+
+func ratNegOne() *big.Rat { return big.NewRat(-1, 1) }
+
+// Stats counts solver work; benchmarks read these to compare the
+// fork-vs-defer tradeoff from Section 3.1 of the paper.
+type Stats struct {
+	SatQueries   int // top-level Sat/Valid calls
+	TheoryChecks int // conjunction checks handed to the arithmetic core
+	Decisions    int // DPLL branch decisions
+	Atoms        int // decision atoms across all queries
+}
+
+// Solver decides satisfiability and validity. The zero value is not
+// ready; use New.
+type Solver struct {
+	// MaxAtoms bounds the number of decision atoms per query; queries
+	// above the bound return an error rather than running away.
+	MaxAtoms int
+	// MaxDecisions bounds total DPLL decisions per query.
+	MaxDecisions int
+	Stats        Stats
+}
+
+// New returns a Solver with default resource bounds.
+func New() *Solver {
+	return &Solver{MaxAtoms: 256, MaxDecisions: 1 << 20}
+}
+
+// ErrResource is returned when a query exceeds the solver's bounds.
+type ErrResource struct{ Msg string }
+
+func (e ErrResource) Error() string { return "solver: " + e.Msg }
+
+// Sat reports whether f is satisfiable (over the rationals for the
+// arithmetic part; see the package comment for the conservativity
+// argument).
+func (s *Solver) Sat(f Formula) (bool, error) {
+	s.Stats.SatQueries++
+	table := newAtomTable()
+	n, err := toNNF(f, true, table)
+	if err != nil {
+		return false, err
+	}
+	if len(table.byKey) > s.MaxAtoms {
+		return false, ErrResource{fmt.Sprintf("query has %d atoms (max %d)", len(table.byKey), s.MaxAtoms)}
+	}
+	s.Stats.Atoms += len(table.byKey)
+	c := &searchCtx{solver: s, assign: map[*atom]bool{}, budget: s.MaxDecisions}
+	ok, err := c.search(n)
+	if err != nil {
+		return false, err
+	}
+	return ok, nil
+}
+
+// Valid reports whether f holds under every valuation.
+func (s *Solver) Valid(f Formula) (bool, error) {
+	sat, err := s.Sat(NewNot(f))
+	if err != nil {
+		return false, err
+	}
+	return !sat, nil
+}
+
+// Tautology reports whether the disjunction of gs is valid. This is
+// the exhaustive(g1, ..., gn) check of the TSYMBLOCK mix rule.
+func (s *Solver) Tautology(gs ...Formula) (bool, error) {
+	return s.Valid(Disj(gs...))
+}
+
+// searchCtx is the state of one DPLL search.
+type searchCtx struct {
+	solver *Solver
+	assign map[*atom]bool
+	budget int
+}
+
+// evalNode evaluates n under the partial assignment; unknown is
+// reported via ok=false together with the first unassigned atom seen.
+func (c *searchCtx) evalNode(n node) (val bool, ok bool, pick *atom) {
+	switch n := n.(type) {
+	case nConst:
+		return n.val, true, nil
+	case nLit:
+		if v, assigned := c.assign[n.a]; assigned {
+			return v == n.pos, true, nil
+		}
+		return false, false, n.a
+	case nAnd:
+		xv, xok, xp := c.evalNode(n.x)
+		if xok && !xv {
+			return false, true, nil
+		}
+		yv, yok, yp := c.evalNode(n.y)
+		if yok && !yv {
+			return false, true, nil
+		}
+		if xok && yok {
+			return true, true, nil
+		}
+		if xp != nil {
+			return false, false, xp
+		}
+		return false, false, yp
+	case nOr:
+		xv, xok, xp := c.evalNode(n.x)
+		if xok && xv {
+			return true, true, nil
+		}
+		yv, yok, yp := c.evalNode(n.y)
+		if yok && yv {
+			return true, true, nil
+		}
+		if xok && yok {
+			return false, true, nil
+		}
+		if xp != nil {
+			return false, false, xp
+		}
+		return false, false, yp
+	}
+	panic("solver: unreachable node kind")
+}
+
+// search runs DPLL with eager theory pruning.
+func (c *searchCtx) search(n node) (bool, error) {
+	val, ok, pick := c.evalNode(n)
+	if ok {
+		if !val {
+			return false, nil
+		}
+		return c.theoryOK(), nil
+	}
+	if c.budget <= 0 {
+		return false, ErrResource{"decision budget exhausted"}
+	}
+	c.budget--
+	c.solver.Stats.Decisions++
+	for _, v := range [2]bool{true, false} {
+		c.assign[pick] = v
+		if pick.kind == atomBool || c.theoryOK() {
+			sat, err := c.search(n)
+			if err != nil {
+				return false, err
+			}
+			if sat {
+				delete(c.assign, pick)
+				return true, nil
+			}
+		}
+	}
+	delete(c.assign, pick)
+	return false, nil
+}
+
+// theoryOK checks the arithmetic consistency of the current literal
+// set.
+func (c *searchCtx) theoryOK() bool {
+	c.solver.Stats.TheoryChecks++
+	var eqs []*lin
+	var ineqs []ineq
+	var diseqs []*lin
+	for a, v := range c.assign {
+		switch a.kind {
+		case atomBool:
+			// Boolean atoms are theory-free.
+		case atomEq:
+			if v {
+				eqs = append(eqs, a.l)
+			} else {
+				diseqs = append(diseqs, a.l)
+			}
+		case atomLe:
+			if v {
+				ineqs = append(ineqs, ineq{a.l, false})
+			} else {
+				neg := a.l.clone()
+				neg.scale(ratNegOne())
+				ineqs = append(ineqs, ineq{neg, true})
+			}
+		case atomLt:
+			if v {
+				ineqs = append(ineqs, ineq{a.l, true})
+			} else {
+				neg := a.l.clone()
+				neg.scale(ratNegOne())
+				ineqs = append(ineqs, ineq{neg, false})
+			}
+		}
+	}
+	return theoryConj(eqs, ineqs, diseqs)
+}

@@ -1,0 +1,110 @@
+package sym
+
+import (
+	"fmt"
+
+	"mix/internal/types"
+)
+
+// write is one logged memory write (for the U set of the ⊢ m ok U
+// judgment).
+type write struct {
+	addr, v Val
+}
+
+// AddrEq decides whether two address expressions denote the same
+// location for the purposes of OVERWRITE-OK. The default is syntactic
+// equivalence (≡); the mix layer can substitute a solver-backed
+// equality "given the current path condition" as the paper suggests.
+type AddrEq func(a, b Val) bool
+
+// MemOK implements ⊢ m ok: memory m is consistently typed — every
+// pointer points to a value of its annotated type — with no
+// potentially inconsistent writes left over.
+func MemOK(m Mem) error { return MemOKWith(m, ValEqual) }
+
+// MemOKWith is MemOK with a custom address-equality oracle.
+func MemOKWith(m Mem, eq AddrEq) error {
+	u, err := memOKU(m, eq)
+	if err != nil {
+		return err
+	}
+	if len(u) > 0 {
+		w := u[0]
+		return fmt.Errorf("inconsistently typed write %s → %s persists", w.addr, w.v)
+	}
+	return nil
+}
+
+// memOKU computes the smallest U such that ⊢ m ok U, processing the
+// log base-first:
+//
+//	EMPTY-OK:         ⊢ μ ok ∅
+//	ALLOC-OK:         allocations preserve U (they are well-typed by
+//	                  construction; a malformed one is treated as an
+//	                  arbitrary write)
+//	OVERWRITE-OK:     a well-typed write to u1:τ ref discharges earlier
+//	                  inconsistent writes to addresses ≡ u1:τ ref
+//	ARBITRARY-NOTOK:  any other write joins U
+func memOKU(m Mem, eq AddrEq) ([]write, error) {
+	switch m := m.(type) {
+	case MemVar:
+		return nil, nil
+	case Alloc:
+		u, err := memOKU(m.Base, eq)
+		if err != nil {
+			return nil, err
+		}
+		if !writeWellTyped(m.Addr, m.V) {
+			u = append(u, write{m.Addr, m.V})
+		}
+		return u, nil
+	case Update:
+		u, err := memOKU(m.Base, eq)
+		if err != nil {
+			return nil, err
+		}
+		if writeWellTyped(m.Addr, m.V) {
+			kept := u[:0]
+			for _, w := range u {
+				if !eq(w.addr, m.Addr) {
+					kept = append(kept, w)
+				}
+			}
+			return kept, nil
+		}
+		return append(u, write{m.Addr, m.V}), nil
+	case CondMem:
+		// Conservative extension for deferred conditionals: both arms
+		// must be consistent.
+		u1, err := memOKU(m.M1, eq)
+		if err != nil {
+			return nil, err
+		}
+		u2, err := memOKU(m.M2, eq)
+		if err != nil {
+			return nil, err
+		}
+		return append(u1, u2...), nil
+	case nil:
+		return nil, fmt.Errorf("nil memory")
+	}
+	return nil, fmt.Errorf("unknown memory %T", m)
+}
+
+// writeWellTyped reports whether addr : τ ref and v : τ. Dynamically
+// typed closure values (UnknownType) are compatible with cells created
+// to hold closures: both sides being UnknownType means the cell stores
+// some function, which is all the type system could know anyway.
+func writeWellTyped(addr, v Val) bool {
+	r, ok := addr.T.(types.RefType)
+	if !ok {
+		return false
+	}
+	if types.Equal(r.Elem, v.T) {
+		return true
+	}
+	_, elemUnk := r.Elem.(types.UnknownType)
+	_, vUnk := v.T.(types.UnknownType)
+	return elemUnk && vUnk
+}

@@ -1,0 +1,187 @@
+package symexec
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStructLocalDirectFields(t *testing.T) {
+	_, outs := run(t, `
+struct pt { int x; int y; };
+int f(void) {
+  struct pt p;
+  p.x = 3;
+  p.y = 4;
+  return p.x + p.y;
+}
+`, "f")
+	if len(outs) != 1 || outs[0].Ret.String() != "(3 + 4)" {
+		t.Fatalf("got %v", outs)
+	}
+}
+
+func TestPointerTruthiness(t *testing.T) {
+	// if (p) is the null test in C.
+	x, _ := run(t, `
+void sink(int *nonnull q) { return; }
+int f(int *p) {
+  if (p) sink(p);
+  return 0;
+}
+`, "f")
+	if len(x.ReportsOf(NullArg)) != 0 {
+		t.Fatalf("if(p) must guard the call: %v", x.Reports)
+	}
+}
+
+func TestNegationAndSubtraction(t *testing.T) {
+	_, outs := run(t, `
+int f(void) {
+  int a = -3;
+  return -a - 1;
+}
+`, "f")
+	if len(outs) != 1 {
+		t.Fatalf("paths = %d", len(outs))
+	}
+	if !strings.Contains(outs[0].Ret.String(), "-") {
+		t.Fatalf("ret = %s", outs[0].Ret)
+	}
+}
+
+func TestReturnInsideLoop(t *testing.T) {
+	_, outs := run(t, `
+int f(void) {
+  int i = 0;
+  while (i < 10) {
+    if (i == 3) return i;
+    i = i + 1;
+  }
+  return -1;
+}
+`, "f")
+	if len(outs) != 1 {
+		t.Fatalf("want 1 path (the solver prunes the rest), got %d", len(outs))
+	}
+	// The executor does not fold arithmetic: i is the unfolded sum.
+	if outs[0].Ret.String() != "(((0 + 1) + 1) + 1)" {
+		t.Fatalf("ret = %s", outs[0].Ret)
+	}
+}
+
+func TestVoidCallStatement(t *testing.T) {
+	x, outs := run(t, `
+int g;
+void bump(void) { g = g + 1; }
+int f(void) {
+  bump();
+  bump();
+  return g;
+}
+`, "f")
+	if len(outs) != 1 {
+		t.Fatalf("paths = %d", len(outs))
+	}
+	if len(x.Reports) != 0 {
+		t.Fatalf("reports: %v", x.Reports)
+	}
+}
+
+func TestPointerEqualityOfAliases(t *testing.T) {
+	_, outs := run(t, `
+int g;
+int f(void) {
+  int *p = &g;
+  int *q = &g;
+  if (p == q) return 1;
+  return 0;
+}
+`, "f")
+	if len(outs) != 1 || outs[0].Ret.String() != "1" {
+		t.Fatalf("aliases must compare equal: %v", outs)
+	}
+}
+
+func TestDerefThroughCast(t *testing.T) {
+	x, outs := run(t, `
+int f(void) {
+  int *p = malloc(sizeof(int));
+  *p = 5;
+  return *((int *) p);
+}
+`, "f")
+	if len(outs) != 1 || outs[0].Ret.String() != "5" {
+		t.Fatalf("got %v", outs)
+	}
+	if len(x.Reports) != 0 {
+		t.Fatalf("reports: %v", x.Reports)
+	}
+}
+
+func TestElseLessIf(t *testing.T) {
+	_, outs := run(t, `
+int f(int n) {
+  int r = 0;
+  if (n > 0) r = 1;
+  return r;
+}
+`, "f")
+	if len(outs) != 2 {
+		t.Fatalf("paths = %d", len(outs))
+	}
+}
+
+func TestConditionalNullFromBothArms(t *testing.T) {
+	// p gets NULL on one path only; the deref afterwards warns, and
+	// the guarded variant does not.
+	x, _ := run(t, `
+int f(int n) {
+  int *p = malloc(sizeof(int));
+  if (n > 0) p = NULL;
+  return *p;
+}
+`, "f")
+	if len(x.ReportsOf(NullDeref)) == 0 {
+		t.Fatalf("expected warning: %v", x.Reports)
+	}
+	x2, _ := run(t, `
+int f(int n) {
+  int *p = malloc(sizeof(int));
+  if (n > 0) p = NULL;
+  if (p != NULL) return *p;
+  return 0;
+}
+`, "f")
+	if len(x2.ReportsOf(NullDeref)) != 0 {
+		t.Fatalf("guarded deref must not warn: %v", x2.Reports)
+	}
+}
+
+func TestDoubleDereference(t *testing.T) {
+	x, outs := run(t, `
+int f(void) {
+  int *p = malloc(sizeof(int));
+  int **pp = &p;
+  *p = 9;
+  return **pp;
+}
+`, "f")
+	if len(outs) != 1 || outs[0].Ret.String() != "9" {
+		t.Fatalf("got %v", outs)
+	}
+	if len(x.Reports) != 0 {
+		t.Fatalf("reports: %v", x.Reports)
+	}
+}
+
+func TestNullComparisonBothOrders(t *testing.T) {
+	x, _ := run(t, `
+int f(int *p) {
+  if (NULL == p) return 0;
+  return *p;
+}
+`, "f")
+	if len(x.ReportsOf(NullDeref)) != 0 {
+		t.Fatalf("NULL == p guard must work: %v", x.Reports)
+	}
+}

@@ -1,0 +1,271 @@
+// Package symexec is MIXY's symbolic executor for MicroC, standing in
+// for Otter (Reisner et al. 2010) in the paper's prototype. It
+// executes functions path by path in the style of KLEE: path
+// conditions are solver formulas, conditionals fork after an SMT
+// feasibility check, memory is a map from abstract objects to cell
+// values initialized lazily and incrementally (Section 4.2), loops are
+// bounded, and a null pointer is the value 0 — dereferencing a
+// possibly-null pointer on a feasible path produces a report.
+//
+// Like the paper's executor it does NOT support calling symbolic
+// function pointers; such calls produce an UnsupportedFnPtr report,
+// which is exactly the limitation that motivates Case 4's typed block.
+package symexec
+
+import (
+	"fmt"
+
+	"mix/internal/microc"
+	"mix/internal/pointer"
+	"mix/internal/solver"
+)
+
+// Value is a symbolic MicroC value.
+type Value interface {
+	isValue()
+	String() string
+}
+
+// VInt is an integer value represented as a solver term.
+type VInt struct{ T solver.Term }
+
+// VNull is the null pointer (the value 0).
+type VNull struct{}
+
+// VObj is a pointer to a cell of an abstract object: the scalar cell
+// when Field is "", or a named field cell.
+type VObj struct {
+	Obj   *Object
+	Field string
+}
+
+// VITE is the conditional value g ? X : Y — the paper's
+// "(α:bool) ? loc : 0" shape used to translate possibly-null pointers.
+type VITE struct {
+	G    solver.Formula
+	X, Y Value
+}
+
+// VFunc is a concrete function reference.
+type VFunc struct{ F *microc.FuncDef }
+
+// VStruct is a struct rvalue: a pointer-free bundle of field values.
+type VStruct struct {
+	Name   string
+	Fields map[string]Value
+}
+
+// VUnknown is an opaque value of a type the executor cannot model
+// precisely (e.g. a symbolic function pointer from an arbitrary
+// context). Using it where precision is required produces a report.
+type VUnknown struct{ Why string }
+
+// VVoid is the result of a void call.
+type VVoid struct{}
+
+func (VInt) isValue()     {}
+func (VNull) isValue()    {}
+func (VObj) isValue()     {}
+func (VITE) isValue()     {}
+func (VFunc) isValue()    {}
+func (VStruct) isValue()  {}
+func (VUnknown) isValue() {}
+func (VVoid) isValue()    {}
+
+func (v VInt) String() string { return v.T.String() }
+func (VNull) String() string  { return "NULL" }
+func (v VObj) String() string {
+	if v.Field == "" {
+		return "&" + v.Obj.Name
+	}
+	return "&" + v.Obj.Name + "." + v.Field
+}
+func (v VITE) String() string {
+	return "(" + v.G.String() + " ? " + v.X.String() + " : " + v.Y.String() + ")"
+}
+func (v VFunc) String() string    { return "&" + v.F.Name }
+func (v VStruct) String() string  { return "struct " + v.Name + "{...}" }
+func (v VUnknown) String() string { return "<unknown:" + v.Why + ">" }
+func (VVoid) String() string      { return "void" }
+
+// Object is an abstract memory object. Objects have identity; their
+// cell contents live in a Memory so that forked paths do not share
+// mutations.
+type Object struct {
+	ID   int
+	Name string
+	// Type is the type of the object's scalar cell, or the struct
+	// type for struct objects.
+	Type microc.Type
+	// Loc is the abstract location this object materializes, when it
+	// corresponds to a program location (drives lazy initialization
+	// and the symbolic-to-typed translation).
+	Loc    pointer.Loc
+	HasLoc bool
+	// Site is the malloc site for heap objects (0 = not a heap
+	// object); used to map heap cells back to qualifier variables.
+	Site int
+}
+
+func (o *Object) String() string { return o.Name }
+
+// cellKey addresses one cell of one object.
+type cellKey struct {
+	obj   *Object
+	field string
+}
+
+// Memory is a persistent-enough memory: a flat map cloned on fork.
+type Memory struct {
+	cells map[cellKey]Value
+}
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory { return &Memory{cells: map[cellKey]Value{}} }
+
+// Clone copies the memory for a forked path.
+func (m *Memory) Clone() *Memory {
+	c := &Memory{cells: make(map[cellKey]Value, len(m.cells))}
+	for k, v := range m.cells {
+		c.cells[k] = v
+	}
+	return c
+}
+
+// Read returns the cell value, if initialized.
+func (m *Memory) Read(obj *Object, field string) (Value, bool) {
+	v, ok := m.cells[cellKey{obj, field}]
+	return v, ok
+}
+
+// Write sets a cell.
+func (m *Memory) Write(obj *Object, field string, v Value) {
+	m.cells[cellKey{obj, field}] = v
+}
+
+// Cells iterates over all initialized cells.
+func (m *Memory) Cells(f func(obj *Object, field string, v Value)) {
+	for k, v := range m.cells {
+		f(k.obj, k.field, v)
+	}
+}
+
+// State is one symbolic execution path: a path condition and memory.
+type State struct {
+	PC  solver.Formula
+	Mem *Memory
+}
+
+// Clone forks the state.
+func (s State) Clone() State {
+	return State{PC: s.PC, Mem: s.Mem.Clone()}
+}
+
+// With returns the state with the path condition extended by f.
+func (s State) With(f solver.Formula) State {
+	return State{PC: solver.NewAnd(s.PC, f), Mem: s.Mem}
+}
+
+// NullFormula returns the condition under which v is the null pointer
+// (exported for MIXY's symbolic-to-typed translation: Section 4.1 asks
+// whether g ∧ (s = 0) is satisfiable).
+func NullFormula(v Value) solver.Formula { return nullFormula(v) }
+
+// nullFormula returns the condition under which v is the null pointer.
+func nullFormula(v Value) solver.Formula {
+	switch v := v.(type) {
+	case VNull:
+		return solver.True
+	case VObj, VFunc:
+		return solver.False
+	case VITE:
+		return solver.NewOr(
+			solver.NewAnd(v.G, nullFormula(v.X)),
+			solver.NewAnd(solver.NewNot(v.G), nullFormula(v.Y)),
+		)
+	case VInt:
+		// An integer used as a pointer: null iff zero.
+		return solver.Eq{X: v.T, Y: solver.IntConst{Val: 0}}
+	case VUnknown:
+		// Unknown values conservatively may be null.
+		return solver.BoolVar{Name: "unknown_null"}
+	}
+	return solver.False
+}
+
+// eqFormula returns the condition under which two pointer-like values
+// are equal.
+func eqFormula(a, b Value) solver.Formula {
+	switch a := a.(type) {
+	case VITE:
+		return solver.NewOr(
+			solver.NewAnd(a.G, eqFormula(a.X, b)),
+			solver.NewAnd(solver.NewNot(a.G), eqFormula(a.Y, b)),
+		)
+	}
+	switch b := b.(type) {
+	case VITE:
+		return solver.NewOr(
+			solver.NewAnd(b.G, eqFormula(a, b.X)),
+			solver.NewAnd(solver.NewNot(b.G), eqFormula(a, b.Y)),
+		)
+	}
+	switch a := a.(type) {
+	case VNull:
+		return nullFormula(b)
+	case VObj:
+		if bo, ok := b.(VObj); ok {
+			if a.Obj == bo.Obj && a.Field == bo.Field {
+				return solver.True
+			}
+		}
+		return solver.False
+	case VFunc:
+		if bf, ok := b.(VFunc); ok && bf.F == a.F {
+			return solver.True
+		}
+		return solver.False
+	case VInt:
+		if bi, ok := b.(VInt); ok {
+			return solver.Eq{X: a.T, Y: bi.T}
+		}
+		if _, ok := b.(VNull); ok {
+			return solver.Eq{X: a.T, Y: solver.IntConst{Val: 0}}
+		}
+		return solver.False
+	}
+	if _, ok := a.(VUnknown); ok {
+		return solver.BoolVar{Name: "unknown_eq"}
+	}
+	if _, ok := b.(VUnknown); ok {
+		return solver.BoolVar{Name: "unknown_eq"}
+	}
+	if _, ok := b.(VNull); ok {
+		return nullFormula(a)
+	}
+	return solver.False
+}
+
+// mkITE builds a conditional value with constant folding.
+func mkITE(g solver.Formula, x, y Value) Value {
+	if c, ok := g.(solver.BoolConst); ok {
+		if c.Val {
+			return x
+		}
+		return y
+	}
+	return VITE{G: g, X: x, Y: y}
+}
+
+// intOf coerces a value to an integer term, or reports failure.
+func intOf(v Value) (solver.Term, bool) {
+	switch v := v.(type) {
+	case VInt:
+		return v.T, true
+	case VNull:
+		return solver.IntConst{Val: 0}, true
+	}
+	return nil, false
+}
+
+var _ = fmt.Sprintf

@@ -1,0 +1,88 @@
+package types
+
+import (
+	"testing"
+
+	"mix/internal/lang"
+)
+
+func TestFunctionTyping(t *testing.T) {
+	wantType(t, "fun x : int -> x + 1", Fun(Int, Int))
+	wantType(t, "(fun x : int -> x + 1) 3", Int)
+	wantType(t, "fun x : int -> fun y : int -> x + y", Fun(Int, Fun(Int, Int)))
+	wantType(t, "(fun x : int -> fun y : int -> x + y) 1 2", Int)
+	wantType(t, "fun b : bool -> not b", Fun(Bool, Bool))
+	wantType(t, "fun r : int ref -> !r", Fun(Ref(Int), Int))
+	wantType(t, "let f = fun x : int -> x in f (f 1)", Int)
+	wantType(t, "fun g : (int -> bool) -> g 0", Fun(Fun(Int, Bool), Bool))
+}
+
+func TestFunctionTypeErrors(t *testing.T) {
+	wantError(t, "fun x -> x", "needs a type annotation")
+	wantError(t, "1 2", "application of non-function")
+	wantError(t, "(fun x : int -> x) true", "argument has type bool")
+	wantError(t, "(fun x : int -> x) = (fun x : int -> x)", "cannot compare functions")
+	wantError(t, "(fun x : int -> x) + 1", "left operand of +")
+}
+
+func TestLtTyping(t *testing.T) {
+	wantType(t, "1 < 2", Bool)
+	wantError(t, "true < 1", "left operand of <")
+	wantError(t, "1 < true", "right operand of <")
+}
+
+// The x-using case needs an env, so test it directly.
+func TestLtWithEnv(t *testing.T) {
+	e := lang.MustParse("if x < 0 then 1 else 2")
+	var c Checker
+	ty, err := c.Check(EmptyEnv().Extend("x", Int), e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(ty, Int) {
+		t.Fatalf("got %s", ty)
+	}
+}
+
+func TestFromExpr(t *testing.T) {
+	cases := []struct {
+		src  string
+		want Type
+	}{
+		{"int", Int},
+		{"bool", Bool},
+		{"int ref", Ref(Int)},
+		{"int ref ref", Ref(Ref(Int))},
+		{"int -> bool", Fun(Int, Bool)},
+		{"int -> bool -> int", Fun(Int, Fun(Bool, Int))},
+		{"(int -> bool) -> int", Fun(Fun(Int, Bool), Int)},
+		{"(int -> bool) ref", Ref(Fun(Int, Bool))},
+	}
+	for _, c := range cases {
+		te, err := lang.ParseType(c.src)
+		if err != nil {
+			t.Errorf("ParseType(%q): %v", c.src, err)
+			continue
+		}
+		got, err := FromExpr(te)
+		if err != nil {
+			t.Errorf("FromExpr(%q): %v", c.src, err)
+			continue
+		}
+		if !Equal(got, c.want) {
+			t.Errorf("FromExpr(%q) = %s, want %s", c.src, got, c.want)
+		}
+	}
+}
+
+func TestUnknownTypeIsIncomparable(t *testing.T) {
+	if Equal(UnknownType{}, UnknownType{}) {
+		t.Fatal("UnknownType must not equal itself")
+	}
+	if Equal(UnknownType{}, Int) || Equal(Int, UnknownType{}) {
+		t.Fatal("UnknownType must not equal int")
+	}
+	if (UnknownType{}).String() != "?" {
+		t.Fatal("bad string")
+	}
+}

@@ -1,0 +1,348 @@
+// Package types implements the entirely standard type system of the
+// paper's Section 3.1: judgments Γ ⊢ e : τ over types
+// τ ::= int | bool | τ ref. The only nonstandard element is a pluggable
+// hook used by the mix rule TSYMBLOCK — the checker itself contains no
+// knowledge of symbolic execution, preserving the paper's claim that
+// the mixed analyses are off-the-shelf.
+package types
+
+import (
+	"fmt"
+
+	"mix/internal/lang"
+)
+
+// Type is a core-language type.
+type Type interface {
+	isType()
+	String() string
+}
+
+// IntType is the type of integers.
+type IntType struct{}
+
+// BoolType is the type of booleans.
+type BoolType struct{}
+
+// RefType is the type of references to Elem.
+type RefType struct{ Elem Type }
+
+// FunType is the type of functions τ1 -> τ2 (the "if we add functions"
+// extension the paper mentions for context sensitivity).
+type FunType struct{ Param, Ret Type }
+
+// UnknownType is the dynamic type of unannotated function values
+// inside the symbolic executor. It never arises in the type checker,
+// and it is not equal to anything (including itself under Equal), so
+// any position that demands a static type rejects it conservatively.
+type UnknownType struct{}
+
+func (IntType) isType()     {}
+func (BoolType) isType()    {}
+func (RefType) isType()     {}
+func (FunType) isType()     {}
+func (UnknownType) isType() {}
+
+func (IntType) String() string  { return "int" }
+func (BoolType) String() string { return "bool" }
+func (t RefType) String() string {
+	return t.Elem.String() + " ref"
+}
+func (t FunType) String() string {
+	return "(" + t.Param.String() + " -> " + t.Ret.String() + ")"
+}
+func (UnknownType) String() string { return "?" }
+
+// Int and Bool are the primitive types.
+var (
+	Int  Type = IntType{}
+	Bool Type = BoolType{}
+)
+
+// Ref builds τ ref.
+func Ref(elem Type) Type { return RefType{elem} }
+
+// Fun builds τ1 -> τ2.
+func Fun(param, ret Type) Type { return FunType{param, ret} }
+
+// Equal reports structural type equality. UnknownType is equal to
+// nothing, including itself.
+func Equal(a, b Type) bool {
+	switch a := a.(type) {
+	case IntType:
+		_, ok := b.(IntType)
+		return ok
+	case BoolType:
+		_, ok := b.(BoolType)
+		return ok
+	case RefType:
+		br, ok := b.(RefType)
+		return ok && Equal(a.Elem, br.Elem)
+	case FunType:
+		bf, ok := b.(FunType)
+		return ok && Equal(a.Param, bf.Param) && Equal(a.Ret, bf.Ret)
+	}
+	return false
+}
+
+// FromExpr converts surface type syntax to a semantic type.
+func FromExpr(te lang.TypeExpr) (Type, error) {
+	switch te := te.(type) {
+	case lang.TyInt:
+		return Int, nil
+	case lang.TyBool:
+		return Bool, nil
+	case lang.TyRef:
+		elem, err := FromExpr(te.Elem)
+		if err != nil {
+			return nil, err
+		}
+		return Ref(elem), nil
+	case lang.TyFun:
+		param, err := FromExpr(te.Param)
+		if err != nil {
+			return nil, err
+		}
+		ret, err := FromExpr(te.Ret)
+		if err != nil {
+			return nil, err
+		}
+		return Fun(param, ret), nil
+	}
+	return nil, fmt.Errorf("types: unknown type syntax %T", te)
+}
+
+// Env is a typing environment Γ. Envs are persistent: Extend returns a
+// new environment sharing structure with the old one.
+type Env struct {
+	name   string
+	ty     Type
+	parent *Env
+}
+
+// EmptyEnv is the empty typing environment.
+func EmptyEnv() *Env { return nil }
+
+// Extend binds name : ty, shadowing any previous binding.
+func (g *Env) Extend(name string, ty Type) *Env {
+	return &Env{name: name, ty: ty, parent: g}
+}
+
+// Lookup finds the type bound to name.
+func (g *Env) Lookup(name string) (Type, bool) {
+	for e := g; e != nil; e = e.parent {
+		if e.name == name {
+			return e.ty, true
+		}
+	}
+	return nil, false
+}
+
+// Names returns the domain of the environment, innermost binding
+// first, without shadowed duplicates.
+func (g *Env) Names() []string {
+	seen := map[string]bool{}
+	var out []string
+	for e := g; e != nil; e = e.parent {
+		if !seen[e.name] {
+			seen[e.name] = true
+			out = append(out, e.name)
+		}
+	}
+	return out
+}
+
+// Error is a static type error with a source position.
+type Error struct {
+	Pos lang.Pos
+	Msg string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("%s: type error: %s", e.Pos, e.Msg)
+}
+
+// Checker type checks core-language expressions. SymBlock, when
+// non-nil, is invoked to derive a type for {s e s} blocks; this is the
+// seam where the TSYMBLOCK mix rule plugs in. A nil SymBlock rejects
+// symbolic blocks, giving the standalone type system of Section 3.1.
+type Checker struct {
+	SymBlock func(env *Env, e lang.Expr) (Type, error)
+}
+
+// Check proves Γ ⊢ e : τ, returning τ or the first type error.
+func (c *Checker) Check(env *Env, e lang.Expr) (Type, error) {
+	switch e := e.(type) {
+	case lang.Var:
+		t, ok := env.Lookup(e.Name)
+		if !ok {
+			return nil, &Error{e.Pos(), fmt.Sprintf("unbound variable %s", e.Name)}
+		}
+		return t, nil
+	case lang.IntLit:
+		return Int, nil
+	case lang.BoolLit:
+		return Bool, nil
+	case lang.Plus:
+		if err := c.checkIs(env, e.X, Int, "left operand of +"); err != nil {
+			return nil, err
+		}
+		if err := c.checkIs(env, e.Y, Int, "right operand of +"); err != nil {
+			return nil, err
+		}
+		return Int, nil
+	case lang.Eq:
+		tx, err := c.Check(env, e.X)
+		if err != nil {
+			return nil, err
+		}
+		ty, err := c.Check(env, e.Y)
+		if err != nil {
+			return nil, err
+		}
+		if isFun(tx) || isFun(ty) {
+			return nil, &Error{e.Pos(), "cannot compare functions with ="}
+		}
+		if !Equal(tx, ty) {
+			return nil, &Error{e.Pos(), fmt.Sprintf("operands of = have types %s and %s", tx, ty)}
+		}
+		return Bool, nil
+	case lang.Lt:
+		if err := c.checkIs(env, e.X, Int, "left operand of <"); err != nil {
+			return nil, err
+		}
+		if err := c.checkIs(env, e.Y, Int, "right operand of <"); err != nil {
+			return nil, err
+		}
+		return Bool, nil
+	case lang.Not:
+		if err := c.checkIs(env, e.X, Bool, "operand of not"); err != nil {
+			return nil, err
+		}
+		return Bool, nil
+	case lang.And:
+		if err := c.checkIs(env, e.X, Bool, "left operand of &&"); err != nil {
+			return nil, err
+		}
+		if err := c.checkIs(env, e.Y, Bool, "right operand of &&"); err != nil {
+			return nil, err
+		}
+		return Bool, nil
+	case lang.If:
+		if err := c.checkIs(env, e.Cond, Bool, "condition of if"); err != nil {
+			return nil, err
+		}
+		tt, err := c.Check(env, e.Then)
+		if err != nil {
+			return nil, err
+		}
+		tf, err := c.Check(env, e.Else)
+		if err != nil {
+			return nil, err
+		}
+		if !Equal(tt, tf) {
+			return nil, &Error{e.Pos(), fmt.Sprintf("branches of if have types %s and %s", tt, tf)}
+		}
+		return tt, nil
+	case lang.Let:
+		tb, err := c.Check(env, e.Bound)
+		if err != nil {
+			return nil, err
+		}
+		return c.Check(env.Extend(e.Name, tb), e.Body)
+	case lang.Ref:
+		tx, err := c.Check(env, e.X)
+		if err != nil {
+			return nil, err
+		}
+		return Ref(tx), nil
+	case lang.Deref:
+		tx, err := c.Check(env, e.X)
+		if err != nil {
+			return nil, err
+		}
+		r, ok := tx.(RefType)
+		if !ok {
+			return nil, &Error{e.Pos(), fmt.Sprintf("dereference of non-reference type %s", tx)}
+		}
+		return r.Elem, nil
+	case lang.Assign:
+		tx, err := c.Check(env, e.X)
+		if err != nil {
+			return nil, err
+		}
+		r, ok := tx.(RefType)
+		if !ok {
+			return nil, &Error{e.Pos(), fmt.Sprintf("assignment to non-reference type %s", tx)}
+		}
+		ty, err := c.Check(env, e.Y)
+		if err != nil {
+			return nil, err
+		}
+		// The type system, unlike the symbolic executor, must preserve
+		// types across writes (see the SEASSIGN discussion in Fig. 3).
+		if !Equal(r.Elem, ty) {
+			return nil, &Error{e.Pos(), fmt.Sprintf("assigning %s to %s reference", ty, r.Elem)}
+		}
+		return ty, nil
+	case lang.Fun:
+		if e.Ann == nil {
+			return nil, &Error{e.Pos(),
+				fmt.Sprintf("parameter %s needs a type annotation for type checking (symbolic blocks accept unannotated functions)", e.Param)}
+		}
+		pt, err := FromExpr(e.Ann)
+		if err != nil {
+			return nil, &Error{e.Pos(), err.Error()}
+		}
+		rt, err := c.Check(env.Extend(e.Param, pt), e.Body)
+		if err != nil {
+			return nil, err
+		}
+		return Fun(pt, rt), nil
+	case lang.App:
+		ft, err := c.Check(env, e.F)
+		if err != nil {
+			return nil, err
+		}
+		fn, ok := ft.(FunType)
+		if !ok {
+			return nil, &Error{e.Pos(), fmt.Sprintf("application of non-function type %s", ft)}
+		}
+		at, err := c.Check(env, e.X)
+		if err != nil {
+			return nil, err
+		}
+		if !Equal(at, fn.Param) {
+			return nil, &Error{e.Pos(), fmt.Sprintf("argument has type %s, function expects %s", at, fn.Param)}
+		}
+		return fn.Ret, nil
+	case lang.TypedBlock:
+		// A typed block within type checking passes through.
+		return c.Check(env, e.Body)
+	case lang.SymBlock:
+		if c.SymBlock == nil {
+			return nil, &Error{e.Pos(), "symbolic block not supported by standalone type checker"}
+		}
+		return c.SymBlock(env, e.Body)
+	}
+	return nil, fmt.Errorf("types: unknown expression %T", e)
+}
+
+func isFun(t Type) bool {
+	switch t.(type) {
+	case FunType, UnknownType:
+		return true
+	}
+	return false
+}
+
+func (c *Checker) checkIs(env *Env, e lang.Expr, want Type, what string) error {
+	got, err := c.Check(env, e)
+	if err != nil {
+		return err
+	}
+	if !Equal(got, want) {
+		return &Error{e.Pos(), fmt.Sprintf("%s has type %s, want %s", what, got, want)}
+	}
+	return nil
+}

@@ -1,0 +1,141 @@
+package types
+
+import (
+	"strings"
+	"testing"
+
+	"mix/internal/lang"
+)
+
+func check(t *testing.T, src string) (Type, error) {
+	t.Helper()
+	e, err := lang.Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	var c Checker
+	return c.Check(EmptyEnv(), e)
+}
+
+func wantType(t *testing.T, src string, want Type) {
+	t.Helper()
+	got, err := check(t, src)
+	if err != nil {
+		t.Fatalf("Check(%q): %v", src, err)
+	}
+	if !Equal(got, want) {
+		t.Fatalf("Check(%q) = %s, want %s", src, got, want)
+	}
+}
+
+func wantError(t *testing.T, src, fragment string) {
+	t.Helper()
+	_, err := check(t, src)
+	if err == nil {
+		t.Fatalf("Check(%q) succeeded, want error containing %q", src, fragment)
+	}
+	if !strings.Contains(err.Error(), fragment) {
+		t.Fatalf("Check(%q) error %q, want fragment %q", src, err, fragment)
+	}
+}
+
+func TestWellTyped(t *testing.T) {
+	wantType(t, "1", Int)
+	wantType(t, "true", Bool)
+	wantType(t, "1 + 2", Int)
+	wantType(t, "1 = 2", Bool)
+	wantType(t, "true = false", Bool)
+	wantType(t, "not true", Bool)
+	wantType(t, "true && false", Bool)
+	wantType(t, "if true then 1 else 2", Int)
+	wantType(t, "let x = 3 in x + x", Int)
+	wantType(t, "ref 5", Ref(Int))
+	wantType(t, "ref ref true", Ref(Ref(Bool)))
+	wantType(t, "!(ref 5)", Int)
+	wantType(t, "let x = ref 1 in x := 2", Int)
+	wantType(t, "let x = ref 1 in let _ = x := 2 in !x", Int)
+	wantType(t, "{t 1 + 2 t}", Int)
+	wantType(t, "let x = 1 in let x = true in x", Bool) // shadowing
+}
+
+func TestIllTyped(t *testing.T) {
+	wantError(t, "x", "unbound variable x")
+	wantError(t, "1 + true", "right operand of +")
+	wantError(t, "true + 1", "left operand of +")
+	wantError(t, "1 = true", "operands of =")
+	wantError(t, "not 1", "operand of not")
+	wantError(t, "1 && true", "left operand of &&")
+	wantError(t, "if 1 then 2 else 3", "condition of if")
+	wantError(t, "if true then 1 else false", "branches of if")
+	wantError(t, "!5", "dereference of non-reference")
+	wantError(t, "1 := 2", "assignment to non-reference")
+	wantError(t, "let x = ref 1 in x := true", "assigning bool to int reference")
+	wantError(t, "(ref 1) = (ref true)", "operands of =")
+	// Reference equality between same-typed refs is allowed.
+	wantType(t, "(ref 1) = (ref 2)", Bool)
+}
+
+func TestSymBlockWithoutHook(t *testing.T) {
+	wantError(t, "{s 1 s}", "symbolic block not supported")
+}
+
+func TestSymBlockHookReceivesEnv(t *testing.T) {
+	e := lang.MustParse("let x = 1 in {s x s}")
+	c := Checker{
+		SymBlock: func(env *Env, body lang.Expr) (Type, error) {
+			got, ok := env.Lookup("x")
+			if !ok || !Equal(got, Int) {
+				t.Fatalf("hook env missing x:int")
+			}
+			return Bool, nil
+		},
+	}
+	ty, err := c.Check(EmptyEnv(), e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(ty, Bool) {
+		t.Fatalf("block type = %s, want hook's bool", ty)
+	}
+}
+
+func TestEnvNames(t *testing.T) {
+	g := EmptyEnv().Extend("a", Int).Extend("b", Bool).Extend("a", Ref(Int))
+	names := g.Names()
+	if len(names) != 2 {
+		t.Fatalf("Names() = %v, want 2 entries", names)
+	}
+	got, _ := g.Lookup("a")
+	if !Equal(got, Ref(Int)) {
+		t.Fatalf("shadowed lookup: got %s", got)
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	if got := Ref(Ref(Int)).String(); got != "int ref ref" {
+		t.Fatalf("got %q", got)
+	}
+	if got := Ref(Bool).String(); got != "bool ref" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if !Equal(Ref(Int), Ref(Int)) || Equal(Ref(Int), Ref(Bool)) || Equal(Int, Bool) {
+		t.Fatal("Equal misbehaves")
+	}
+}
+
+func TestErrorsCarryPosition(t *testing.T) {
+	_, err := check(t, "let x = 1 in\n!x")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	te, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("got %T", err)
+	}
+	if te.Pos.Line != 2 {
+		t.Fatalf("error line = %d, want 2", te.Pos.Line)
+	}
+}

@@ -1,0 +1,198 @@
+// Package mix is a from-scratch reproduction of "Mixing Type Checking
+// and Symbolic Execution" (Khoo, Chang, Foster — PLDI 2010).
+//
+// It provides two entry points, mirroring the paper's two systems:
+//
+//   - The MIX core system (Section 3): a small ML-like language with
+//     typed blocks {t e t} and symbolic blocks {s e s}, checked by an
+//     off-the-shelf type checker and an off-the-shelf symbolic
+//     executor connected only by the two mix rules. Use Parse and
+//     Check.
+//
+//   - The MIXY prototype (Section 4): null/nonnull type qualifier
+//     inference mixed with a symbolic executor over MicroC (a C
+//     subset), switching at functions annotated MIX(typed) or
+//     MIX(symbolic). Use ParseC and AnalyzeC.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// reproduced evaluation.
+package mix
+
+import (
+	"fmt"
+
+	"mix/internal/core"
+	"mix/internal/lang"
+	"mix/internal/microc"
+	"mix/internal/mixy"
+	"mix/internal/sym"
+	"mix/internal/types"
+)
+
+// Mode selects the analysis of the outermost program scope ("we leave
+// unspecified whether the outermost scope is a typed or a symbolic
+// block; MIX can handle either case").
+type Mode int
+
+const (
+	// StartTyped treats the program as wrapped in a typed block.
+	StartTyped Mode = iota
+	// StartSymbolic treats the program as wrapped in a symbolic block.
+	StartSymbolic
+)
+
+// Config configures a core-language mixed check.
+type Config struct {
+	// Mode selects the outermost analysis.
+	Mode Mode
+	// Unsound skips the exhaustive() tautology check, modeling
+	// bug-finding-style symbolic execution.
+	Unsound bool
+	// DeferConditionals uses the SEIF-DEFER rule instead of forking.
+	DeferConditionals bool
+	// SolverAddrEq decides OVERWRITE-OK address equality with the
+	// solver under the path condition instead of syntactically.
+	SolverAddrEq bool
+	// EffectAware skips the SETYPBLOCK memory havoc for typed blocks a
+	// syntactic effect analysis proves write-free (the paper's
+	// Section 3.2 type-and-effect refinement).
+	EffectAware bool
+	// Env declares free variables of the program as name -> type
+	// syntax, e.g. "int", "bool", "int ref", "int -> int".
+	Env map[string]string
+}
+
+// Result is the outcome of a mixed check.
+type Result struct {
+	// Type is the derived type (as a string), when the check passed.
+	Type string
+	// Err is the first error, when the check failed.
+	Err error
+	// Reports lists every symbolic-execution finding, including
+	// discarded infeasible ones (how MIX removes false positives).
+	Reports []string
+	// Paths is the number of symbolic paths explored.
+	Paths int
+	// SolverQueries counts SMT queries issued.
+	SolverQueries int
+}
+
+// Parse parses a core-language program.
+//
+//	expr ::= let x = e in e | if e then e else e | e := e | e && e
+//	       | e = e | e + e | not e | !e | ref e | n | true | false | x
+//	       | (e) | {t e t} | {s e s}
+func Parse(src string) (lang.Expr, error) { return lang.Parse(src) }
+
+// Check runs the mixed analysis on a core-language program.
+func Check(src string, cfg Config) Result {
+	e, err := lang.Parse(src)
+	if err != nil {
+		return Result{Err: err}
+	}
+	return CheckExpr(e, cfg)
+}
+
+// CheckExpr runs the mixed analysis on a parsed program.
+func CheckExpr(e lang.Expr, cfg Config) Result {
+	opts := core.Options{
+		Unsound:      cfg.Unsound,
+		SolverAddrEq: cfg.SolverAddrEq,
+		EffectAware:  cfg.EffectAware,
+	}
+	if cfg.DeferConditionals {
+		opts.IfMode = sym.DeferIf
+	}
+	checker := core.New(opts)
+	env := types.EmptyEnv()
+	for name, ty := range cfg.Env {
+		te, err := lang.ParseType(ty)
+		if err != nil {
+			return Result{Err: fmt.Errorf("mix: bad env type %q for %s: %w", ty, name, err)}
+		}
+		t, err := types.FromExpr(te)
+		if err != nil {
+			return Result{Err: fmt.Errorf("mix: bad env type %q for %s: %w", ty, name, err)}
+		}
+		env = env.Extend(name, t)
+	}
+	var ty types.Type
+	var err error
+	if cfg.Mode == StartSymbolic {
+		ty, err = checker.CheckSymbolic(env, e)
+	} else {
+		ty, err = checker.Check(env, e)
+	}
+	res := Result{
+		Err:           err,
+		Paths:         checker.Executor().Stats.Paths,
+		SolverQueries: checker.Solver().Stats.SatQueries,
+	}
+	if ty != nil {
+		res.Type = ty.String()
+	}
+	for _, r := range checker.Reports {
+		res.Reports = append(res.Reports, r.String())
+	}
+	return res
+}
+
+// CConfig configures a MIXY analysis of a MicroC program.
+type CConfig struct {
+	// Entry is the entry function (default "main").
+	Entry string
+	// PureTypes ignores MIX annotations, giving the paper's baseline:
+	// pure type qualifier inference.
+	PureTypes bool
+	// NoCache disables block caching (Section 4.3).
+	NoCache bool
+	// StrictInit treats uninitialized pointer globals as null (C zero
+	// initialization); the paper's MIXY tracks only explicit NULL
+	// uses.
+	StrictInit bool
+}
+
+// CResult is the outcome of a MIXY analysis.
+type CResult struct {
+	// Warnings are the analysis findings ("null value may reach
+	// nonnull position ...", null dereferences, unsupported function
+	// pointers).
+	Warnings []string
+	// BlocksAnalyzed, CacheHits, FixpointIters and SolverQueries
+	// describe the work done.
+	BlocksAnalyzed int
+	CacheHits      int
+	FixpointIters  int
+	SolverQueries  int
+}
+
+// ParseC parses a MicroC translation unit.
+func ParseC(src string) (*microc.Program, error) { return microc.Parse(src) }
+
+// AnalyzeC runs MIXY (or, with PureTypes, plain qualifier inference)
+// on a MicroC program.
+func AnalyzeC(src string, cfg CConfig) (CResult, error) {
+	prog, err := microc.Parse(src)
+	if err != nil {
+		return CResult{}, err
+	}
+	a, err := mixy.Run(prog, mixy.Options{
+		Entry:             cfg.Entry,
+		IgnoreAnnotations: cfg.PureTypes,
+		NoCache:           cfg.NoCache,
+		StrictInit:        cfg.StrictInit,
+	})
+	if err != nil {
+		return CResult{}, err
+	}
+	res := CResult{
+		BlocksAnalyzed: a.Stats.BlocksAnalyzed,
+		CacheHits:      a.Stats.CacheHits,
+		FixpointIters:  a.Stats.FixpointIters,
+		SolverQueries:  a.Stats.SolverQueries,
+	}
+	for _, w := range a.Warnings {
+		res.Warnings = append(res.Warnings, w.String())
+	}
+	return res, nil
+}
