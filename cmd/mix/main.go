@@ -3,11 +3,18 @@
 //
 // Usage:
 //
-//	mix [-symbolic] [-unsound] [-defer] [-env name:type,...] file.mix
+//	mix [-symbolic] [-unsound] [-defer] [-env name:type,...]
+//	    [-workers n] [-max-paths n] [-memo=false] file.mix
 //
 // The program is read from the file (or stdin when the argument is
 // "-"). Free variables are declared with -env, e.g.
 // -env b:bool,x:int. Exit status 1 means the program was rejected.
+//
+// -workers n runs the parallel path-exploration engine with n workers
+// (0, the default, keeps exploration sequential); -max-paths bounds
+// the engine's total path budget; -memo=false disables the engine's
+// solver memo table. With -v the engine's fork/steal/memo statistics
+// are printed alongside path and query counts.
 package main
 
 import (
@@ -26,6 +33,9 @@ func main() {
 	deferIf := flag.Bool("defer", false, "use SEIF-DEFER instead of forking at conditionals")
 	envFlag := flag.String("env", "", "free variables as name:type pairs, comma separated (types: int, bool, int ref, bool ref)")
 	verbose := flag.Bool("v", false, "print discarded reports and statistics")
+	workers := flag.Int("workers", 0, "parallel engine workers (0 = sequential, no engine)")
+	maxPaths := flag.Int("max-paths", 0, "engine path budget (0 = unlimited)")
+	memo := flag.Bool("memo", true, "memoize solver queries (engine only)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -43,6 +53,9 @@ func main() {
 		Unsound:           *unsound,
 		DeferConditionals: *deferIf,
 		Env:               map[string]string{},
+		Workers:           *workers,
+		MaxPaths:          *maxPaths,
+		NoMemo:            !*memo,
 	}
 	if *symbolic {
 		cfg.Mode = mix.StartSymbolic
@@ -64,6 +77,10 @@ func main() {
 			fmt.Println(r)
 		}
 		fmt.Printf("paths=%d solver-queries=%d\n", res.Paths, res.SolverQueries)
+		if *workers > 0 || *maxPaths > 0 {
+			fmt.Printf("engine: forks=%d steals=%d memo-hits=%d memo-misses=%d solver-time=%v\n",
+				res.Forks, res.Steals, res.MemoHits, res.MemoMisses, res.SolverTime)
+		}
 	}
 	if res.Err != nil {
 		fmt.Fprintln(os.Stderr, res.Err)

@@ -5,14 +5,16 @@
 //
 // Usage:
 //
-//	mixbench [-table E1..E8|X1..X3|all]
+//	mixbench [-table E1..E8|X1..X4|all]
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"text/tabwriter"
 	"time"
@@ -39,10 +41,10 @@ func main() {
 	tables := map[string]func(){
 		"E1": tableE1, "E2": tableE2, "E3": tableE3, "E4": tableE4,
 		"E5": tableE5, "E6": tableE6, "E7": tableE7, "E8": tableE8,
-		"X1": tableX1, "X2": tableX2, "X3": tableX3,
+		"X1": tableX1, "X2": tableX2, "X3": tableX3, "X4": tableX4,
 	}
 	if *table == "all" {
-		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "X1", "X2", "X3"} {
+		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "X1", "X2", "X3", "X4"} {
 			tables[id]()
 			fmt.Println()
 		}
@@ -448,6 +450,94 @@ func tableX3() {
 	fmt.Fprintf(w, "clean programs pure inference warns on\t%d\n", pureFP)
 	fmt.Fprintf(w, "clean programs MIXY warns on\t%d\n", mixFP)
 	w.Flush()
+}
+
+// tableX4 — the parallel path-exploration engine: wall-clock scaling
+// with workers on a fork-heavy program, and solver-memo effectiveness
+// on the E6 cache corpus. Rows are also written to BENCH_engine.json.
+func tableX4() {
+	fmt.Println("X4 — parallel engine: workers scaling and solver memoization")
+	fmt.Println("claims: workers=N explores the same paths faster than workers=1; the memo eliminates repeated solver queries")
+
+	type row struct {
+		Bench         string `json:"bench"`
+		Workers       int    `json:"workers"`
+		Memo          bool   `json:"memo"`
+		TimeNS        int64  `json:"time_ns"`
+		Paths         int    `json:"paths"`
+		Forks         int    `json:"forks"`
+		Steals        int    `json:"steals"`
+		MemoHits      int    `json:"memo_hits"`
+		MemoMisses    int    `json:"memo_misses"`
+		SolverQueries int    `json:"solver_queries"`
+	}
+	var rows []row
+
+	w := newTab()
+	fmt.Fprintln(w, "bench\tworkers\tmemo\tpaths\tforks\tsteals\tmemo hits\tmemo misses\tsolver queries\ttime")
+
+	// (a) Workers scaling: a 10-conditional ladder (1024 forked paths)
+	// explored symbolically, sequential vs parallel. Best of three runs
+	// to damp scheduler noise; on a single-CPU host the parallel row
+	// shows scheduler overhead (steals) rather than speedup.
+	parWorkers := runtime.GOMAXPROCS(0)
+	if parWorkers < 2 {
+		parWorkers = 2
+	}
+	src, env := corpus.Ladder(10)
+	em := envMap(env)
+	for _, workers := range []int{1, parWorkers} {
+		var best time.Duration
+		var res mix.Result
+		for rep := 0; rep < 3; rep++ {
+			start := time.Now()
+			r := mix.Check(src, mix.Config{Mode: mix.StartSymbolic, Env: em, Workers: workers})
+			dur := time.Since(start)
+			must(r.Err)
+			if rep == 0 || dur < best {
+				best, res = dur, r
+			}
+		}
+		rows = append(rows, row{
+			Bench: "ladder-10", Workers: workers, Memo: true,
+			TimeNS: best.Nanoseconds(), Paths: res.Paths, Forks: res.Forks,
+			Steals: res.Steals, MemoHits: res.MemoHits, MemoMisses: res.MemoMisses,
+			SolverQueries: res.SolverQueries,
+		})
+		fmt.Fprintf(w, "ladder-10\t%d\ton\t%d\t%d\t%d\t%d\t%d\t%d\t%v\n",
+			workers, res.Paths, res.Forks, res.Steals,
+			res.MemoHits, res.MemoMisses, res.SolverQueries, best.Round(time.Microsecond))
+	}
+
+	// (b) Memoization: the E3 synthetic-vsftpd corpus (12 functions, 2
+	// symbolic blocks) routed through MIXY's engine at one worker, memo
+	// off vs on. The fixpoint re-proves the same per-cell nullability
+	// formulas across iterations, which is exactly what the memo
+	// deduplicates.
+	memoSrc := corpus.SyntheticVsftpd(12, 2)
+	for _, memo := range []bool{false, true} {
+		start := time.Now()
+		res, err := mix.AnalyzeC(memoSrc, mix.CConfig{Workers: 1, NoMemo: !memo})
+		must(err)
+		dur := time.Since(start)
+		on := "off"
+		if memo {
+			on = "on"
+		}
+		rows = append(rows, row{
+			Bench: "vsftpd-12x2", Workers: 1, Memo: memo,
+			TimeNS: dur.Nanoseconds(), MemoHits: res.MemoHits,
+			MemoMisses: res.MemoMisses, SolverQueries: res.SolverQueries,
+		})
+		fmt.Fprintf(w, "vsftpd-12x2\t%d\t%s\t-\t-\t-\t%d\t%d\t%d\t%v\n",
+			1, on, res.MemoHits, res.MemoMisses, res.SolverQueries, dur.Round(time.Microsecond))
+	}
+	w.Flush()
+
+	out, err := json.MarshalIndent(rows, "", "  ")
+	must(err)
+	must(os.WriteFile("BENCH_engine.json", append(out, '\n'), 0o644))
+	fmt.Println("wrote BENCH_engine.json")
 }
 
 func must(err error) {

@@ -4,11 +4,16 @@
 //
 // Usage:
 //
-//	mixy [-pure] [-entry main] [-nocache] file.mc
+//	mixy [-pure] [-entry main] [-nocache] [-workers n] [-memo=false] file.mc
 //
 // -pure ignores the MIX annotations, giving the paper's baseline of
 // pure type qualifier inference. Exit status 1 means warnings were
 // reported.
+//
+// -workers n routes solver queries through the engine's memoizing pool
+// and evaluates each block's translation queries on n workers (0, the
+// default, keeps the analysis engine-free); -memo=false disables the
+// memo table. -stats then also prints memo hit/miss counts.
 package main
 
 import (
@@ -25,6 +30,8 @@ func main() {
 	entry := flag.String("entry", "main", "entry function")
 	nocache := flag.Bool("nocache", false, "disable block caching")
 	stats := flag.Bool("stats", false, "print analysis statistics")
+	workers := flag.Int("workers", 0, "engine workers for solver queries (0 = no engine)")
+	memo := flag.Bool("memo", true, "memoize solver queries (engine only)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -42,6 +49,8 @@ func main() {
 		Entry:     *entry,
 		PureTypes: *pure,
 		NoCache:   *nocache,
+		Workers:   *workers,
+		NoMemo:    !*memo,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mixy:", err)
@@ -53,6 +62,10 @@ func main() {
 	if *stats {
 		fmt.Printf("blocks=%d cache-hits=%d fixpoint-iters=%d solver-queries=%d\n",
 			res.BlocksAnalyzed, res.CacheHits, res.FixpointIters, res.SolverQueries)
+		if *workers > 0 {
+			fmt.Printf("engine: memo-hits=%d memo-misses=%d solver-time=%v\n",
+				res.MemoHits, res.MemoMisses, res.SolverTime)
+		}
 	}
 	if len(res.Warnings) > 0 {
 		os.Exit(1)

@@ -20,7 +20,9 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
+	"mix/internal/engine"
 	"mix/internal/lang"
 	"mix/internal/solver"
 	"mix/internal/sym"
@@ -56,6 +58,10 @@ type Options struct {
 	// in the path condition. Only meaningful together with Unsound,
 	// since a single concolic path cannot be exhaustive.
 	Concolic bool
+	// Engine, when non-nil, parallelizes path exploration across its
+	// worker pool and routes every solver query through its memoizing
+	// SolverPool. Nil preserves the sequential single-solver behavior.
+	Engine *engine.Engine
 }
 
 // Report records one symbolic-execution finding and whether its path
@@ -78,10 +84,14 @@ func (r Report) String() string {
 
 // Checker runs a mixed analysis. Construct with New.
 type Checker struct {
-	opts    Options
-	typs    *types.Checker
-	exec    *sym.Executor
-	solv    *solver.Solver
+	opts Options
+	typs *types.Checker
+	exec *sym.Executor
+	solv *solver.Solver
+	eng  *engine.Engine
+	// mu guards Reports: parallel branches reach tSymBlock through
+	// nested typed blocks concurrently.
+	mu      sync.Mutex
 	Reports []Report
 }
 
@@ -89,7 +99,7 @@ type Checker struct {
 // symbolic executor, each given a hook that invokes the corresponding
 // mix rule.
 func New(opts Options) *Checker {
-	c := &Checker{opts: opts, solv: solver.New()}
+	c := &Checker{opts: opts, solv: solver.New(), eng: opts.Engine}
 	c.typs = &types.Checker{SymBlock: c.tSymBlock}
 	c.exec = sym.NewExecutor()
 	c.exec.Mode = opts.IfMode
@@ -100,6 +110,7 @@ func New(opts Options) *Checker {
 	}
 	c.exec.TypBlock = c.seTypBlock
 	c.exec.MemCheck = c.memOK
+	c.exec.Engine = opts.Engine
 	return c
 }
 
@@ -108,6 +119,16 @@ func (c *Checker) Solver() *solver.Solver { return c.solv }
 
 // Executor exposes the underlying symbolic executor (for statistics).
 func (c *Checker) Executor() *sym.Executor { return c.exec }
+
+// sat routes satisfiability queries through the engine's memoizing
+// pool when present (required under parallel exploration: the single
+// solver instance is not concurrency-safe), else the plain solver.
+func (c *Checker) sat(f solver.Formula) (bool, error) {
+	if c.eng != nil {
+		return c.eng.Sat(f)
+	}
+	return c.solv.Sat(f)
+}
 
 // Check analyzes e as if wrapped in a typed block at the outermost
 // scope ("MIX can handle either case").
@@ -146,7 +167,7 @@ func (c *Checker) tSymBlock(env *types.Env, e lang.Expr) (types.Type, error) {
 		if ferr != nil {
 			return nil, fmt.Errorf("core: feasibility check failed: %w", ferr)
 		}
-		c.Reports = append(c.Reports, Report{
+		c.addReport(Report{
 			Pos: r.Err.Pos, Msg: r.Err.Msg,
 			Guard: r.Err.State.Guard.String(), Feasible: feasible,
 		})
@@ -174,7 +195,7 @@ func (c *Checker) tSymBlock(env *types.Env, e lang.Expr) (types.Type, error) {
 			if ferr != nil {
 				return nil, fmt.Errorf("core: feasibility check failed: %w", ferr)
 			}
-			c.Reports = append(c.Reports, Report{
+			c.addReport(Report{
 				Pos: e.Pos(), Msg: err.Error(),
 				Guard: r.State.Guard.String(), Feasible: feasible,
 			})
@@ -198,7 +219,7 @@ func (c *Checker) tSymBlock(env *types.Env, e lang.Expr) (types.Type, error) {
 		}
 		// Valid(g1 ∨ ... ∨ gn) given the side constraints: check that
 		// ¬(g1 ∨ ... ∨ gn) ∧ sides is unsatisfiable.
-		counter, err := c.solv.Sat(solver.NewAnd(solver.NewNot(solver.Disj(guards...)), tr.Sides()))
+		counter, err := c.sat(solver.NewAnd(solver.NewNot(solver.Disj(guards...)), tr.Sides()))
 		if err != nil {
 			return nil, fmt.Errorf("core: exhaustiveness check failed: %w", err)
 		}
@@ -307,10 +328,17 @@ func (c *Checker) memOK(st sym.State) error {
 			return false
 		}
 		// Valid under the path condition: g ∧ sides ∧ a≠b unsat.
-		sat, err := c.solv.Sat(solver.Conj(g, tr.Sides(), solver.Neq(ta, tb)))
+		sat, err := c.sat(solver.Conj(g, tr.Sides(), solver.Neq(ta, tb)))
 		return err == nil && !sat
 	}
 	return sym.MemOKWith(st.Mem, eq)
+}
+
+// addReport appends a finding under the report lock.
+func (c *Checker) addReport(r Report) {
+	c.mu.Lock()
+	c.Reports = append(c.Reports, r)
+	c.mu.Unlock()
 }
 
 // feasible checks whether a path condition is satisfiable.
@@ -320,5 +348,5 @@ func (c *Checker) feasible(g sym.Val) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	return c.solv.Sat(solver.NewAnd(f, tr.Sides()))
+	return c.sat(solver.NewAnd(f, tr.Sides()))
 }

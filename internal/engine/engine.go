@@ -1,0 +1,323 @@
+// Package engine is the parallel path-exploration runtime shared by
+// both symbolic executors (internal/sym and internal/symexec) and by
+// MIXY's fixed-point driver.
+//
+// It has two halves:
+//
+//   - A work-stealing fork-join scheduler for path exploration. Every
+//     conditional fork offers its left (then) branch to a bounded pool
+//     of worker slots; if a slot is free the branch runs as an
+//     independent task (a "steal") while the forking path continues
+//     into the right branch, otherwise both branches run inline on the
+//     forking goroutine. Slot acquisition never blocks, so any task
+//     can always make progress by itself and the scheme cannot
+//     deadlock, while live parallelism stays bounded by the worker
+//     count. Joins are ordered — then-results are appended before
+//     else-results regardless of completion order — so the canonical
+//     (sequential depth-first) result and report order is reproduced
+//     exactly.
+//
+//   - A concurrency-safe memoizing solver frontend (SolverPool): path
+//     feasibility queries dominate symbolic-execution wall-clock time
+//     (the paper's Section 4.6 timings), and distinct paths re-prove
+//     identical formulas. The pool hash-conses formulas into compact
+//     keys, memoizes Sat answers in a sharded LRU table, and hands
+//     each concurrent query a private *solver.Solver instance, since
+//     Solver.Stats mutation makes a shared instance racy.
+//
+// A nil *Engine everywhere means "sequential, unmemoized" — exactly
+// the pre-engine behavior.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mix/internal/solver"
+)
+
+// ErrBudget is the sentinel wrapped by errors returned when
+// exploration exceeds the engine's path or fork-depth budget. Callers
+// detect it with errors.Is and turn it into a graceful
+// "budget exhausted" report instead of runaway exploration.
+var ErrBudget = errors.New("engine: exploration budget exhausted")
+
+// Options configures an Engine.
+type Options struct {
+	// Workers is the bound on concurrently running path tasks;
+	// <= 0 means GOMAXPROCS. Workers == 1 gives sequential exploration
+	// with the memoizing solver pool still active.
+	Workers int
+	// MaxPaths bounds the total number of paths the engine will agree
+	// to fork into existence (0 = unlimited). Charging the budget past
+	// the bound returns an error wrapping ErrBudget.
+	MaxPaths int64
+	// MaxForkDepth bounds the fork depth of any single path
+	// (0 = unlimited).
+	MaxForkDepth int
+	// MemoSize bounds the number of memoized solver answers
+	// (0 = default).
+	MemoSize int
+	// NoMemo disables the Sat/Valid memo table (per-worker solver
+	// instances and stats aggregation remain).
+	NoMemo bool
+	// NewSolver builds the per-worker solver instances; nil means
+	// solver.New. Use it to propagate non-default resource bounds.
+	NewSolver func() *solver.Solver
+}
+
+// Stats is an aggregated snapshot of engine work.
+type Stats struct {
+	Workers       int
+	Paths         int64 // completed paths recorded by executors
+	Forks         int64 // conditional forks charged to the engine
+	Steals        int64 // forks whose left branch ran on another worker
+	MemoHits      int64
+	MemoMisses    int64
+	SolverQueries int64 // queries through the pool (hits + misses)
+	SolverUnknown int64 // queries answered "unknown" (resource bounds)
+	SolverTime    time.Duration
+	Exhausted     bool // a path or depth budget was hit
+}
+
+// Engine schedules forked symbolic states across a bounded worker pool
+// and fronts the solver with a shared memo table. Construct with New;
+// an Engine is safe for concurrent use.
+type Engine struct {
+	workers  int
+	maxPaths int64
+	maxDepth int
+
+	// slots holds the worker tokens available for stolen branches; the
+	// forking goroutine itself is the remaining worker, so capacity is
+	// workers-1.
+	slots chan struct{}
+
+	pool *SolverPool
+
+	paths     atomic.Int64
+	forks     atomic.Int64
+	steals    atomic.Int64
+	exhausted atomic.Bool
+
+	failMu sync.Mutex
+	failed error
+}
+
+// New builds an engine from o.
+func New(o Options) *Engine {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{
+		workers:  w,
+		maxPaths: o.MaxPaths,
+		maxDepth: o.MaxForkDepth,
+		slots:    make(chan struct{}, w-1),
+		pool:     newSolverPool(o),
+	}
+}
+
+// Workers reports the worker bound.
+func (e *Engine) Workers() int { return e.workers }
+
+// Pool exposes the memoizing solver frontend.
+func (e *Engine) Pool() *SolverPool { return e.pool }
+
+// Sat decides satisfiability through the memoizing pool.
+func (e *Engine) Sat(f solver.Formula) (bool, error) { return e.pool.Sat(f) }
+
+// Valid decides validity through the memoizing pool.
+func (e *Engine) Valid(f solver.Formula) (bool, error) { return e.pool.Valid(f) }
+
+// Feasible reports whether f is satisfiable, treating solver resource
+// exhaustion — and any other solver failure — as "unknown → keep the
+// path", so budget-limited solving conservatively keeps paths and
+// their reports instead of silently dropping them.
+func (e *Engine) Feasible(f solver.Formula) bool {
+	sat, err := e.pool.Sat(f)
+	if err != nil {
+		return true
+	}
+	return sat
+}
+
+// AddPaths records n completed paths in the aggregate stats.
+func (e *Engine) AddPaths(n int) {
+	if e == nil {
+		return
+	}
+	e.paths.Add(int64(n))
+}
+
+// Charge accounts for one prospective fork at the given depth. It
+// returns the first fatal error if the run is cancelled, or an error
+// wrapping ErrBudget if the fork would exceed the path or depth
+// budget. A nil engine has no budgets.
+func (e *Engine) Charge(depth int) error {
+	if e == nil {
+		return nil
+	}
+	if err := e.bail(); err != nil {
+		return err
+	}
+	if e.maxDepth > 0 && depth >= e.maxDepth {
+		e.exhausted.Store(true)
+		return fmt.Errorf("fork depth %d reached: %w", depth, ErrBudget)
+	}
+	n := e.forks.Add(1)
+	// Each binary fork adds one path beyond the initial one.
+	if e.maxPaths > 0 && n+1 > e.maxPaths {
+		e.forks.Add(-1)
+		e.exhausted.Store(true)
+		return fmt.Errorf("path budget %d reached: %w", e.maxPaths, ErrBudget)
+	}
+	return nil
+}
+
+// fail records the first fatal error; later tasks observe it via bail
+// and unwind instead of continuing to explore.
+func (e *Engine) fail(err error) {
+	e.failMu.Lock()
+	if e.failed == nil {
+		e.failed = err
+	}
+	e.failMu.Unlock()
+}
+
+// bail returns the recorded first fatal error, if any.
+func (e *Engine) bail() error {
+	e.failMu.Lock()
+	defer e.failMu.Unlock()
+	return e.failed
+}
+
+// Fork2 runs left and right — the two branches of a conditional fork —
+// and returns both results in branch order. If a worker slot is free,
+// left is handed to it (a steal) while the caller runs right;
+// otherwise both run inline. Error handling is deterministic: left's
+// error wins over right's, as it would sequentially. The first error
+// also cancels the engine, making sibling tasks unwind early. A nil
+// engine runs left then right on the calling goroutine.
+//
+// (A package-level generic function rather than a method, since Go
+// methods cannot introduce type parameters.)
+func Fork2[T any](e *Engine, left, right func() (T, error)) (lv, rv T, err error) {
+	if e == nil {
+		if lv, err = left(); err != nil {
+			return
+		}
+		rv, err = right()
+		return
+	}
+	if err = e.bail(); err != nil {
+		return
+	}
+	select {
+	case e.slots <- struct{}{}:
+		e.steals.Add(1)
+		var lerr error
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			defer func() { <-e.slots }()
+			lv, lerr = left()
+		}()
+		var rerr error
+		rv, rerr = right()
+		<-done
+		if lerr != nil {
+			err = lerr
+		} else {
+			err = rerr
+		}
+	default:
+		if lv, err = left(); err == nil {
+			rv, err = right()
+		}
+	}
+	if err != nil {
+		e.fail(err)
+	}
+	return
+}
+
+// Map runs fn(0), ..., fn(n-1) across the worker pool and returns the
+// error of the lowest failing index (matching what a sequential loop
+// would surface). All calls complete before Map returns; result
+// ordering is the caller's, via the index.
+func (e *Engine) Map(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if e == nil || e.workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next     atomic.Int64
+		mu       sync.Mutex
+		errIdx   = n
+		firstErr error
+	)
+	work := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			if err := fn(i); err != nil {
+				mu.Lock()
+				if i < errIdx {
+					errIdx, firstErr = i, err
+				}
+				mu.Unlock()
+			}
+		}
+	}
+	var wg sync.WaitGroup
+spawn:
+	for helpers := 0; helpers < e.workers-1 && helpers < n-1; helpers++ {
+		select {
+		case e.slots <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-e.slots }()
+				work()
+			}()
+		default:
+			break spawn
+		}
+	}
+	work()
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	return firstErr
+}
+
+// Snapshot returns the aggregated statistics so far.
+func (e *Engine) Snapshot() Stats {
+	if e == nil {
+		return Stats{}
+	}
+	s := Stats{
+		Workers:   e.workers,
+		Paths:     e.paths.Load(),
+		Forks:     e.forks.Load(),
+		Steals:    e.steals.Load(),
+		Exhausted: e.exhausted.Load(),
+	}
+	e.pool.addTo(&s)
+	return s
+}

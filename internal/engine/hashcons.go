@@ -1,0 +1,97 @@
+package engine
+
+import (
+	"strconv"
+	"sync"
+
+	"mix/internal/solver"
+)
+
+// consTable hash-conses solver formulas and terms: every distinct
+// structure gets a small integer id, assigned bottom-up, so that a
+// formula's memo key is one uint64 and key construction is linear in
+// the number of distinct nodes. Interior nodes encode their children
+// by id, which keeps every encoding string short regardless of formula
+// depth.
+//
+// The table only grows — it is an intern table, not a cache — but
+// entries are a few dozen bytes per distinct subterm, which is far
+// smaller than the memo table the ids feed.
+type consTable struct {
+	mu  sync.Mutex
+	ids map[string]uint64
+}
+
+// formulaID interns f and returns its id. Safe for concurrent use; the
+// whole bottom-up walk runs under one lock, since every step is a map
+// operation.
+func (t *consTable) formulaID(f solver.Formula) uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.formula(f)
+}
+
+func (t *consTable) get(enc string) uint64 {
+	if id, ok := t.ids[enc]; ok {
+		return id
+	}
+	id := uint64(len(t.ids)) + 1
+	t.ids[enc] = id
+	return id
+}
+
+func u64(id uint64) string { return strconv.FormatUint(id, 10) }
+
+// formula encodes one formula node. Tags are disjoint per variant and
+// children are referenced by id, so encodings are injective: equal ids
+// imply structurally equal formulas.
+func (t *consTable) formula(f solver.Formula) uint64 {
+	switch f := f.(type) {
+	case solver.BoolConst:
+		if f.Val {
+			return t.get("T")
+		}
+		return t.get("F")
+	case solver.BoolVar:
+		return t.get("b " + f.Name)
+	case solver.Not:
+		return t.get("! " + u64(t.formula(f.X)))
+	case solver.And:
+		return t.get("& " + u64(t.formula(f.X)) + " " + u64(t.formula(f.Y)))
+	case solver.Or:
+		return t.get("| " + u64(t.formula(f.X)) + " " + u64(t.formula(f.Y)))
+	case solver.Iff:
+		return t.get("<-> " + u64(t.formula(f.X)) + " " + u64(t.formula(f.Y)))
+	case solver.Eq:
+		return t.get("= " + u64(t.term(f.X)) + " " + u64(t.term(f.Y)))
+	case solver.Le:
+		return t.get("<= " + u64(t.term(f.X)) + " " + u64(t.term(f.Y)))
+	case solver.Lt:
+		return t.get("< " + u64(t.term(f.X)) + " " + u64(t.term(f.Y)))
+	}
+	// Unknown variant: fall back to the printed form, still injective
+	// against the tagged encodings above.
+	return t.get("f? " + f.String())
+}
+
+func (t *consTable) term(x solver.Term) uint64 {
+	switch x := x.(type) {
+	case solver.IntConst:
+		return t.get("c " + strconv.FormatInt(x.Val, 10))
+	case solver.IntVar:
+		return t.get("v " + x.Name)
+	case solver.Add:
+		return t.get("+ " + u64(t.term(x.X)) + " " + u64(t.term(x.Y)))
+	case solver.Neg:
+		return t.get("- " + u64(t.term(x.X)))
+	case solver.Mul:
+		return t.get("* " + strconv.FormatInt(x.K, 10) + " " + u64(t.term(x.X)))
+	case solver.App:
+		enc := "@ " + x.Fn
+		for _, a := range x.Args {
+			enc += " " + u64(t.term(a))
+		}
+		return t.get(enc)
+	}
+	return t.get("t? " + x.String())
+}

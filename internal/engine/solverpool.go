@@ -1,0 +1,148 @@
+package engine
+
+import (
+	"container/list"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mix/internal/solver"
+)
+
+// memoShards is the shard count of the memo table; a small power of
+// two keeps per-shard mutexes cheap without contention at the worker
+// counts the scheduler runs.
+const memoShards = 16
+
+// defaultMemoSize bounds the memo table when Options.MemoSize is 0.
+const defaultMemoSize = 1 << 14
+
+// SolverPool is the engine's concurrency-safe solver frontend. It
+// hash-conses formulas into compact keys, memoizes Sat answers in a
+// sharded LRU table, and hands every in-flight query a private
+// *solver.Solver instance (the solver mutates its Stats on every
+// query, so a shared instance would be racy). Construct via New; the
+// zero value is not ready.
+type SolverPool struct {
+	solvers  sync.Pool
+	cons     consTable
+	memo     []memoShard // nil when memoization is disabled
+	shardCap int
+
+	queries atomic.Int64
+	hits    atomic.Int64
+	misses  atomic.Int64
+	unknown atomic.Int64
+	nanos   atomic.Int64
+}
+
+type memoShard struct {
+	mu   sync.Mutex
+	ents map[uint64]*list.Element
+	lru  *list.List // front = most recently used *memoEntry
+}
+
+type memoEntry struct {
+	key uint64
+	sat bool
+	err error
+}
+
+func newSolverPool(o Options) *SolverPool {
+	factory := o.NewSolver
+	if factory == nil {
+		factory = solver.New
+	}
+	p := &SolverPool{
+		solvers: sync.Pool{New: func() any { return factory() }},
+		cons:    consTable{ids: map[string]uint64{}},
+	}
+	if !o.NoMemo {
+		size := o.MemoSize
+		if size <= 0 {
+			size = defaultMemoSize
+		}
+		p.shardCap = (size + memoShards - 1) / memoShards
+		p.memo = make([]memoShard, memoShards)
+		for i := range p.memo {
+			p.memo[i] = memoShard{ents: map[uint64]*list.Element{}, lru: list.New()}
+		}
+	}
+	return p
+}
+
+// Sat decides satisfiability of f, consulting and feeding the memo
+// table. "Unknown" answers (solver resource exhaustion, which wraps
+// solver.ErrLimit) are memoized too: they are deterministic for fixed
+// solver bounds, and re-running them would only rediscover the same
+// exhaustion. Other errors are returned unmemoized.
+func (p *SolverPool) Sat(f solver.Formula) (bool, error) {
+	p.queries.Add(1)
+	if p.memo == nil {
+		return p.solve(f)
+	}
+	key := p.cons.formulaID(f)
+	sh := &p.memo[key%memoShards]
+	sh.mu.Lock()
+	if el, ok := sh.ents[key]; ok {
+		sh.lru.MoveToFront(el)
+		ent := el.Value.(*memoEntry)
+		sh.mu.Unlock()
+		p.hits.Add(1)
+		if ent.err != nil {
+			p.unknown.Add(1)
+		}
+		return ent.sat, ent.err
+	}
+	sh.mu.Unlock()
+	p.misses.Add(1)
+	sat, err := p.solve(f)
+	if err != nil && !errors.Is(err, solver.ErrLimit) {
+		return sat, err
+	}
+	sh.mu.Lock()
+	if _, ok := sh.ents[key]; !ok {
+		sh.ents[key] = sh.lru.PushFront(&memoEntry{key: key, sat: sat, err: err})
+		if sh.lru.Len() > p.shardCap {
+			old := sh.lru.Back()
+			sh.lru.Remove(old)
+			delete(sh.ents, old.Value.(*memoEntry).key)
+		}
+	}
+	sh.mu.Unlock()
+	return sat, err
+}
+
+// Valid decides validity of f. It is implemented as Sat of the
+// negation so that the executors' direct Sat(¬f) queries and Valid(f)
+// share one memo entry.
+func (p *SolverPool) Valid(f solver.Formula) (bool, error) {
+	sat, err := p.Sat(solver.NewNot(f))
+	if err != nil {
+		return false, err
+	}
+	return !sat, nil
+}
+
+// solve runs one query on a pooled per-worker solver instance.
+func (p *SolverPool) solve(f solver.Formula) (bool, error) {
+	s := p.solvers.Get().(*solver.Solver)
+	t0 := time.Now()
+	sat, err := s.Sat(f)
+	p.nanos.Add(int64(time.Since(t0)))
+	p.solvers.Put(s)
+	if err != nil && errors.Is(err, solver.ErrLimit) {
+		p.unknown.Add(1)
+	}
+	return sat, err
+}
+
+// addTo folds the pool's counters into an engine Stats snapshot.
+func (p *SolverPool) addTo(s *Stats) {
+	s.MemoHits = p.hits.Load()
+	s.MemoMisses = p.misses.Load()
+	s.SolverQueries = p.queries.Load()
+	s.SolverUnknown = p.unknown.Load()
+	s.SolverTime = time.Duration(p.nanos.Load())
+}

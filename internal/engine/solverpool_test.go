@@ -1,0 +1,197 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"mix/internal/solver"
+)
+
+func bvar(name string) solver.Formula { return solver.BoolVar{Name: name} }
+
+func TestPoolMemoHit(t *testing.T) {
+	e := New(Options{Workers: 1})
+	f := solver.NewAnd(bvar("a"), bvar("b"))
+	for i := 0; i < 5; i++ {
+		sat, err := e.Sat(f)
+		if err != nil || !sat {
+			t.Fatalf("Sat #%d = %v, %v", i, sat, err)
+		}
+	}
+	s := e.Snapshot()
+	if s.MemoMisses != 1 || s.MemoHits != 4 || s.SolverQueries != 5 {
+		t.Fatalf("stats = %+v, want 1 miss / 4 hits / 5 queries", s)
+	}
+}
+
+func TestPoolMemoKeysByStructure(t *testing.T) {
+	e := New(Options{Workers: 1})
+	// Structurally equal formulas built separately share one entry;
+	// structurally distinct ones do not.
+	if _, err := e.Sat(solver.NewAnd(bvar("a"), bvar("b"))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Sat(solver.NewAnd(bvar("a"), bvar("b"))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Sat(solver.NewAnd(bvar("b"), bvar("a"))); err != nil {
+		t.Fatal(err)
+	}
+	s := e.Snapshot()
+	if s.MemoHits != 1 || s.MemoMisses != 2 {
+		t.Fatalf("stats = %+v, want 1 hit / 2 misses", s)
+	}
+}
+
+func TestPoolValidSharesSatEntry(t *testing.T) {
+	e := New(Options{Workers: 1})
+	f := bvar("a")
+	// Valid(f) is Sat(¬f); a direct Sat(¬f) afterwards must hit.
+	if _, err := e.Valid(f); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Sat(solver.NewNot(f)); err != nil {
+		t.Fatal(err)
+	}
+	s := e.Snapshot()
+	if s.MemoHits != 1 || s.MemoMisses != 1 {
+		t.Fatalf("stats = %+v, want Valid and Sat(¬f) to share one entry", s)
+	}
+}
+
+func TestPoolNoMemo(t *testing.T) {
+	e := New(Options{Workers: 1, NoMemo: true})
+	f := bvar("a")
+	for i := 0; i < 3; i++ {
+		if _, err := e.Sat(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := e.Snapshot()
+	if s.MemoHits != 0 || s.MemoMisses != 0 || s.SolverQueries != 3 {
+		t.Fatalf("stats = %+v, want no memo traffic and 3 queries", s)
+	}
+}
+
+// limitFormula exceeds a MaxAtoms=4 bound: six distinct arithmetic
+// atoms.
+func limitFormula() solver.Formula {
+	var fs []solver.Formula
+	for i := 0; i < 6; i++ {
+		fs = append(fs, solver.Eq{
+			X: solver.IntVar{Name: fmt.Sprintf("x%d", i)},
+			Y: solver.IntConst{Val: int64(i)},
+		})
+	}
+	return solver.Conj(fs...)
+}
+
+func TestPoolMemoizesUnknown(t *testing.T) {
+	e := New(Options{Workers: 1, NewSolver: func() *solver.Solver {
+		s := solver.New()
+		s.MaxAtoms = 4
+		return s
+	}})
+	f := limitFormula()
+	for i := 0; i < 3; i++ {
+		_, err := e.Sat(f)
+		if !errors.Is(err, solver.ErrLimit) {
+			t.Fatalf("Sat #%d = %v, want ErrLimit", i, err)
+		}
+	}
+	s := e.Snapshot()
+	// The exhaustion is deterministic for fixed bounds, so repeats are
+	// memo hits, each still counted as unknown.
+	if s.MemoMisses != 1 || s.MemoHits != 2 || s.SolverUnknown != 3 {
+		t.Fatalf("stats = %+v, want 1 miss / 2 hits / 3 unknown", s)
+	}
+}
+
+func TestPoolUnknownKeepsPath(t *testing.T) {
+	e := New(Options{Workers: 1, NewSolver: func() *solver.Solver {
+		s := solver.New()
+		s.MaxAtoms = 4
+		return s
+	}})
+	if !e.Feasible(limitFormula()) {
+		t.Fatal("resource-exhausted query must be treated as feasible (unknown → keep path)")
+	}
+}
+
+func TestPoolLRUEviction(t *testing.T) {
+	// A tiny memo forces eviction; correctness (answers) must be
+	// unaffected, only hit rate.
+	e := New(Options{Workers: 1, MemoSize: memoShards}) // one entry per shard
+	for i := 0; i < 100; i++ {
+		sat, err := e.Sat(bvar(fmt.Sprintf("v%d", i)))
+		if err != nil || !sat {
+			t.Fatalf("Sat v%d = %v, %v", i, sat, err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		sat, err := e.Sat(bvar(fmt.Sprintf("v%d", i)))
+		if err != nil || !sat {
+			t.Fatalf("re-Sat v%d = %v, %v", i, sat, err)
+		}
+	}
+	if s := e.Snapshot(); s.SolverQueries != 200 {
+		t.Fatalf("queries = %d, want 200", s.SolverQueries)
+	}
+}
+
+func TestPoolConcurrentSat(t *testing.T) {
+	e := New(Options{Workers: 8})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				f := solver.NewAnd(bvar(fmt.Sprintf("c%d", i%10)), bvar("shared"))
+				sat, err := e.Sat(f)
+				if err != nil || !sat {
+					t.Errorf("Sat = %v, %v", sat, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	s := e.Snapshot()
+	if s.SolverQueries != 400 || s.MemoHits+s.MemoMisses != 400 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.MemoHits < 300 {
+		t.Fatalf("only %d hits of 400 queries over 10 distinct formulas", s.MemoHits)
+	}
+}
+
+func TestHashconsDistinguishes(t *testing.T) {
+	tbl := consTable{ids: map[string]uint64{}}
+	pairs := []solver.Formula{
+		bvar("a"),
+		solver.NewNot(bvar("a")),
+		solver.NewAnd(bvar("a"), bvar("b")),
+		solver.NewOr(bvar("a"), bvar("b")),
+		solver.Eq{X: solver.IntVar{Name: "x"}, Y: solver.IntConst{Val: 1}},
+		solver.Le{X: solver.IntVar{Name: "x"}, Y: solver.IntConst{Val: 1}},
+		solver.Lt{X: solver.IntVar{Name: "x"}, Y: solver.IntConst{Val: 1}},
+		solver.Iff{X: bvar("a"), Y: bvar("b")},
+	}
+	seen := map[uint64]int{}
+	for i, f := range pairs {
+		id := tbl.formulaID(f)
+		if j, dup := seen[id]; dup {
+			t.Fatalf("formulas %d and %d collide on id %d", j, i, id)
+		}
+		seen[id] = i
+	}
+	// Re-interning returns identical ids.
+	for i, f := range pairs {
+		if id := tbl.formulaID(f); seen[id] != i {
+			t.Fatalf("formula %d not stable across interning", i)
+		}
+	}
+}

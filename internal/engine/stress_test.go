@@ -1,0 +1,109 @@
+// Determinism stress tests for the parallel engine at the public API:
+// parallel exploration must reproduce the sequential checker's verdict,
+// path count, and report sequence byte for byte.
+package engine_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"mix"
+	"mix/internal/corpus"
+)
+
+// boolTreeExpr builds a complete binary tree of conditionals of the
+// given depth over distinct bool variables. Each leaf re-tests the
+// variable its parent just branched on, so one side is infeasible and
+// carries a type error: the checker must explore 2^depth feasible
+// paths and discard 2^depth infeasible ones, each discard leaving a
+// report. Tree depth 7 gives 255 branching conditionals.
+func boolTreeExpr(depth int) (string, map[string]string) {
+	env := map[string]string{}
+	leaf := 0
+	var emit func(node, d int, parentVar string, parentTaken bool) string
+	emit = func(node, d int, parentVar string, parentTaken bool) string {
+		if d == depth {
+			l := fmt.Sprint(leaf)
+			leaf++
+			// The branch that contradicts the parent's test is
+			// infeasible; its type error must be discarded with a
+			// report.
+			if parentTaken {
+				return "(if " + parentVar + " then " + l + " else (1 + true))"
+			}
+			return "(if " + parentVar + " then (1 + true) else " + l + ")"
+		}
+		v := fmt.Sprintf("b%d", node)
+		env[v] = "bool"
+		return "(if " + v + " then " + emit(2*node+1, d+1, v, true) +
+			" else " + emit(2*node+2, d+1, v, false) + ")"
+	}
+	src := emit(0, 0, "", true)
+	return src, env
+}
+
+func TestCoreParallelMatchesSequential(t *testing.T) {
+	const depth = 7 // 127 + 128 = 255 conditionals
+	src, env := boolTreeExpr(depth)
+
+	seq := mix.Check(src, mix.Config{Mode: mix.StartSymbolic, Env: env})
+	if seq.Err != nil {
+		t.Fatalf("sequential: %v", seq.Err)
+	}
+	if len(seq.Reports) != 1<<depth {
+		t.Fatalf("sequential reports = %d, want one discarded infeasible path per leaf", len(seq.Reports))
+	}
+
+	for _, workers := range []int{1, 2, 8} {
+		par := mix.Check(src, mix.Config{Mode: mix.StartSymbolic, Env: env, Workers: workers})
+		if par.Err != nil {
+			t.Fatalf("workers=%d: %v", workers, par.Err)
+		}
+		if par.Type != seq.Type || par.Paths != seq.Paths {
+			t.Fatalf("workers=%d: type=%q paths=%d, sequential type=%q paths=%d",
+				workers, par.Type, par.Paths, seq.Type, seq.Paths)
+		}
+		if strings.Join(par.Reports, "\n") != strings.Join(seq.Reports, "\n") {
+			t.Fatalf("workers=%d report sequence differs\nseq:\n%s\npar:\n%s",
+				workers, strings.Join(seq.Reports, "\n"), strings.Join(par.Reports, "\n"))
+		}
+	}
+}
+
+func TestLadderParallelMatchesSequential(t *testing.T) {
+	src, envPairs := corpus.Ladder(8)
+	env := map[string]string{}
+	for _, p := range envPairs {
+		env[p[0]] = p[1]
+	}
+	seq := mix.Check(src, mix.Config{Mode: mix.StartSymbolic, Env: env})
+	if seq.Err != nil {
+		t.Fatalf("sequential: %v", seq.Err)
+	}
+	for _, workers := range []int{2, 8} {
+		par := mix.Check(src, mix.Config{Mode: mix.StartSymbolic, Env: env, Workers: workers})
+		if par.Err != nil || par.Type != seq.Type || par.Paths != seq.Paths ||
+			strings.Join(par.Reports, "\n") != strings.Join(seq.Reports, "\n") {
+			t.Fatalf("workers=%d diverges: %+v vs sequential %+v", workers, par, seq)
+		}
+		if par.Forks == 0 {
+			t.Fatalf("workers=%d: engine saw no forks", workers)
+		}
+	}
+}
+
+func TestCorePathBudgetFailsCheck(t *testing.T) {
+	src, envPairs := corpus.Ladder(8) // 256 paths, budget 16
+	env := map[string]string{}
+	for _, p := range envPairs {
+		env[p[0]] = p[1]
+	}
+	res := mix.Check(src, mix.Config{Mode: mix.StartSymbolic, Env: env, Workers: 1, MaxPaths: 16})
+	if res.Err == nil {
+		t.Fatal("path budget must surface as a check error in the core system")
+	}
+	if !strings.Contains(res.Err.Error(), "budget") {
+		t.Fatalf("err = %v, want a budget-exhausted error", res.Err)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"sort"
 
+	"mix/internal/engine"
 	"mix/internal/microc"
 	"mix/internal/pointer"
 	"mix/internal/qual"
@@ -47,6 +48,13 @@ type Options struct {
 	StrictInit bool
 	// MaxFixpoint bounds global fixed-point iterations.
 	MaxFixpoint int
+	// Engine, when non-nil, routes all solver queries through the
+	// engine's memoizing pool and evaluates the symbolic-to-typed
+	// translation queries of each block in parallel across its
+	// workers. Path exploration itself stays serial (the executor
+	// hooks mutate the shared qualifier inference), so results are
+	// identical to a run without an engine.
+	Engine *engine.Engine
 }
 
 // Warning is an analysis finding.
@@ -75,6 +83,7 @@ type Analysis struct {
 	Exec *symexec.Executor
 
 	opts     Options
+	eng      *engine.Engine
 	Warnings []Warning
 	Stats    Stats
 
@@ -112,9 +121,16 @@ func Run(prog *microc.Program, opts Options) (*Analysis, error) {
 	if opts.StrictInit {
 		m.Inf.AddImplicitNullGlobals()
 	}
+	m.eng = opts.Engine
 	m.Exec = symexec.New(prog, m.PA)
 	m.Exec.InitCell = m.initCell
 	m.Exec.TypedCall = m.typedCall
+	if m.eng != nil {
+		// The solver pool is shared; forking stays serial because the
+		// InitCell/TypedCall hooks mutate the inference.
+		m.Exec.Engine = m.eng
+		m.Exec.SerialFork = true
+	}
 
 	entry, ok := prog.Func(opts.Entry)
 	if !ok {
@@ -288,6 +304,29 @@ func (m *Analysis) contextOf(f *microc.FuncDef) string {
 	return f.Name + "(" + fmt.Sprint(parts) + ")" + fmt.Sprint(globalParts)
 }
 
+// sat decides satisfiability through the engine's memoizing pool when
+// present, else the executor's solver.
+func (m *Analysis) sat(f solver.Formula) (bool, error) {
+	if m.eng != nil {
+		return m.eng.Sat(f)
+	}
+	return m.Exec.Solv.Sat(f)
+}
+
+// CachedContexts returns the block-cache keys (block name + typed
+// calling context, Section 4.3) as a sorted snapshot. The cache is a
+// map; consumers that iterate it — diagnostics, tests, future
+// eviction policies — must go through this accessor so runs are
+// reproducible.
+func (m *Analysis) CachedContexts() []string {
+	keys := make([]string, 0, len(m.cache))
+	for k := range m.cache {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
 func (m *Analysis) qualString(q *qual.QType) string {
 	var s string
 	for q != nil && q.Ptr != nil {
@@ -345,35 +384,63 @@ func (m *Analysis) analyzeSymBlock(f *microc.FuncDef) bool {
 	// Symbolic-to-typed translation (Section 4.1): for every named
 	// cell in every final memory, constrain the corresponding
 	// qualifier variable to null if the value may be null under the
-	// path condition.
-	var constrained []*qual.QVar
-	changed := false
+	// path condition. Cells are visited in sorted order — Memory is a
+	// map, and the visit order decides both the constraint reasons and
+	// the cached qualifier list, so it must be reproducible. The
+	// queries are independent of each other, so with an engine they
+	// evaluate in parallel across its workers; constraints are then
+	// applied serially in the deterministic order.
+	type nullCheck struct {
+		q      *qual.QVar
+		f      solver.Formula
+		reason string
+	}
+	var checks []nullCheck
 	for _, o := range outs {
-		o.St.Mem.Cells(func(obj *symexec.Object, field string, v symexec.Value) {
-			q := m.qvarForCell(obj, field)
+		for _, c := range sortedCells(o.St.Mem) {
+			q := m.qvarForCell(c.obj, c.field)
 			if q == nil {
-				return
+				continue
 			}
-			m.Stats.SolverQueries++
-			sat, err := m.Exec.Solv.Sat(solver.NewAnd(o.St.PC, symexec.NullFormula(v)))
-			if err != nil || sat {
-				if m.Inf.ConstrainNull(q, fmt.Sprintf("symbolic block %s leaves %s possibly null", f.Name, obj.Name)) {
-					changed = true
-				}
-				constrained = append(constrained, q)
-			}
-		})
+			checks = append(checks, nullCheck{
+				q:      q,
+				f:      solver.NewAnd(o.St.PC, symexec.NullFormula(c.v)),
+				reason: fmt.Sprintf("symbolic block %s leaves %s possibly null", f.Name, c.obj.Name),
+			})
+		}
 		// The return value translates to the function's return type.
 		if rq := m.Inf.RetQ(f); rq != nil && rq.Ptr != nil && o.Ret != nil {
-			m.Stats.SolverQueries++
-			sat, err := m.Exec.Solv.Sat(solver.NewAnd(o.St.PC, symexec.NullFormula(o.Ret)))
-			if err != nil || sat {
-				if m.Inf.ConstrainNull(rq.Ptr, "symbolic block "+f.Name+" may return null") {
-					changed = true
-				}
-				constrained = append(constrained, rq.Ptr)
-			}
+			checks = append(checks, nullCheck{
+				q:      rq.Ptr,
+				f:      solver.NewAnd(o.St.PC, symexec.NullFormula(o.Ret)),
+				reason: "symbolic block " + f.Name + " may return null",
+			})
 		}
+	}
+	m.Stats.SolverQueries += len(checks)
+	mayNull := make([]bool, len(checks))
+	query := func(i int) error {
+		sat, err := m.sat(checks[i].f)
+		mayNull[i] = err != nil || sat
+		return nil
+	}
+	if m.eng != nil {
+		_ = m.eng.Map(len(checks), query)
+	} else {
+		for i := range checks {
+			_ = query(i)
+		}
+	}
+	var constrained []*qual.QVar
+	changed := false
+	for i, c := range checks {
+		if !mayNull[i] {
+			continue
+		}
+		if m.Inf.ConstrainNull(c.q, c.reason) {
+			changed = true
+		}
+		constrained = append(constrained, c.q)
 	}
 	// Restore aliasing relationships before handing results back to
 	// the typed world (Section 4.2).
@@ -382,6 +449,29 @@ func (m *Analysis) analyzeSymBlock(f *microc.FuncDef) bool {
 		m.cache[key] = constrained
 	}
 	return changed
+}
+
+// memCell is one initialized cell of a symbolic memory.
+type memCell struct {
+	obj   *symexec.Object
+	field string
+	v     symexec.Value
+}
+
+// sortedCells snapshots a memory's cells in deterministic
+// (object-ID, field) order.
+func sortedCells(mem *symexec.Memory) []memCell {
+	var out []memCell
+	mem.Cells(func(obj *symexec.Object, field string, v symexec.Value) {
+		out = append(out, memCell{obj: obj, field: field, v: v})
+	})
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].obj.ID != out[j].obj.ID {
+			return out[i].obj.ID < out[j].obj.ID
+		}
+		return out[i].field < out[j].field
+	})
+	return out
 }
 
 // qvarForCell maps an object cell back to the qualifier variable of
@@ -537,7 +627,7 @@ func (m *Analysis) typedCall(x *symexec.Executor, st symexec.State, f *microc.Fu
 			continue
 		}
 		m.Stats.SolverQueries++
-		sat, err := x.Solv.Sat(solver.NewAnd(st.PC, symexec.NullFormula(args[i])))
+		sat, err := m.sat(solver.NewAnd(st.PC, symexec.NullFormula(args[i])))
 		if err != nil || sat {
 			m.Inf.ConstrainNull(m.Inf.VarQ(p).Ptr,
 				fmt.Sprintf("possibly-null argument to typed function %s at %s", f.Name, pos))
@@ -583,5 +673,9 @@ func (m *Analysis) collectWarnings() {
 			m.Warnings = append(m.Warnings, Warning{Source: "symexec", Msg: r.String()})
 		}
 	}
-	m.Stats.SolverQueries += m.Exec.Solv.Stats.SatQueries
+	if m.eng != nil {
+		m.Stats.SolverQueries += int(m.eng.Snapshot().SolverQueries)
+	} else {
+		m.Stats.SolverQueries += m.Exec.Solv.Stats.SatQueries
+	}
 }

@@ -15,6 +15,7 @@ package pointer
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"mix/internal/microc"
 )
@@ -69,6 +70,10 @@ func (l Loc) String() string {
 
 // Analysis holds solved points-to results.
 type Analysis struct {
+	// mu guards the query API: node interning is lazy, so lookups for
+	// never-generated entities mutate the tables, and parallel symbolic
+	// paths query concurrently.
+	mu    sync.Mutex
 	prog  *microc.Program
 	locs  []Loc
 	byKey map[string]int
@@ -522,6 +527,8 @@ func (a *Analysis) ptsOf(n int) []Loc {
 // PointsToVar returns the abstract locations a declared variable may
 // point to.
 func (a *Analysis) PointsToVar(d *microc.VarDecl) []Loc {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	if d.Kind == microc.FieldVar {
 		return a.ptsOf(a.fieldNode(d.Owner, d.Name))
 	}
@@ -531,21 +538,35 @@ func (a *Analysis) PointsToVar(d *microc.VarDecl) []Loc {
 // PointsToField returns the abstract locations a struct field may
 // point to.
 func (a *Analysis) PointsToField(structName, field string) []Loc {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	return a.ptsOf(a.fieldNode(structName, field))
 }
 
 // PointsToLoc returns the points-to set of an abstract location
 // (chasing one level of indirection).
-func (a *Analysis) PointsToLoc(l Loc) []Loc { return a.ptsOf(l.id) }
+func (a *Analysis) PointsToLoc(l Loc) []Loc {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.ptsOf(l.id)
+}
 
 // CallTargets returns the possible callees of a call expression.
 func (a *Analysis) CallTargets(e *microc.Call) []*microc.FuncDef {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	return a.callTargets[e]
 }
 
 // LValueLocs returns the abstract locations an lvalue expression may
 // denote.
 func (a *Analysis) LValueLocs(e microc.Expr) []Loc {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.lvalueLocs(e)
+}
+
+func (a *Analysis) lvalueLocs(e microc.Expr) []Loc {
 	switch e := e.(type) {
 	case *microc.VarRef:
 		if d, ok := e.Ref.(*microc.VarDecl); ok {
@@ -564,7 +585,7 @@ func (a *Analysis) LValueLocs(e microc.Expr) []Loc {
 			return []Loc{a.locs[n]}
 		}
 	case *microc.Cast:
-		return a.LValueLocs(e.X)
+		return a.lvalueLocs(e.X)
 	}
 	return nil
 }
@@ -593,8 +614,10 @@ func (a *Analysis) exprOrVar(e microc.Expr) (int, bool) {
 // MayAlias reports whether two lvalue expressions may denote the same
 // location.
 func (a *Analysis) MayAlias(e1, e2 microc.Expr) bool {
-	l1 := a.LValueLocs(e1)
-	l2 := a.LValueLocs(e2)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	l1 := a.lvalueLocs(e1)
+	l2 := a.lvalueLocs(e2)
 	for _, x := range l1 {
 		for _, y := range l2 {
 			if x.id == y.id {

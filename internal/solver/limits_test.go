@@ -1,0 +1,59 @@
+package solver
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestMaxAtomsExhaustion(t *testing.T) {
+	s := New()
+	s.MaxAtoms = 4
+	var fs []Formula
+	for i := 0; i < 6; i++ {
+		fs = append(fs, Eq{X: IntVar{Name: fmt.Sprintf("x%d", i)}, Y: IntConst{Val: int64(i)}})
+	}
+	_, err := s.Sat(Conj(fs...))
+	if err == nil {
+		t.Fatal("6 atoms under MaxAtoms=4 must error")
+	}
+	if !errors.Is(err, ErrLimit) {
+		t.Fatalf("err = %v, want errors.Is(err, ErrLimit)", err)
+	}
+	var re ErrResource
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %T, want ErrResource", err)
+	}
+}
+
+func TestMaxDecisionsExhaustion(t *testing.T) {
+	s := New()
+	s.MaxDecisions = 1
+	// (a <-> b) needs decisions on both boolean atoms before any
+	// assignment satisfies it, so a budget of one decision is exhausted
+	// mid-search.
+	f := Iff{X: BoolVar{Name: "a"}, Y: BoolVar{Name: "b"}}
+	_, err := s.Sat(f)
+	if !errors.Is(err, ErrLimit) {
+		t.Fatalf("err = %v, want errors.Is(err, ErrLimit)", err)
+	}
+}
+
+func TestWithinLimitsNoError(t *testing.T) {
+	s := New()
+	s.MaxAtoms = 4
+	s.MaxDecisions = 16
+	sat, err := s.Sat(NewAnd(BoolVar{Name: "a"}, NewNot(BoolVar{Name: "b"})))
+	if err != nil || !sat {
+		t.Fatalf("Sat = %v, %v; bounds must not fire under budget", sat, err)
+	}
+}
+
+func TestErrLimitDistinguishesOtherErrors(t *testing.T) {
+	if errors.Is(errors.New("unrelated"), ErrLimit) {
+		t.Fatal("unrelated errors must not match ErrLimit")
+	}
+	if !errors.Is(ErrResource{Msg: "decision budget exhausted"}, ErrLimit) {
+		t.Fatal("every ErrResource must wrap ErrLimit")
+	}
+}

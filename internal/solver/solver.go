@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"errors"
 	"fmt"
 	"math/big"
 )
@@ -32,10 +33,21 @@ func New() *Solver {
 	return &Solver{MaxAtoms: 256, MaxDecisions: 1 << 20}
 }
 
-// ErrResource is returned when a query exceeds the solver's bounds.
+// ErrLimit is the sentinel wrapped by every resource-exhaustion error
+// (MaxAtoms, MaxDecisions). Clients that must distinguish "the query
+// is too big for the configured bounds" (answer: unknown) from a
+// genuine failure test errors.Is(err, ErrLimit); the engine classifies
+// such queries as "unknown → keep path".
+var ErrLimit = errors.New("solver: resource limit exceeded")
+
+// ErrResource is returned when a query exceeds the solver's bounds. It
+// wraps ErrLimit.
 type ErrResource struct{ Msg string }
 
 func (e ErrResource) Error() string { return "solver: " + e.Msg }
+
+// Unwrap makes errors.Is(err, ErrLimit) hold for resource errors.
+func (e ErrResource) Unwrap() error { return ErrLimit }
 
 // Sat reports whether f is satisfiable (over the rationals for the
 // arithmetic part; see the package comment for the conservativity

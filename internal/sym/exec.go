@@ -2,7 +2,10 @@ package sym
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
+	"mix/internal/engine"
 	"mix/internal/lang"
 	"mix/internal/types"
 )
@@ -74,7 +77,13 @@ type Executor struct {
 	// MaxSteps bounds evaluation steps per Run; closures stored in
 	// references can tie Landin's knot, so execution needs fuel.
 	MaxSteps int
-	steps    int
+	steps    atomic.Int64
+	// Engine, when non-nil, runs the two branches of each conditional
+	// fork as parallel scheduler tasks (joined in branch order, so
+	// results keep the sequential depth-first order) and enforces the
+	// engine's path and depth budgets. A nil Engine gives the original
+	// sequential executor.
+	Engine *engine.Engine
 	// TypBlock, when non-nil, analyzes {t e t} blocks; this is the
 	// seam where the SETYPBLOCK mix rule plugs in. A nil TypBlock
 	// rejects typed blocks, giving the standalone executor.
@@ -84,7 +93,9 @@ type Executor struct {
 	// solver-backed variant that decides address equality under the
 	// current path condition.
 	MemCheck func(st State) error
-	Stats    Stats
+	// statsMu guards Stats when branches execute in parallel.
+	statsMu sync.Mutex
+	Stats   Stats
 }
 
 // NewExecutor returns an executor with default settings: forking
@@ -114,7 +125,7 @@ func (x *Executor) InitialState() State {
 // language (unbound variable, unsupported block) or a resource bound
 // was hit — not a type error, which is reported per-path.
 func (x *Executor) Run(env *Env, st State, e lang.Expr) ([]Result, error) {
-	x.steps = x.MaxSteps
+	x.steps.Store(int64(x.MaxSteps))
 	rs, err := x.run(env, st, e)
 	if err != nil {
 		return nil, err
@@ -126,7 +137,10 @@ func (x *Executor) Run(env *Env, st State, e lang.Expr) ([]Result, error) {
 		}
 		kept = append(kept, r)
 	}
+	x.statsMu.Lock()
 	x.Stats.Paths += len(kept)
+	x.statsMu.Unlock()
+	x.Engine.AddPaths(len(kept))
 	return kept, nil
 }
 
@@ -163,10 +177,9 @@ func (x *Executor) seq(env *Env, st State, e lang.Expr, k func(State, Val) ([]Re
 func one(st State, v Val) []Result { return []Result{{State: st, Val: v}} }
 
 func (x *Executor) run(env *Env, st State, e lang.Expr) ([]Result, error) {
-	if x.steps <= 0 {
+	if x.steps.Add(-1) < 0 {
 		return nil, fmt.Errorf("sym: step budget exceeded (possible divergence through stored closures)")
 	}
-	x.steps--
 	switch e := e.(type) {
 	case lang.Var:
 		// SEVAR: no reduction if the variable is unbound.
@@ -494,17 +507,25 @@ func (x *Executor) runIf(env *Env, st State, e lang.If) ([]Result, error) {
 		switch x.Mode {
 		case ForkIf:
 			// SEIF-TRUE and SEIF-FALSE: fork, extending the path
-			// condition with the choice made.
-			x.Stats.Forks++
-			thenSt := s1
-			thenSt.Guard = MkAnd(s1.Guard, g1)
-			elseSt := s1
-			elseSt.Guard = MkAnd(s1.Guard, MkNot(g1))
-			thenRs, err := x.run(env, thenSt, e.Then)
-			if err != nil {
+			// condition with the choice made. With an engine the two
+			// branches run as parallel tasks; the ordered join keeps
+			// then-results before else-results, reproducing the
+			// sequential result order exactly.
+			if err := x.Engine.Charge(s1.depth); err != nil {
 				return nil, err
 			}
-			elseRs, err := x.run(env, elseSt, e.Else)
+			x.statsMu.Lock()
+			x.Stats.Forks++
+			x.statsMu.Unlock()
+			thenSt := s1
+			thenSt.Guard = MkAnd(s1.Guard, g1)
+			thenSt.depth = s1.depth + 1
+			elseSt := s1
+			elseSt.Guard = MkAnd(s1.Guard, MkNot(g1))
+			elseSt.depth = s1.depth + 1
+			thenRs, elseRs, err := engine.Fork2(x.Engine,
+				func() ([]Result, error) { return x.run(env, thenSt, e.Then) },
+				func() ([]Result, error) { return x.run(env, elseSt, e.Else) })
 			if err != nil {
 				return nil, err
 			}
@@ -513,16 +534,15 @@ func (x *Executor) runIf(env *Env, st State, e lang.If) ([]Result, error) {
 		case DeferIf:
 			// SEIF-DEFER: execute both branches and merge with
 			// conditional symbolic expressions, giving the solver the
-			// disjunction instead of forking.
+			// disjunction instead of forking. The two branch executions
+			// are still independent, so they parallelize the same way.
 			thenSt := s1
 			thenSt.Guard = MkAnd(s1.Guard, g1)
 			elseSt := s1
 			elseSt.Guard = MkAnd(s1.Guard, MkNot(g1))
-			thenRs, err := x.run(env, thenSt, e.Then)
-			if err != nil {
-				return nil, err
-			}
-			elseRs, err := x.run(env, elseSt, e.Else)
+			thenRs, elseRs, err := engine.Fork2(x.Engine,
+				func() ([]Result, error) { return x.run(env, thenSt, e.Then) },
+				func() ([]Result, error) { return x.run(env, elseSt, e.Else) })
 			if err != nil {
 				return nil, err
 			}
@@ -553,7 +573,9 @@ func (x *Executor) runIf(env *Env, st State, e lang.If) ([]Result, error) {
 							"branches of deferred if have types %s and %s", rt.Val.T, re.Val.T)...)
 						continue
 					}
+					x.statsMu.Lock()
 					x.Stats.Merges++
+					x.statsMu.Unlock()
 					merged := State{
 						Guard: Val{CondOp{g1, rt.State.Guard, re.State.Guard}, types.Bool},
 						Mem:   condMem(g1, rt.State.Mem, re.State.Mem),

@@ -9,6 +9,7 @@ package sym
 
 import (
 	"fmt"
+	"sync"
 
 	"mix/internal/lang"
 	"mix/internal/types"
@@ -169,6 +170,9 @@ func (m Alloc) String() string {
 type State struct {
 	Guard Val // bool-typed
 	Mem   Mem
+	// depth counts conditional forks taken along this path; the engine
+	// charges it against the fork-depth budget.
+	depth int
 }
 
 func (s State) String() string {
@@ -218,25 +222,38 @@ func (e *Env) Names() []string {
 // Fresh generates fresh symbolic variable and memory IDs; a single
 // generator is shared across an entire mixed analysis so that
 // freshness conditions (α ∉ Σ, S) hold globally.
-type Fresh struct{ n int }
+type Fresh struct {
+	mu sync.Mutex
+	n  int
+}
 
 // NewFresh returns a fresh-name generator.
 func NewFresh() *Fresh { return &Fresh{} }
 
 // Var returns a fresh symbolic variable of type t.
 func (f *Fresh) Var(t types.Type, hint string) Val {
+	f.mu.Lock()
 	f.n++
-	return Val{SymVar{ID: f.n, Name: hint}, t}
+	n := f.n
+	f.mu.Unlock()
+	return Val{SymVar{ID: n, Name: hint}, t}
 }
 
 // Memory returns a fresh arbitrary memory μ.
 func (f *Fresh) Memory() Mem {
+	f.mu.Lock()
 	f.n++
-	return MemVar{ID: f.n}
+	n := f.n
+	f.mu.Unlock()
+	return MemVar{ID: n}
 }
 
 // Count reports how many fresh names have been drawn (used in tests).
-func (f *Fresh) Count() int { return f.n }
+func (f *Fresh) Count() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.n
+}
 
 // TrueVal and FalseVal are the boolean constants as typed values.
 var (

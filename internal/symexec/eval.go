@@ -75,7 +75,7 @@ func (x *Executor) evalExpr(st State, e microc.Expr, depth int) ([]evalOut, erro
 			for _, o := range outs {
 				t, ok := intOf(o.v)
 				if !ok {
-					x.report(Imprecision, e.ExprPos(), "negation of non-integer %s", o.v)
+					x.report(o.st, Imprecision, e.ExprPos(), "negation of non-integer %s", o.v)
 					result = append(result, evalOut{st: o.st, v: x.FreshInt("neg")})
 					continue
 				}
@@ -136,9 +136,10 @@ func (x *Executor) evalExpr(st State, e microc.Expr, depth int) ([]evalOut, erro
 		// Each execution of a malloc site yields a fresh object (the
 		// symbolic executor is context-sensitive here, unlike the
 		// pointer analysis).
+		id := x.freshID()
 		obj := &Object{
-			ID:   x.freshID(),
-			Name: fmt.Sprintf("malloc#%d.%d", e.Site, x.nextID),
+			ID:   id,
+			Name: fmt.Sprintf("malloc#%d.%d", e.Site, id),
 			Type: e.ElemType,
 			Site: e.Site,
 		}
@@ -165,7 +166,7 @@ func (x *Executor) evalArith(st State, e *microc.Binary, depth int) ([]evalOut, 
 			tx, okx := intOf(xo.v)
 			ty, oky := intOf(yo.v)
 			if !okx || !oky {
-				x.report(Imprecision, e.ExprPos(), "arithmetic on non-integer values")
+				x.report(yo.st, Imprecision, e.ExprPos(), "arithmetic on non-integer values")
 				result = append(result, evalOut{st: yo.st, v: x.FreshInt("arith")})
 				continue
 			}
@@ -221,7 +222,7 @@ func (x *Executor) evalCall(st State, e *microc.Call, depth int) ([]evalOut, err
 		if !resolved {
 			// The paper's executor cannot call symbolic function
 			// pointers; Case 4 wraps such calls in typed blocks.
-			x.report(UnsupportedFnPtr, e.ExprPos(), "call through symbolic function pointer %s", funExpr)
+			x.report(fo.st, UnsupportedFnPtr, e.ExprPos(), "call through symbolic function pointer %s", funExpr)
 			result = append(result, evalOut{st: fo.st, v: VVoid{}})
 		}
 	}
@@ -339,7 +340,7 @@ func (x *Executor) evalCond(st State, e microc.Expr, depth int) ([]condOut, erro
 					return nil, err
 				}
 				for _, yo := range ys {
-					f, err := x.compareFormula(e, xo.v, yo.v)
+					f, err := x.compareFormula(yo.st, e, xo.v, yo.v)
 					if err != nil {
 						return nil, err
 					}
@@ -356,13 +357,13 @@ func (x *Executor) evalCond(st State, e microc.Expr, depth int) ([]condOut, erro
 	}
 	result := make([]condOut, len(outs))
 	for i, o := range outs {
-		result[i] = condOut{st: o.st, f: x.truthy(o.v, e.ExprPos())}
+		result[i] = condOut{st: o.st, f: x.truthy(o.st, o.v, e.ExprPos())}
 	}
 	return result, nil
 }
 
 // truthy is the condition under which a value is "true" in C.
-func (x *Executor) truthy(v Value, pos microc.Pos) solver.Formula {
+func (x *Executor) truthy(st State, v Value, pos microc.Pos) solver.Formula {
 	if t, ok := intOf(v); ok {
 		return solver.Neq(t, solver.IntConst{Val: 0})
 	}
@@ -372,12 +373,12 @@ func (x *Executor) truthy(v Value, pos microc.Pos) solver.Formula {
 	case VUnknown:
 		return x.FreshBool("truthy")
 	}
-	x.report(Imprecision, pos, "condition on unmodeled value %s", v)
+	x.report(st, Imprecision, pos, "condition on unmodeled value %s", v)
 	return x.FreshBool("truthy")
 }
 
 // compareFormula builds the formula for a comparison of two values.
-func (x *Executor) compareFormula(e *microc.Binary, a, b Value) (solver.Formula, error) {
+func (x *Executor) compareFormula(st State, e *microc.Binary, a, b Value) (solver.Formula, error) {
 	ta, okA := intOf(a)
 	tb, okB := intOf(b)
 	switch e.Op {
@@ -394,7 +395,7 @@ func (x *Executor) compareFormula(e *microc.Binary, a, b Value) (solver.Formula,
 		return f, nil
 	default:
 		if !okA || !okB {
-			x.report(Imprecision, e.ExprPos(), "ordering comparison on non-integers")
+			x.report(st, Imprecision, e.ExprPos(), "ordering comparison on non-integers")
 			return x.FreshBool("cmp"), nil
 		}
 		switch e.Op {
@@ -497,13 +498,13 @@ func (x *Executor) derefTargets(st State, v Value, pos microc.Pos, what string) 
 			objCases = append(objCases, c)
 		case VInt:
 			nullG = solver.NewOr(nullG, solver.NewAnd(c.g, solver.Eq{X: leaf.T, Y: solver.IntConst{Val: 0}}))
-			x.report(Imprecision, pos, "dereference of integer value %s", what)
+			x.report(st, Imprecision, pos, "dereference of integer value %s", what)
 		default:
-			x.report(Imprecision, pos, "dereference of unmodeled value %s", what)
+			x.report(st, Imprecision, pos, "dereference of unmodeled value %s", what)
 		}
 	}
 	if x.feasible(solver.NewAnd(st.PC, nullG)) {
-		x.report(NullDeref, pos, "dereference of possibly-null pointer %s", what)
+		x.report(st, NullDeref, pos, "dereference of possibly-null pointer %s", what)
 	}
 	var out []lvOut
 	survivors := 0

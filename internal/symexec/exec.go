@@ -2,7 +2,9 @@ package symexec
 
 import (
 	"fmt"
+	"sync"
 
+	"mix/internal/engine"
 	"mix/internal/microc"
 	"mix/internal/pointer"
 	"mix/internal/solver"
@@ -84,14 +86,34 @@ type Executor struct {
 	// (MIXY installs the symbolic-to-typed switch here).
 	TypedCall func(x *Executor, st State, f *microc.FuncDef, args []Value, pos microc.Pos) ([]Outcome, error)
 
+	// Engine, when non-nil, routes feasibility queries through the
+	// engine's memoizing solver pool and — unless SerialFork is set —
+	// runs the two feasible sides of a conditional as parallel
+	// scheduler tasks, with reports merged back in canonical
+	// (sequential) order. Nil gives the original sequential executor.
+	Engine *engine.Engine
+	// SerialFork keeps path exploration on one goroutine even with an
+	// Engine, so only the solver pool is shared. MIXY sets this: its
+	// InitCell/TypedCall hooks mutate the shared qualifier inference,
+	// which must not run concurrently.
+	SerialFork bool
+
 	Reports []Report
 	Stats   Stats
 
+	// mu guards the executor-global tables below (and Reports/Stats)
+	// when branches execute in parallel.
+	mu       sync.Mutex
 	nextID   int
 	varObjs  map[*microc.VarDecl]*Object
 	locObjs  map[string]*Object
 	anonObjs map[cellKey]*Object
 	reported map[string]bool
+}
+
+// parallel reports whether conditional forks may run concurrently.
+func (x *Executor) parallel() bool {
+	return x.Engine != nil && !x.SerialFork
 }
 
 // New returns an executor over prog with pointer analysis pa.
@@ -106,14 +128,41 @@ func New(prog *microc.Program, pa *pointer.Analysis) *Executor {
 	}
 }
 
-func (x *Executor) report(kind ReportKind, pos microc.Pos, format string, args ...any) {
+// report records a finding. Under parallel exploration the finding
+// goes to the path's task-local sink (merged into the parent sink in
+// branch order at each join, and deduplicated once at the root), so
+// the final Reports sequence is byte-identical to the sequential one.
+func (x *Executor) report(st State, kind ReportKind, pos microc.Pos, format string, args ...any) {
 	r := Report{Kind: kind, Pos: pos, Msg: fmt.Sprintf(format, args...)}
+	if st.rs != nil {
+		st.rs.reports = append(st.rs.reports, r)
+		return
+	}
+	x.mu.Lock()
+	x.addReportLocked(r)
+	x.mu.Unlock()
+}
+
+// addReportLocked appends r unless an identical report was already
+// recorded. Callers hold x.mu.
+func (x *Executor) addReportLocked(r Report) {
 	key := r.String()
 	if x.reported[key] {
 		return
 	}
 	x.reported[key] = true
 	x.Reports = append(x.Reports, r)
+}
+
+// flushSink drains a root report sink into Reports with the same
+// online first-wins deduplication the sequential executor applies.
+func (x *Executor) flushSink(rs *reportSink) {
+	x.mu.Lock()
+	for _, r := range rs.reports {
+		x.addReportLocked(r)
+	}
+	x.mu.Unlock()
+	rs.reports = nil
 }
 
 // ReportsOf filters reports by kind.
@@ -127,7 +176,13 @@ func (x *Executor) ReportsOf(kind ReportKind) []Report {
 	return out
 }
 
-func (x *Executor) freshID() int { x.nextID++; return x.nextID }
+func (x *Executor) freshID() int {
+	x.mu.Lock()
+	x.nextID++
+	id := x.nextID
+	x.mu.Unlock()
+	return id
+}
 
 // FreshInt returns a fresh symbolic integer.
 func (x *Executor) FreshInt(hint string) VInt {
@@ -141,7 +196,13 @@ func (x *Executor) FreshBool(hint string) solver.Formula {
 
 // feasible decides satisfiability of a path condition, erring toward
 // feasible on solver resource errors (conservative: keeps reports).
+// With an engine the query goes through its memoizing, per-worker
+// solver pool, which classifies resource-exhausted queries the same
+// way: unknown → keep the path.
 func (x *Executor) feasible(pc solver.Formula) bool {
+	if x.Engine != nil {
+		return x.Engine.Feasible(pc)
+	}
 	sat, err := x.Solv.Sat(pc)
 	if err != nil {
 		return true
@@ -152,6 +213,8 @@ func (x *Executor) feasible(pc solver.Formula) bool {
 // VarObj returns the (unique, conflated across invocations) object of
 // a declared variable.
 func (x *Executor) VarObj(d *microc.VarDecl) *Object {
+	x.mu.Lock()
+	defer x.mu.Unlock()
 	if o, ok := x.varObjs[d]; ok {
 		return o
 	}
@@ -159,7 +222,8 @@ func (x *Executor) VarObj(d *microc.VarDecl) *Object {
 	if d.Owner != "" {
 		name = d.Owner + "::" + d.Name
 	}
-	o := &Object{ID: x.freshID(), Name: name, Type: d.Type}
+	x.nextID++
+	o := &Object{ID: x.nextID, Name: name, Type: d.Type}
 	if x.PA != nil {
 		for _, l := range x.PA.LValueLocs(&microc.VarRef{Name: d.Name, Ref: d}) {
 			o.Loc, o.HasLoc = l, true
@@ -178,24 +242,30 @@ func (x *Executor) LocObj(l pointer.Loc) (*Object, bool) {
 		return x.VarObj(l.Var), true
 	case pointer.MallocLoc:
 		key := l.String()
+		x.mu.Lock()
+		defer x.mu.Unlock()
 		if o, ok := x.locObjs[key]; ok {
 			return o, true
 		}
-		o := &Object{ID: x.freshID(), Name: key, Type: microc.IntType{}, Loc: l, HasLoc: true}
+		x.nextID++
+		o := &Object{ID: x.nextID, Name: key, Type: microc.IntType{}, Loc: l, HasLoc: true}
 		x.locObjs[key] = o
 		return o, true
 	case pointer.FieldLoc:
 		key := l.String()
-		if o, ok := x.locObjs[key]; ok {
-			return o, true
-		}
 		var ty microc.Type = microc.IntType{}
 		if sd, ok := x.Prog.Struct(l.Struct); ok {
 			if fd, ok := sd.Field(l.Field); ok {
 				ty = fd.Type
 			}
 		}
-		o := &Object{ID: x.freshID(), Name: key, Type: ty, Loc: l, HasLoc: true}
+		x.mu.Lock()
+		defer x.mu.Unlock()
+		if o, ok := x.locObjs[key]; ok {
+			return o, true
+		}
+		x.nextID++
+		o := &Object{ID: x.nextID, Name: key, Type: ty, Loc: l, HasLoc: true}
 		x.locObjs[key] = o
 		return o, true
 	}
@@ -305,12 +375,16 @@ func (x *Executor) initPointer(obj *Object, field string, ty microc.PtrType) Val
 		}
 	}
 	if v == nil || isOnlyNull(v) && len(targets) == 0 {
-		// No known targets: a fresh anonymous object.
+		// No known targets: a fresh anonymous object (one per cell,
+		// created under the lock so parallel paths agree on it).
+		x.mu.Lock()
 		anon, ok := x.anonObjs[cellKey{obj, field}]
 		if !ok {
-			anon = &Object{ID: x.freshID(), Name: obj.Name + "." + field + ".tgt", Type: ty.Elem}
+			x.nextID++
+			anon = &Object{ID: x.nextID, Name: obj.Name + "." + field + ".tgt", Type: ty.Elem}
 			x.anonObjs[cellKey{obj, field}] = anon
 		}
+		x.mu.Unlock()
 		if ty.Qual == microc.QNonNull {
 			return VObj{Obj: anon}
 		}

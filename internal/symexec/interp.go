@@ -1,8 +1,10 @@
 package symexec
 
 import (
+	"errors"
 	"fmt"
 
+	"mix/internal/engine"
 	"mix/internal/microc"
 	"mix/internal/solver"
 )
@@ -71,15 +73,31 @@ func (x *Executor) InitGlobals(st State) (State, error) {
 // RunFunc executes f from state st with the given arguments (nil args
 // leave parameters to lazy initialization).
 func (x *Executor) RunFunc(f *microc.FuncDef, st State, args []Value) ([]Outcome, error) {
+	var root *reportSink
+	if x.parallel() && st.rs == nil {
+		// Reports from parallel branches are collected in task-local
+		// sinks and merged in branch order; the root sink is flushed
+		// (with the usual online dedup) once exploration finishes, so
+		// the Reports sequence matches the sequential executor's.
+		root = &reportSink{}
+		st.rs = root
+	}
 	outs, err := x.callFunction(st, f, args, 0, f.Pos)
+	if root != nil {
+		x.flushSink(root)
+	}
 	if err != nil {
 		return nil, err
 	}
 	result := make([]Outcome, len(outs))
 	for i, o := range outs {
 		result[i] = Outcome{St: o.st, Ret: o.v}
+		result[i].St.rs = nil
 	}
+	x.mu.Lock()
 	x.Stats.Paths += len(result)
+	x.mu.Unlock()
+	x.Engine.AddPaths(len(result))
 	return result, nil
 }
 
@@ -126,7 +144,7 @@ func (x *Executor) callFunction(st State, f *microc.FuncDef, args []Value, depth
 		}
 		ng := nullFormula(args[i])
 		if x.feasible(solver.NewAnd(st.PC, ng)) {
-			x.report(NullArg, pos, "possibly-null argument for nonnull parameter %s of %s", p.Name, f.Name)
+			x.report(st, NullArg, pos, "possibly-null argument for nonnull parameter %s of %s", p.Name, f.Name)
 		}
 		// Continue under the assumption the argument was not null.
 		st = st.With(solver.NewNot(ng))
@@ -146,7 +164,7 @@ func (x *Executor) callFunction(st State, f *microc.FuncDef, args []Value, depth
 		return []evalOut{{st: st, v: x.havocValue(f.Ret, f.Name)}}, nil
 	}
 	if depth > x.MaxDepth {
-		x.report(Imprecision, pos, "call depth bound reached at %s", f.Name)
+		x.report(st, Imprecision, pos, "call depth bound reached at %s", f.Name)
 		return []evalOut{{st: st, v: x.havocValue(f.Ret, f.Name)}}, nil
 	}
 	x.clearFrame(st, f)
@@ -219,7 +237,7 @@ func (x *Executor) execStmt(st State, s microc.Stmt, depth int) ([]flowOutcome, 
 				next = append(next, outs...)
 			}
 			if len(next) > x.MaxPaths {
-				x.report(Imprecision, s.StmtPos(), "path budget exceeded; truncating")
+				x.report(st, Imprecision, s.StmtPos(), "path budget exceeded; truncating")
 				next = next[:x.MaxPaths]
 			}
 			cur = next
@@ -265,7 +283,17 @@ func (x *Executor) execStmt(st State, s microc.Stmt, depth int) ([]flowOutcome, 
 			thenOK := x.feasible(thenPC)
 			elseOK := x.feasible(elsePC)
 			if thenOK && elseOK {
+				x.mu.Lock()
 				x.Stats.Forks++
+				x.mu.Unlock()
+				if x.parallel() {
+					flows, err := x.forkIf(c.st, s, thenPC, elsePC, depth)
+					if err != nil {
+						return nil, err
+					}
+					out = append(out, flows...)
+					continue
+				}
 			}
 			if thenOK {
 				tst := c.st
@@ -320,7 +348,7 @@ func (x *Executor) execStmt(st State, s microc.Stmt, depth int) ([]flowOutcome, 
 					}
 					if !bodyOK {
 						if iter >= x.MaxUnroll && x.feasible(bodyPC) {
-							x.report(LoopBound, s.StmtPos(), "loop unrolling bound (%d) reached", x.MaxUnroll)
+							x.report(c.st, LoopBound, s.StmtPos(), "loop unrolling bound (%d) reached", x.MaxUnroll)
 						}
 						continue
 					}
@@ -341,7 +369,7 @@ func (x *Executor) execStmt(st State, s microc.Stmt, depth int) ([]flowOutcome, 
 			}
 			live = next
 			if len(out)+len(live) > x.MaxPaths {
-				x.report(Imprecision, s.StmtPos(), "path budget exceeded in loop; truncating")
+				x.report(st, Imprecision, s.StmtPos(), "path budget exceeded in loop; truncating")
 				live = nil
 			}
 		}
@@ -362,4 +390,59 @@ func (x *Executor) execStmt(st State, s microc.Stmt, depth int) ([]flowOutcome, 
 		return flows, nil
 	}
 	return nil, fmt.Errorf("symexec: unknown statement %T", s)
+}
+
+// forkIf runs the two feasible sides of a conditional as parallel
+// engine tasks. Each branch gets a disjoint memory (the then side a
+// clone, the else side the original) and its own report sink; the join
+// splices then-reports before else-reports into the parent sink and
+// appends then-flows before else-flows, reproducing the sequential
+// depth-first order exactly. If the engine's path or depth budget is
+// exhausted the fork degrades gracefully: the path continues into the
+// then side only, with an Imprecision report — the same truncation
+// contract as MaxPaths.
+func (x *Executor) forkIf(st State, s *microc.IfStmt, thenPC, elsePC solver.Formula, depth int) ([]flowOutcome, error) {
+	if err := x.Engine.Charge(st.forkDepth); err != nil {
+		if errors.Is(err, engine.ErrBudget) {
+			x.report(st, Imprecision, s.StmtPos(), "engine path budget exhausted; truncating")
+			tst := st
+			tst.PC = thenPC
+			return x.execStmt(tst, s.Then, depth)
+		}
+		return nil, err
+	}
+	parent := st.rs
+	tst := st.Clone()
+	tst.PC = thenPC
+	tst.rs = &reportSink{}
+	tst.forkDepth++
+	est := st
+	est.PC = elsePC
+	est.rs = &reportSink{}
+	est.forkDepth++
+	thenFlows, elseFlows, err := engine.Fork2(x.Engine,
+		func() ([]flowOutcome, error) { return x.execStmt(tst, s.Then, depth) },
+		func() ([]flowOutcome, error) {
+			if s.Else != nil {
+				return x.execStmt(est, s.Else, depth)
+			}
+			return []flowOutcome{{st: est}}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	// Ordered join: then-reports then else-reports into the parent
+	// sink; surviving flows hand their reports back to the parent.
+	if parent != nil {
+		parent.reports = append(parent.reports, tst.rs.reports...)
+		parent.reports = append(parent.reports, est.rs.reports...)
+	} else {
+		x.flushSink(tst.rs)
+		x.flushSink(est.rs)
+	}
+	out := append(thenFlows, elseFlows...)
+	for i := range out {
+		out[i].st.rs = parent
+	}
+	return out, nil
 }

@@ -150,20 +150,39 @@ func (m *Memory) Cells(f func(obj *Object, field string, v Value)) {
 	}
 }
 
+// reportSink collects the reports emitted along one scheduler task.
+// Each parallel branch gets its own sink; joins splice the then-sink
+// before the else-sink into the parent, so the root sink ends up with
+// reports in canonical sequential order no matter which branch
+// finished first.
+type reportSink struct {
+	reports []Report
+}
+
 // State is one symbolic execution path: a path condition and memory.
 type State struct {
 	PC  solver.Formula
 	Mem *Memory
+	// rs is the task-local report sink under parallel exploration (nil
+	// when running sequentially).
+	rs *reportSink
+	// forkDepth counts conditional forks along this path; the engine
+	// charges it against the fork-depth budget.
+	forkDepth int
 }
 
 // Clone forks the state.
 func (s State) Clone() State {
-	return State{PC: s.PC, Mem: s.Mem.Clone()}
+	c := s
+	c.Mem = s.Mem.Clone()
+	return c
 }
 
 // With returns the state with the path condition extended by f.
 func (s State) With(f solver.Formula) State {
-	return State{PC: solver.NewAnd(s.PC, f), Mem: s.Mem}
+	c := s
+	c.PC = solver.NewAnd(s.PC, f)
+	return c
 }
 
 // NullFormula returns the condition under which v is the null pointer

@@ -20,8 +20,11 @@ package mix
 
 import (
 	"fmt"
+	"sort"
+	"time"
 
 	"mix/internal/core"
+	"mix/internal/engine"
 	"mix/internal/lang"
 	"mix/internal/microc"
 	"mix/internal/mixy"
@@ -60,6 +63,15 @@ type Config struct {
 	// Env declares free variables of the program as name -> type
 	// syntax, e.g. "int", "bool", "int ref", "int -> int".
 	Env map[string]string
+	// Workers > 0 enables the parallel path-exploration engine with
+	// that many workers (1 = sequential exploration with the memoizing
+	// solver pool). 0 keeps the engine off entirely.
+	Workers int
+	// MaxPaths bounds the engine's total path budget (0 = unlimited);
+	// exceeding it fails the check with a budget-exhausted error.
+	MaxPaths int
+	// NoMemo disables the engine's solver memo table.
+	NoMemo bool
 }
 
 // Result is the outcome of a mixed check.
@@ -75,6 +87,14 @@ type Result struct {
 	Paths int
 	// SolverQueries counts SMT queries issued.
 	SolverQueries int
+	// Engine statistics (zero without Workers): conditional forks,
+	// forks whose branch ran on another worker, solver memo hits and
+	// misses, and time spent inside the solver.
+	Forks      int
+	Steals     int
+	MemoHits   int
+	MemoMisses int
+	SolverTime time.Duration
 }
 
 // Parse parses a core-language program.
@@ -103,9 +123,27 @@ func CheckExpr(e lang.Expr, cfg Config) Result {
 	if cfg.DeferConditionals {
 		opts.IfMode = sym.DeferIf
 	}
+	var eng *engine.Engine
+	if cfg.Workers > 0 || cfg.MaxPaths > 0 {
+		eng = engine.New(engine.Options{
+			Workers:  cfg.Workers,
+			MaxPaths: int64(cfg.MaxPaths),
+			NoMemo:   cfg.NoMemo,
+		})
+		opts.Engine = eng
+	}
 	checker := core.New(opts)
 	env := types.EmptyEnv()
-	for name, ty := range cfg.Env {
+	// Bind in sorted order: fresh symbolic variable IDs are assigned in
+	// binding order, and they appear in reports, so map iteration order
+	// must not leak into the output.
+	names := make([]string, 0, len(cfg.Env))
+	for name := range cfg.Env {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ty := cfg.Env[name]
 		te, err := lang.ParseType(ty)
 		if err != nil {
 			return Result{Err: fmt.Errorf("mix: bad env type %q for %s: %w", ty, name, err)}
@@ -127,6 +165,15 @@ func CheckExpr(e lang.Expr, cfg Config) Result {
 		Err:           err,
 		Paths:         checker.Executor().Stats.Paths,
 		SolverQueries: checker.Solver().Stats.SatQueries,
+	}
+	if eng != nil {
+		es := eng.Snapshot()
+		res.SolverQueries += int(es.SolverQueries)
+		res.Forks = int(es.Forks)
+		res.Steals = int(es.Steals)
+		res.MemoHits = int(es.MemoHits)
+		res.MemoMisses = int(es.MemoMisses)
+		res.SolverTime = es.SolverTime
 	}
 	if ty != nil {
 		res.Type = ty.String()
@@ -150,6 +197,12 @@ type CConfig struct {
 	// initialization); the paper's MIXY tracks only explicit NULL
 	// uses.
 	StrictInit bool
+	// Workers > 0 enables the engine: solver queries go through a
+	// memoizing pool and the symbolic-to-typed translation queries of
+	// each block evaluate in parallel across that many workers.
+	Workers int
+	// NoMemo disables the engine's solver memo table.
+	NoMemo bool
 }
 
 // CResult is the outcome of a MIXY analysis.
@@ -164,6 +217,11 @@ type CResult struct {
 	CacheHits      int
 	FixpointIters  int
 	SolverQueries  int
+	// MemoHits/MemoMisses count engine solver-memo traffic (zero
+	// without Workers); SolverTime is time spent inside the solver.
+	MemoHits   int
+	MemoMisses int
+	SolverTime time.Duration
 }
 
 // ParseC parses a MicroC translation unit.
@@ -176,11 +234,16 @@ func AnalyzeC(src string, cfg CConfig) (CResult, error) {
 	if err != nil {
 		return CResult{}, err
 	}
+	var eng *engine.Engine
+	if cfg.Workers > 0 {
+		eng = engine.New(engine.Options{Workers: cfg.Workers, NoMemo: cfg.NoMemo})
+	}
 	a, err := mixy.Run(prog, mixy.Options{
 		Entry:             cfg.Entry,
 		IgnoreAnnotations: cfg.PureTypes,
 		NoCache:           cfg.NoCache,
 		StrictInit:        cfg.StrictInit,
+		Engine:            eng,
 	})
 	if err != nil {
 		return CResult{}, err
@@ -190,6 +253,12 @@ func AnalyzeC(src string, cfg CConfig) (CResult, error) {
 		CacheHits:      a.Stats.CacheHits,
 		FixpointIters:  a.Stats.FixpointIters,
 		SolverQueries:  a.Stats.SolverQueries,
+	}
+	if eng != nil {
+		es := eng.Snapshot()
+		res.MemoHits = int(es.MemoHits)
+		res.MemoMisses = int(es.MemoMisses)
+		res.SolverTime = es.SolverTime
 	}
 	for _, w := range a.Warnings {
 		res.Warnings = append(res.Warnings, w.String())
