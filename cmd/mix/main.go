@@ -80,6 +80,8 @@ func main() {
 		if *workers > 0 || *maxPaths > 0 {
 			fmt.Printf("engine: forks=%d steals=%d memo-hits=%d memo-misses=%d solver-time=%v\n",
 				res.Forks, res.Steals, res.MemoHits, res.MemoMisses, res.SolverTime)
+			fmt.Printf("pipeline: quick-decided=%d slices=%d max-slice=%d cex-hits=%d\n",
+				res.QuickDecided, res.Slices, res.MaxSlice, res.CexHits)
 		}
 	}
 	if res.Err != nil {

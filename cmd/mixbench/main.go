@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	mixbench [-table E1..E8|X1..X4|all]
+//	mixbench [-table E1..E8|X1..X5|all]
 package main
 
 import (
@@ -25,12 +25,15 @@ import (
 	"mix/internal/concrete"
 	"mix/internal/core"
 	"mix/internal/corpus"
+	"mix/internal/engine"
 	"mix/internal/lang"
 	"mix/internal/langgen"
 	"mix/internal/microc"
 	"mix/internal/mixy"
+	"mix/internal/pointer"
 	"mix/internal/signs"
 	"mix/internal/sym"
+	"mix/internal/symexec"
 	"mix/internal/types"
 )
 
@@ -42,9 +45,10 @@ func main() {
 		"E1": tableE1, "E2": tableE2, "E3": tableE3, "E4": tableE4,
 		"E5": tableE5, "E6": tableE6, "E7": tableE7, "E8": tableE8,
 		"X1": tableX1, "X2": tableX2, "X3": tableX3, "X4": tableX4,
+		"X5": tableX5,
 	}
 	if *table == "all" {
-		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "X1", "X2", "X3", "X4"} {
+		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "X1", "X2", "X3", "X4", "X5"} {
 			tables[id]()
 			fmt.Println()
 		}
@@ -462,6 +466,7 @@ func tableX4() {
 	type row struct {
 		Bench         string `json:"bench"`
 		Workers       int    `json:"workers"`
+		CPUs          int    `json:"cpus"`
 		Memo          bool   `json:"memo"`
 		TimeNS        int64  `json:"time_ns"`
 		Paths         int    `json:"paths"`
@@ -470,8 +475,12 @@ func tableX4() {
 		MemoHits      int    `json:"memo_hits"`
 		MemoMisses    int    `json:"memo_misses"`
 		SolverQueries int    `json:"solver_queries"`
+		QuickDecided  int    `json:"quick_decided"`
+		Slices        int    `json:"slices"`
+		CexHits       int    `json:"cex_hits"`
 	}
 	var rows []row
+	cpus := runtime.NumCPU()
 
 	w := newTab()
 	fmt.Fprintln(w, "bench\tworkers\tmemo\tpaths\tforks\tsteals\tmemo hits\tmemo misses\tsolver queries\ttime")
@@ -499,10 +508,11 @@ func tableX4() {
 			}
 		}
 		rows = append(rows, row{
-			Bench: "ladder-10", Workers: workers, Memo: true,
+			Bench: "ladder-10", Workers: workers, CPUs: cpus, Memo: true,
 			TimeNS: best.Nanoseconds(), Paths: res.Paths, Forks: res.Forks,
 			Steals: res.Steals, MemoHits: res.MemoHits, MemoMisses: res.MemoMisses,
-			SolverQueries: res.SolverQueries,
+			SolverQueries: res.SolverQueries, QuickDecided: res.QuickDecided,
+			Slices: res.Slices, CexHits: res.CexHits,
 		})
 		fmt.Fprintf(w, "ladder-10\t%d\ton\t%d\t%d\t%d\t%d\t%d\t%d\t%v\n",
 			workers, res.Paths, res.Forks, res.Steals,
@@ -516,18 +526,26 @@ func tableX4() {
 	// deduplicates.
 	memoSrc := corpus.SyntheticVsftpd(12, 2)
 	for _, memo := range []bool{false, true} {
-		start := time.Now()
-		res, err := mix.AnalyzeC(memoSrc, mix.CConfig{Workers: 1, NoMemo: !memo})
-		must(err)
-		dur := time.Since(start)
+		var dur time.Duration
+		var res mix.CResult
+		for rep := 0; rep < 3; rep++ {
+			start := time.Now()
+			r, err := mix.AnalyzeC(memoSrc, mix.CConfig{Workers: 1, NoMemo: !memo})
+			must(err)
+			d := time.Since(start)
+			if rep == 0 || d < dur {
+				dur, res = d, r
+			}
+		}
 		on := "off"
 		if memo {
 			on = "on"
 		}
 		rows = append(rows, row{
-			Bench: "vsftpd-12x2", Workers: 1, Memo: memo,
+			Bench: "vsftpd-12x2", Workers: 1, CPUs: cpus, Memo: memo,
 			TimeNS: dur.Nanoseconds(), MemoHits: res.MemoHits,
 			MemoMisses: res.MemoMisses, SolverQueries: res.SolverQueries,
+			QuickDecided: res.QuickDecided, Slices: res.Slices, CexHits: res.CexHits,
 		})
 		fmt.Fprintf(w, "vsftpd-12x2\t%d\t%s\t-\t-\t-\t%d\t%d\t%d\t%v\n",
 			1, on, res.MemoHits, res.MemoMisses, res.SolverQueries, dur.Round(time.Microsecond))
@@ -538,6 +556,169 @@ func tableX4() {
 	must(err)
 	must(os.WriteFile("BENCH_engine.json", append(out, '\n'), 0o644))
 	fmt.Println("wrote BENCH_engine.json")
+}
+
+// tableX5 — persistent symbolic state and the incremental solver
+// pipeline: fork cost under wide memories (O(1) structurally shared
+// clones vs the eager per-fork copy they replace), and path-condition
+// solving through simplify → interval fast path → independence slicing
+// → counterexample cache → memo. Rows are written to BENCH_solver.json.
+func tableX5() {
+	fmt.Println("X5 — O(1) forks: persistent state + incremental path-condition solving")
+	fmt.Println("claims: forks share memory cells instead of copying them; sliced incremental solving absorbs the shared PC prefix")
+
+	type row struct {
+		Bench         string `json:"bench"`
+		Workers       int    `json:"workers"`
+		CPUs          int    `json:"cpus"`
+		TimeNS        int64  `json:"time_ns"`
+		Paths         int    `json:"paths"`
+		MemClones     int64  `json:"mem_clones"`
+		SharedCells   int64  `json:"shared_cells"`
+		MemWrites     int64  `json:"mem_writes"`
+		QuickDecided  int64  `json:"quick_decided"`
+		Slices        int64  `json:"slices"`
+		MaxSlice      int64  `json:"max_slice"`
+		CexHits       int64  `json:"cex_hits"`
+		MemoHits      int64  `json:"memo_hits"`
+		SolverQueries int64  `json:"solver_queries"`
+	}
+	var rows []row
+	cpus := runtime.NumCPU()
+
+	w := newTab()
+	fmt.Fprintln(w, "bench\tpaths\tclones\tshared cells\twrites\tquick\tslices\tmax slice\tcex hits\tmemo hits\tqueries\ttime")
+
+	runBench := func(name, src string, maxPaths int) {
+		prog := microc.MustParse(src)
+		var best time.Duration
+		var snap engine.Stats
+		var clones, shared, writes int64
+		var paths int
+		for rep := 0; rep < 3; rep++ {
+			x := symexec.New(microc.MustParse(src), pointer.Analyze(prog))
+			if maxPaths > 0 {
+				x.MaxPaths = maxPaths
+			}
+			eng := engine.New(engine.Options{Workers: 1})
+			x.Engine = eng
+			symexec.ResetMemoryStats()
+			start := time.Now()
+			outs, err := x.Run("f")
+			dur := time.Since(start)
+			must(err)
+			c, s, wr := symexec.MemoryStats()
+			if rep == 0 || dur < best {
+				best, snap, paths = dur, eng.Snapshot(), len(outs)
+				clones, shared, writes = c, s, wr
+			}
+		}
+		rows = append(rows, row{
+			Bench: name, Workers: 1, CPUs: cpus, TimeNS: best.Nanoseconds(),
+			Paths: paths, MemClones: clones, SharedCells: shared, MemWrites: writes,
+			QuickDecided: snap.QuickDecided, Slices: snap.Slices,
+			MaxSlice: snap.MaxSlice, CexHits: snap.CexHits,
+			MemoHits: snap.MemoHits, SolverQueries: snap.SolverQueries,
+		})
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%v\n",
+			name, paths, clones, shared, writes,
+			snap.QuickDecided, snap.Slices, snap.MaxSlice, snap.CexHits,
+			snap.MemoHits, snap.SolverQueries, best.Round(time.Microsecond))
+	}
+
+	// (a) Fork cost: a conditional tree over a wide memory. Every fork
+	// clones the store; the seed's eager copy paid O(width) per fork,
+	// the persistent store pays O(1) and `shared cells` counts exactly
+	// the copies it avoided (clones × live cells).
+	for _, width := range []int{64, 256} {
+		runBench(fmt.Sprintf("wide-mem-%d", width), wideMemSrc(width, 6), 0)
+	}
+
+	// (b) Slicing: sequential two-variable guards over disjoint
+	// variable pairs. Every path condition splits into singleton
+	// independence components, so each distinct guard is proved once and
+	// memo-hit ever after — queries grow with path count, DPLL work
+	// with guard count.
+	runBench("pairs-10", pairsSrc(10), 4096)
+
+	// (c) The entangled worst case: chained guards x_i < x_{i+1} share
+	// variables, so the component grows with depth (max slice ≈ chain
+	// length) and slicing cannot split it — the honest upper bound on
+	// per-query cost.
+	runBench("chain-10", chainSrc(10), 4096)
+
+	w.Flush()
+
+	out, err := json.MarshalIndent(rows, "", "  ")
+	must(err)
+	must(os.WriteFile("BENCH_solver.json", append(out, '\n'), 0o644))
+	fmt.Println("wrote BENCH_solver.json")
+}
+
+// wideMemSrc builds a symbolic function that initializes `width` global
+// int cells and then forks down a complete conditional tree of the
+// given depth — the fork-cost microbenchmark.
+func wideMemSrc(width, depth int) string {
+	var b strings.Builder
+	for i := 0; i < width; i++ {
+		fmt.Fprintf(&b, "int g%d;\n", i)
+	}
+	for i := 0; i < 1<<depth-1; i++ {
+		fmt.Fprintf(&b, "int c%d;\n", i)
+	}
+	b.WriteString("int f(void) {\n")
+	for i := 0; i < width; i++ {
+		fmt.Fprintf(&b, "g%d = %d;\n", i, i)
+	}
+	leaf := 0
+	var emit func(node, d int)
+	emit = func(node, d int) {
+		if d == depth {
+			fmt.Fprintf(&b, "return %d;\n", leaf)
+			leaf++
+			return
+		}
+		fmt.Fprintf(&b, "if (c%d > 0) {\n", node)
+		emit(2*node+1, d+1)
+		b.WriteString("} else {\n")
+		emit(2*node+2, d+1)
+		b.WriteString("}\n")
+	}
+	emit(0, 0)
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// pairsSrc builds n sequential conditionals over disjoint variable
+// pairs (x_i < y_i): 2^n paths whose conditions slice into singleton
+// components.
+func pairsSrc(n int) string {
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "int x%d;\nint y%d;\n", i, i)
+	}
+	b.WriteString("int f(void) {\nint acc;\nacc = 0;\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "if (x%d < y%d) {\nacc = acc + 1;\n} else {\nacc = acc + 0;\n}\n", i, i)
+	}
+	b.WriteString("return acc;\n}\n")
+	return b.String()
+}
+
+// chainSrc builds n sequential conditionals whose guards chain through
+// shared variables (x_i < x_{i+1}), entangling every conjunct into one
+// independence component.
+func chainSrc(n int) string {
+	var b strings.Builder
+	for i := 0; i <= n; i++ {
+		fmt.Fprintf(&b, "int x%d;\n", i)
+	}
+	b.WriteString("int f(void) {\nint acc;\nacc = 0;\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "if (x%d < x%d) {\nacc = acc + 1;\n} else {\nacc = acc + 0;\n}\n", i, i+1)
+	}
+	b.WriteString("return acc;\n}\n")
+	return b.String()
 }
 
 func must(err error) {

@@ -62,9 +62,13 @@ func main() {
 	if *stats {
 		fmt.Printf("blocks=%d cache-hits=%d fixpoint-iters=%d solver-queries=%d\n",
 			res.BlocksAnalyzed, res.CacheHits, res.FixpointIters, res.SolverQueries)
+		fmt.Printf("memory: clones=%d shared-cells=%d writes=%d\n",
+			res.MemClones, res.SharedCells, res.MemWrites)
 		if *workers > 0 {
 			fmt.Printf("engine: memo-hits=%d memo-misses=%d solver-time=%v\n",
 				res.MemoHits, res.MemoMisses, res.SolverTime)
+			fmt.Printf("pipeline: quick-decided=%d slices=%d max-slice=%d cex-hits=%d\n",
+				res.QuickDecided, res.Slices, res.MaxSlice, res.CexHits)
 		}
 	}
 	if len(res.Warnings) > 0 {

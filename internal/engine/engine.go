@@ -78,10 +78,16 @@ type Stats struct {
 	Steals        int64 // forks whose left branch ran on another worker
 	MemoHits      int64
 	MemoMisses    int64
-	SolverQueries int64 // queries through the pool (hits + misses)
+	SolverQueries int64 // queries through the pool
 	SolverUnknown int64 // queries answered "unknown" (resource bounds)
 	SolverTime    time.Duration
 	Exhausted     bool // a path or depth budget was hit
+
+	QuickDecided   int64 // queries/components decided by the interval fast path
+	Slices         int64 // independence components that reached memo/DPLL
+	SliceConjuncts int64 // total conjuncts across those components
+	MaxSlice       int64 // largest component, in conjuncts
+	CexHits        int64 // components satisfied by a cached model
 }
 
 // Engine schedules forked symbolic states across a bounded worker pool
@@ -135,12 +141,29 @@ func (e *Engine) Sat(f solver.Formula) (bool, error) { return e.pool.Sat(f) }
 // Valid decides validity through the memoizing pool.
 func (e *Engine) Valid(f solver.Formula) (bool, error) { return e.pool.Valid(f) }
 
+// SatPC decides satisfiability of pc ∧ extras through the sliced,
+// memoizing pipeline; the shared PC tail makes repeat queries along a
+// path incremental.
+func (e *Engine) SatPC(pc *solver.PC, extras ...solver.Formula) (bool, error) {
+	return e.pool.SatPC(pc, extras...)
+}
+
 // Feasible reports whether f is satisfiable, treating solver resource
 // exhaustion — and any other solver failure — as "unknown → keep the
 // path", so budget-limited solving conservatively keeps paths and
 // their reports instead of silently dropping them.
 func (e *Engine) Feasible(f solver.Formula) bool {
 	sat, err := e.pool.Sat(f)
+	if err != nil {
+		return true
+	}
+	return sat
+}
+
+// FeasiblePC is Feasible over an incremental path condition plus extra
+// guards (same unknown → keep-path policy).
+func (e *Engine) FeasiblePC(pc *solver.PC, extras ...solver.Formula) bool {
+	sat, err := e.pool.SatPC(pc, extras...)
 	if err != nil {
 		return true
 	}

@@ -1,25 +1,40 @@
 package engine
 
 import (
-	"strconv"
+	"sort"
 	"sync"
 
 	"mix/internal/solver"
 )
 
+// consKey is the interning key of one formula/term node: a variant
+// tag, up to two child ids, and an integer or string payload. Using a
+// comparable struct instead of an encoded string keeps key
+// construction allocation-free on the hot path — the seed's
+// string-concatenation keys were ~a quarter of solver-bound CPU time
+// on the vsftpd benchmark.
+type consKey struct {
+	tag  byte
+	a, b uint64
+	k    int64
+	s    string
+}
+
 // consTable hash-conses solver formulas and terms: every distinct
 // structure gets a small integer id, assigned bottom-up, so that a
-// formula's memo key is one uint64 and key construction is linear in
-// the number of distinct nodes. Interior nodes encode their children
-// by id, which keeps every encoding string short regardless of formula
-// depth.
+// formula's memo key is one uint64. Interior nodes reference children
+// by id, making each key O(1) regardless of depth.
 //
 // The table only grows — it is an intern table, not a cache — but
-// entries are a few dozen bytes per distinct subterm, which is far
-// smaller than the memo table the ids feed.
+// entries are small and bounded by the number of distinct subterms the
+// run ever produces.
 type consTable struct {
 	mu  sync.Mutex
-	ids map[string]uint64
+	ids map[consKey]uint64
+}
+
+func newConsTable() consTable {
+	return consTable{ids: map[consKey]uint64{}}
 }
 
 // formulaID interns f and returns its id. Safe for concurrent use; the
@@ -31,67 +46,90 @@ func (t *consTable) formulaID(f solver.Formula) uint64 {
 	return t.formula(f)
 }
 
-func (t *consTable) get(enc string) uint64 {
-	if id, ok := t.ids[enc]; ok {
+// conjID folds a set of conjunct ids into one key id, order- and
+// multiplicity-insensitive (the ids are sorted and deduplicated), so a
+// component's memo entry is shared by every path that accumulates the
+// same conjuncts in any order.
+func (t *consTable) conjID(ids []uint64) uint64 {
+	if len(ids) == 1 {
+		return ids[0]
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	acc := t.get(consKey{tag: '^'})
+	var prev uint64
+	for _, id := range ids {
+		if id == prev {
+			continue
+		}
+		prev = id
+		acc = t.get(consKey{tag: '^', a: acc, b: id})
+	}
+	return acc
+}
+
+func (t *consTable) get(k consKey) uint64 {
+	if id, ok := t.ids[k]; ok {
 		return id
 	}
 	id := uint64(len(t.ids)) + 1
-	t.ids[enc] = id
+	t.ids[k] = id
 	return id
 }
 
-func u64(id uint64) string { return strconv.FormatUint(id, 10) }
-
 // formula encodes one formula node. Tags are disjoint per variant and
-// children are referenced by id, so encodings are injective: equal ids
+// children are referenced by id, so keys are injective: equal ids
 // imply structurally equal formulas.
 func (t *consTable) formula(f solver.Formula) uint64 {
 	switch f := f.(type) {
 	case solver.BoolConst:
 		if f.Val {
-			return t.get("T")
+			return t.get(consKey{tag: 'T'})
 		}
-		return t.get("F")
+		return t.get(consKey{tag: 'F'})
 	case solver.BoolVar:
-		return t.get("b " + f.Name)
+		return t.get(consKey{tag: 'b', s: f.Name})
 	case solver.Not:
-		return t.get("! " + u64(t.formula(f.X)))
+		return t.get(consKey{tag: '!', a: t.formula(f.X)})
 	case solver.And:
-		return t.get("& " + u64(t.formula(f.X)) + " " + u64(t.formula(f.Y)))
+		return t.get(consKey{tag: '&', a: t.formula(f.X), b: t.formula(f.Y)})
 	case solver.Or:
-		return t.get("| " + u64(t.formula(f.X)) + " " + u64(t.formula(f.Y)))
+		return t.get(consKey{tag: '|', a: t.formula(f.X), b: t.formula(f.Y)})
 	case solver.Iff:
-		return t.get("<-> " + u64(t.formula(f.X)) + " " + u64(t.formula(f.Y)))
+		return t.get(consKey{tag: '~', a: t.formula(f.X), b: t.formula(f.Y)})
 	case solver.Eq:
-		return t.get("= " + u64(t.term(f.X)) + " " + u64(t.term(f.Y)))
+		return t.get(consKey{tag: '=', a: t.term(f.X), b: t.term(f.Y)})
 	case solver.Le:
-		return t.get("<= " + u64(t.term(f.X)) + " " + u64(t.term(f.Y)))
+		return t.get(consKey{tag: 'L', a: t.term(f.X), b: t.term(f.Y)})
 	case solver.Lt:
-		return t.get("< " + u64(t.term(f.X)) + " " + u64(t.term(f.Y)))
+		return t.get(consKey{tag: '<', a: t.term(f.X), b: t.term(f.Y)})
 	}
 	// Unknown variant: fall back to the printed form, still injective
 	// against the tagged encodings above.
-	return t.get("f? " + f.String())
+	return t.get(consKey{tag: '?', s: f.String()})
 }
 
 func (t *consTable) term(x solver.Term) uint64 {
 	switch x := x.(type) {
 	case solver.IntConst:
-		return t.get("c " + strconv.FormatInt(x.Val, 10))
+		return t.get(consKey{tag: 'c', k: x.Val})
 	case solver.IntVar:
-		return t.get("v " + x.Name)
+		return t.get(consKey{tag: 'v', s: x.Name})
 	case solver.Add:
-		return t.get("+ " + u64(t.term(x.X)) + " " + u64(t.term(x.Y)))
+		return t.get(consKey{tag: '+', a: t.term(x.X), b: t.term(x.Y)})
 	case solver.Neg:
-		return t.get("- " + u64(t.term(x.X)))
+		return t.get(consKey{tag: '-', a: t.term(x.X)})
 	case solver.Mul:
-		return t.get("* " + strconv.FormatInt(x.K, 10) + " " + u64(t.term(x.X)))
+		return t.get(consKey{tag: '*', k: x.K, a: t.term(x.X)})
 	case solver.App:
-		enc := "@ " + x.Fn
+		// Left-fold the argument ids onto the symbol id; the fold keeps
+		// the encoding injective for any arity.
+		id := t.get(consKey{tag: '@', s: x.Fn})
 		for _, a := range x.Args {
-			enc += " " + u64(t.term(a))
+			id = t.get(consKey{tag: 'A', a: id, b: t.term(a)})
 		}
-		return t.get(enc)
+		return id
 	}
-	return t.get("t? " + x.String())
+	return t.get(consKey{tag: '?', s: "t " + x.String()})
 }

@@ -18,23 +18,49 @@ const memoShards = 16
 // defaultMemoSize bounds the memo table when Options.MemoSize is 0.
 const defaultMemoSize = 1 << 14
 
-// SolverPool is the engine's concurrency-safe solver frontend. It
-// hash-conses formulas into compact keys, memoizes Sat answers in a
-// sharded LRU table, and hands every in-flight query a private
-// *solver.Solver instance (the solver mutates its Stats on every
-// query, so a shared instance would be racy). Construct via New; the
-// zero value is not ready.
+// cexCacheSize bounds the counterexample (model) cache.
+const cexCacheSize = 64
+
+// SolverPool is the engine's concurrency-safe solver frontend. Every
+// query runs the incremental pipeline
+//
+//	simplify → interval fast path → independence slicing →
+//	per-component memo → counterexample cache → DPLL
+//
+// Path conditions arrive as *solver.PC cons lists, so the pipeline
+// sees pre-simplified conjuncts with cached support tokens and only
+// ever pays per-conjunct costs once per PC node, not once per query.
+// Trivial conjunctions (boolean literals and single-variable interval
+// guards — the overwhelming majority of branch feasibility checks) are
+// decided by constant-time interval reasoning and never touch the memo
+// table, the hash-cons table, or DPLL. The remainder is sliced into
+// independent components: the long shared prefix of a path condition
+// memo-hits component-by-component and only the component entangled
+// with the new guard is ever solved fresh, usually straight from a
+// cached model. Construct via New; the zero value is not ready.
 type SolverPool struct {
 	solvers  sync.Pool
 	cons     consTable
 	memo     []memoShard // nil when memoization is disabled
 	shardCap int
+	cex      *cexCache // nil when memoization is disabled
 
-	queries atomic.Int64
-	hits    atomic.Int64
-	misses  atomic.Int64
-	unknown atomic.Int64
-	nanos   atomic.Int64
+	// pcIDs caches the hash-cons id of each PC node's conjunct, keyed
+	// by node identity (nodes are immutable). Bounded by the number of
+	// PC nodes an analysis run creates.
+	pcMu  sync.RWMutex
+	pcIDs map[*solver.PC]uint64
+
+	queries   atomic.Int64
+	quick     atomic.Int64
+	slices    atomic.Int64
+	sliceConj atomic.Int64
+	maxSlice  atomic.Int64
+	cexHits   atomic.Int64
+	hits      atomic.Int64
+	misses    atomic.Int64
+	unknown   atomic.Int64
+	nanos     atomic.Int64
 }
 
 type memoShard struct {
@@ -56,7 +82,8 @@ func newSolverPool(o Options) *SolverPool {
 	}
 	p := &SolverPool{
 		solvers: sync.Pool{New: func() any { return factory() }},
-		cons:    consTable{ids: map[string]uint64{}},
+		cons:    newConsTable(),
+		pcIDs:   map[*solver.PC]uint64{},
 	}
 	if !o.NoMemo {
 		size := o.MemoSize
@@ -68,50 +95,14 @@ func newSolverPool(o Options) *SolverPool {
 		for i := range p.memo {
 			p.memo[i] = memoShard{ents: map[uint64]*list.Element{}, lru: list.New()}
 		}
+		p.cex = newCexCache(cexCacheSize)
 	}
 	return p
 }
 
-// Sat decides satisfiability of f, consulting and feeding the memo
-// table. "Unknown" answers (solver resource exhaustion, which wraps
-// solver.ErrLimit) are memoized too: they are deterministic for fixed
-// solver bounds, and re-running them would only rediscover the same
-// exhaustion. Other errors are returned unmemoized.
+// Sat decides satisfiability of f through the sliced pipeline.
 func (p *SolverPool) Sat(f solver.Formula) (bool, error) {
-	p.queries.Add(1)
-	if p.memo == nil {
-		return p.solve(f)
-	}
-	key := p.cons.formulaID(f)
-	sh := &p.memo[key%memoShards]
-	sh.mu.Lock()
-	if el, ok := sh.ents[key]; ok {
-		sh.lru.MoveToFront(el)
-		ent := el.Value.(*memoEntry)
-		sh.mu.Unlock()
-		p.hits.Add(1)
-		if ent.err != nil {
-			p.unknown.Add(1)
-		}
-		return ent.sat, ent.err
-	}
-	sh.mu.Unlock()
-	p.misses.Add(1)
-	sat, err := p.solve(f)
-	if err != nil && !errors.Is(err, solver.ErrLimit) {
-		return sat, err
-	}
-	sh.mu.Lock()
-	if _, ok := sh.ents[key]; !ok {
-		sh.ents[key] = sh.lru.PushFront(&memoEntry{key: key, sat: sat, err: err})
-		if sh.lru.Len() > p.shardCap {
-			old := sh.lru.Back()
-			sh.lru.Remove(old)
-			delete(sh.ents, old.Value.(*memoEntry).key)
-		}
-	}
-	sh.mu.Unlock()
-	return sat, err
+	return p.SatPC(nil, f)
 }
 
 // Valid decides validity of f. It is implemented as Sat of the
@@ -125,17 +116,189 @@ func (p *SolverPool) Valid(f solver.Formula) (bool, error) {
 	return !sat, nil
 }
 
+// SatPC decides satisfiability of pc ∧ extras. "Unknown" answers
+// (solver resource exhaustion, wrapping solver.ErrLimit) are memoized
+// per component: they are deterministic for fixed solver bounds, and
+// re-running them would only rediscover the same exhaustion. Other
+// errors are returned unmemoized. A definite per-component UNSAT
+// beats an unknown from an earlier component, since either alone
+// refutes the conjunction.
+func (p *SolverPool) SatPC(pc *solver.PC, extras ...solver.Formula) (bool, error) {
+	p.queries.Add(1)
+	if pc.Dead() {
+		p.quick.Add(1)
+		return false, nil
+	}
+	cs, ok := sliceConjuncts(pc, extras)
+	if !ok {
+		p.quick.Add(1)
+		return false, nil
+	}
+	if len(cs) == 0 {
+		p.quick.Add(1)
+		return true, nil
+	}
+	fs := make([]solver.Formula, len(cs))
+	for i := range cs {
+		fs[i] = cs[i].f
+	}
+	if sat, decided := solver.QuickConj(fs); decided {
+		p.quick.Add(1)
+		return sat, nil
+	}
+	var firstErr error
+	for _, comp := range components(cs) {
+		sat, err := p.decideComponent(cs, fs, comp)
+		if err != nil && !errors.Is(err, solver.ErrLimit) {
+			return false, err
+		}
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if !sat {
+			return false, nil
+		}
+	}
+	if firstErr != nil {
+		return false, firstErr
+	}
+	return true, nil
+}
+
+// decideComponent resolves one independence component: interval fast
+// path, then the memo table, then the counterexample cache, then a
+// fresh (small) DPLL solve.
+func (p *SolverPool) decideComponent(cs []conjunct, fs []solver.Formula, comp []int) (bool, error) {
+	sub := make([]solver.Formula, len(comp))
+	tokens := 0
+	for i, idx := range comp {
+		sub[i] = fs[idx]
+		tokens += len(cs[idx].support)
+	}
+	// The whole-query fast path failed, but an individual component —
+	// typically everything except the one holding an App term — may
+	// still be interval-decidable.
+	if len(comp) < len(cs) {
+		if sat, decided := solver.QuickConj(sub); decided {
+			p.quick.Add(1)
+			return sat, nil
+		}
+	}
+	p.slices.Add(1)
+	p.sliceConj.Add(int64(len(comp)))
+	for {
+		max := p.maxSlice.Load()
+		if int64(len(comp)) <= max || p.maxSlice.CompareAndSwap(max, int64(len(comp))) {
+			break
+		}
+	}
+
+	var key uint64
+	var sh *memoShard
+	if p.memo != nil {
+		ids := make([]uint64, len(comp))
+		for i, idx := range comp {
+			ids[i] = p.conjunctID(&cs[idx])
+		}
+		key = p.cons.conjID(ids)
+		sh = &p.memo[key%memoShards]
+		sh.mu.Lock()
+		if el, ok := sh.ents[key]; ok {
+			sh.lru.MoveToFront(el)
+			ent := el.Value.(*memoEntry)
+			sh.mu.Unlock()
+			p.hits.Add(1)
+			if ent.err != nil {
+				p.unknown.Add(1)
+			}
+			return ent.sat, ent.err
+		}
+		sh.mu.Unlock()
+		p.misses.Add(1)
+	}
+
+	conj := solver.Conj(sub...)
+	// Small components only (see slice.go): below the gate a fresh
+	// solve always terminates inside its budget, so a cache hit cannot
+	// change any verdict — only skip work.
+	small := len(comp) <= cexMaxConjuncts && tokens <= cexMaxTokens
+	if small && p.cex != nil {
+		if m := p.cex.lookup(conj); m != nil {
+			p.cexHits.Add(1)
+			p.memoStore(sh, key, true, nil)
+			return true, nil
+		}
+	}
+
+	sat, model, err := p.solve(conj, small && p.cex != nil)
+	if err == nil || errors.Is(err, solver.ErrLimit) {
+		p.memoStore(sh, key, sat, err)
+	}
+	if err == nil && sat && p.cex != nil {
+		p.cex.add(model) // add ignores nil models (extraction is best-effort)
+	}
+	return sat, err
+}
+
+// conjunctID returns the hash-cons id of a conjunct, via the per-PC-
+// node cache when the conjunct came from a path condition.
+func (p *SolverPool) conjunctID(c *conjunct) uint64 {
+	if c.pcNode == nil {
+		return p.cons.formulaID(c.f)
+	}
+	p.pcMu.RLock()
+	id, ok := p.pcIDs[c.pcNode]
+	p.pcMu.RUnlock()
+	if ok {
+		return id
+	}
+	id = p.cons.formulaID(c.f)
+	p.pcMu.Lock()
+	p.pcIDs[c.pcNode] = id
+	p.pcMu.Unlock()
+	return id
+}
+
+// memoStore inserts a verdict; sh is nil when memoization is off.
+func (p *SolverPool) memoStore(sh *memoShard, key uint64, sat bool, err error) {
+	if sh == nil {
+		return
+	}
+	sh.mu.Lock()
+	if _, ok := sh.ents[key]; !ok {
+		sh.ents[key] = sh.lru.PushFront(&memoEntry{key: key, sat: sat, err: err})
+		if sh.lru.Len() > p.shardCap {
+			old := sh.lru.Back()
+			sh.lru.Remove(old)
+			delete(sh.ents, old.Value.(*memoEntry).key)
+		}
+	}
+	sh.mu.Unlock()
+}
+
 // solve runs one query on a pooled per-worker solver instance.
-func (p *SolverPool) solve(f solver.Formula) (bool, error) {
+func (p *SolverPool) solve(f solver.Formula, wantModel bool) (bool, *solver.Model, error) {
 	s := p.solvers.Get().(*solver.Solver)
 	t0 := time.Now()
-	sat, err := s.Sat(f)
+	var (
+		sat   bool
+		model *solver.Model
+		err   error
+	)
+	if wantModel {
+		sat, model, err = s.SatModel(f)
+	} else {
+		sat, err = s.Sat(f)
+	}
 	p.nanos.Add(int64(time.Since(t0)))
 	p.solvers.Put(s)
 	if err != nil && errors.Is(err, solver.ErrLimit) {
 		p.unknown.Add(1)
 	}
-	return sat, err
+	return sat, model, err
 }
 
 // addTo folds the pool's counters into an engine Stats snapshot.
@@ -145,4 +308,9 @@ func (p *SolverPool) addTo(s *Stats) {
 	s.SolverQueries = p.queries.Load()
 	s.SolverUnknown = p.unknown.Load()
 	s.SolverTime = time.Duration(p.nanos.Load())
+	s.QuickDecided = p.quick.Load()
+	s.Slices = p.slices.Load()
+	s.SliceConjuncts = p.sliceConj.Load()
+	s.MaxSlice = p.maxSlice.Load()
+	s.CexHits = p.cexHits.Load()
 }

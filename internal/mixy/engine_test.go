@@ -43,11 +43,16 @@ func TestEngineMatchesNoEngine(t *testing.T) {
 			t.Fatalf("workers=%d fixpoint trajectory differs: %+v vs %+v", workers, a.Stats, base.Stats)
 		}
 		s := eng.Snapshot()
-		if s.MemoHits == 0 {
-			t.Fatalf("workers=%d: fixpoint re-proves formulas, memo hits must be > 0 (stats %+v)", workers, s)
+		// The fixpoint re-proves formulas; each repeat must be absorbed
+		// before DPLL — by the interval fast path, the counterexample
+		// cache, or the memo table.
+		if s.QuickDecided+s.MemoHits+s.CexHits == 0 {
+			t.Fatalf("workers=%d: no query deduplication at all (stats %+v)", workers, s)
 		}
-		if s.MemoHits+s.MemoMisses != s.SolverQueries {
-			t.Fatalf("workers=%d: memo accounting off: %+v", workers, s)
+		// Every query is accounted for: decided by the fast path or
+		// routed through the per-component memo.
+		if s.QuickDecided+s.MemoHits+s.MemoMisses < s.SolverQueries {
+			t.Fatalf("workers=%d: pipeline accounting off: %+v", workers, s)
 		}
 	}
 }

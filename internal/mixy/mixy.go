@@ -313,6 +313,19 @@ func (m *Analysis) sat(f solver.Formula) (bool, error) {
 	return m.Exec.Solv.Sat(f)
 }
 
+// satPC decides satisfiability of pc ∧ extra, routing through the
+// engine's incremental pipeline when present so the shared path-
+// condition prefix is sliced and memoized conjunct by conjunct.
+func (m *Analysis) satPC(pc *solver.PC, extra solver.Formula) (bool, error) {
+	if m.eng != nil {
+		return m.eng.SatPC(pc, extra)
+	}
+	if pc.Dead() {
+		return false, nil
+	}
+	return m.Exec.Solv.Sat(solver.NewAnd(pc.Formula(), extra))
+}
+
 // CachedContexts returns the block-cache keys (block name + typed
 // calling context, Section 4.3) as a sorted snapshot. The cache is a
 // map; consumers that iterate it — diagnostics, tests, future
@@ -375,7 +388,7 @@ func (m *Analysis) analyzeSymBlock(f *microc.FuncDef) bool {
 	// The symbolic block starts with a fresh memory (the formalism's
 	// fresh μ); cells are lazily initialized from the typed context
 	// through the InitCell hook.
-	st := symexec.State{PC: solver.True, Mem: symexec.NewMemory()}
+	st := symexec.State{PC: solver.PCTrue, Mem: symexec.NewMemory()}
 	outs, err := m.Exec.RunFunc(f, st, nil)
 	if err != nil {
 		m.Warnings = append(m.Warnings, Warning{Source: "symexec", Msg: err.Error()})
@@ -392,6 +405,7 @@ func (m *Analysis) analyzeSymBlock(f *microc.FuncDef) bool {
 	// applied serially in the deterministic order.
 	type nullCheck struct {
 		q      *qual.QVar
+		pc     *solver.PC
 		f      solver.Formula
 		reason string
 	}
@@ -404,7 +418,8 @@ func (m *Analysis) analyzeSymBlock(f *microc.FuncDef) bool {
 			}
 			checks = append(checks, nullCheck{
 				q:      q,
-				f:      solver.NewAnd(o.St.PC, symexec.NullFormula(c.v)),
+				pc:     o.St.PC,
+				f:      symexec.NullFormula(c.v),
 				reason: fmt.Sprintf("symbolic block %s leaves %s possibly null", f.Name, c.obj.Name),
 			})
 		}
@@ -412,7 +427,8 @@ func (m *Analysis) analyzeSymBlock(f *microc.FuncDef) bool {
 		if rq := m.Inf.RetQ(f); rq != nil && rq.Ptr != nil && o.Ret != nil {
 			checks = append(checks, nullCheck{
 				q:      rq.Ptr,
-				f:      solver.NewAnd(o.St.PC, symexec.NullFormula(o.Ret)),
+				pc:     o.St.PC,
+				f:      symexec.NullFormula(o.Ret),
 				reason: "symbolic block " + f.Name + " may return null",
 			})
 		}
@@ -420,7 +436,7 @@ func (m *Analysis) analyzeSymBlock(f *microc.FuncDef) bool {
 	m.Stats.SolverQueries += len(checks)
 	mayNull := make([]bool, len(checks))
 	query := func(i int) error {
-		sat, err := m.sat(checks[i].f)
+		sat, err := m.satPC(checks[i].pc, checks[i].f)
 		mayNull[i] = err != nil || sat
 		return nil
 	}
@@ -627,7 +643,7 @@ func (m *Analysis) typedCall(x *symexec.Executor, st symexec.State, f *microc.Fu
 			continue
 		}
 		m.Stats.SolverQueries++
-		sat, err := m.sat(solver.NewAnd(st.PC, symexec.NullFormula(args[i])))
+		sat, err := m.satPC(st.PC, symexec.NullFormula(args[i]))
 		if err != nil || sat {
 			m.Inf.ConstrainNull(m.Inf.VarQ(p).Ptr,
 				fmt.Sprintf("possibly-null argument to typed function %s at %s", f.Name, pos))

@@ -1,0 +1,141 @@
+package persist
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// badHash forces heavy collisions so bucket paths get exercised.
+func badHash(k int) uint64 { return uint64(k % 7) }
+
+func TestMapBasic(t *testing.T) {
+	m := NewMap[string, int](HashString)
+	if m.Len() != 0 {
+		t.Fatalf("empty map Len = %d", m.Len())
+	}
+	m1 := m.Set("a", 1)
+	m2 := m1.Set("b", 2)
+	m3 := m2.Set("a", 10)
+	if m.Len() != 0 || m1.Len() != 1 || m2.Len() != 2 || m3.Len() != 2 {
+		t.Fatalf("Len chain wrong: %d %d %d %d", m.Len(), m1.Len(), m2.Len(), m3.Len())
+	}
+	if v, ok := m1.Get("a"); !ok || v != 1 {
+		t.Fatalf("m1[a] = %d,%v — snapshot mutated by later Set", v, ok)
+	}
+	if v, ok := m3.Get("a"); !ok || v != 10 {
+		t.Fatalf("m3[a] = %d,%v", v, ok)
+	}
+	if _, ok := m1.Get("b"); ok {
+		t.Fatal("m1 sees key set in m2")
+	}
+	d := m3.Delete("a")
+	if _, ok := d.Get("a"); ok {
+		t.Fatal("delete failed")
+	}
+	if v, ok := m3.Get("a"); !ok || v != 10 {
+		t.Fatal("Delete mutated its receiver")
+	}
+	if d.Delete("zzz").Len() != d.Len() {
+		t.Fatal("deleting a missing key changed Len")
+	}
+}
+
+// TestMapDifferential drives a persistent map and a builtin map with
+// the same random operation stream, checkpointing snapshots along the
+// way and verifying each snapshot still agrees with the builtin map's
+// state at checkpoint time — the structural-sharing property the
+// executors rely on when forking.
+func TestMapDifferential(t *testing.T) {
+	type snap struct {
+		m     Map[int, int]
+		model map[int]int
+	}
+	for _, hash := range []func(int) uint64{
+		func(k int) uint64 { return HashU64(uint64(k)) },
+		badHash, // collision-heavy
+	} {
+		rng := rand.New(rand.NewSource(42))
+		m := NewMap[int, int](hash)
+		model := map[int]int{}
+		var snaps []snap
+		for op := 0; op < 20000; op++ {
+			k := rng.Intn(200)
+			switch rng.Intn(10) {
+			case 0, 1, 2, 3, 4, 5:
+				v := rng.Int()
+				m = m.Set(k, v)
+				model[k] = v
+			case 6, 7:
+				m = m.Delete(k)
+				delete(model, k)
+			case 8:
+				got, ok := m.Get(k)
+				want, wok := model[k]
+				if ok != wok || got != want {
+					t.Fatalf("op %d: Get(%d) = %d,%v want %d,%v", op, k, got, ok, want, wok)
+				}
+			case 9:
+				if len(snaps) < 8 {
+					cp := make(map[int]int, len(model))
+					for k, v := range model {
+						cp[k] = v
+					}
+					snaps = append(snaps, snap{m, cp})
+				}
+			}
+			if m.Len() != len(model) {
+				t.Fatalf("op %d: Len %d != model %d", op, m.Len(), len(model))
+			}
+		}
+		// Full sweep plus Range agreement.
+		seen := 0
+		m.Range(func(k, v int) bool {
+			if want, ok := model[k]; !ok || want != v {
+				t.Fatalf("Range yields %d=%d not in model", k, v)
+			}
+			seen++
+			return true
+		})
+		if seen != len(model) {
+			t.Fatalf("Range visited %d of %d", seen, len(model))
+		}
+		// Old snapshots must be byte-for-byte what the model was then.
+		for i, s := range snaps {
+			if s.m.Len() != len(s.model) {
+				t.Fatalf("snapshot %d: Len %d != %d", i, s.m.Len(), len(s.model))
+			}
+			for k, want := range s.model {
+				if got, ok := s.m.Get(k); !ok || got != want {
+					t.Fatalf("snapshot %d: [%d] = %d,%v want %d", i, k, got, ok, want)
+				}
+			}
+		}
+	}
+}
+
+func TestRangeEarlyStop(t *testing.T) {
+	m := NewMap[int, int](func(k int) uint64 { return HashU64(uint64(k)) })
+	for i := 0; i < 100; i++ {
+		m = m.Set(i, i)
+	}
+	n := 0
+	m.Range(func(int, int) bool { n++; return n < 10 })
+	if n != 10 {
+		t.Fatalf("Range visited %d after early stop", n)
+	}
+}
+
+func BenchmarkMapSnapshotWrite(b *testing.B) {
+	m := NewMap[int, int](func(k int) uint64 { return HashU64(uint64(k)) })
+	for i := 0; i < 1024; i++ {
+		m = m.Set(i, i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fork := m // O(1) snapshot
+		fork = fork.Set(i&1023, i)
+		if fork.Len() != m.Len() {
+			b.Fatal("size drift")
+		}
+	}
+}

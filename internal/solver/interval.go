@@ -1,0 +1,179 @@
+package solver
+
+// This file implements the interval fast path: a constant-time-per-
+// conjunct decision procedure for conjunctions whose conjuncts are
+// boolean literals or single-variable bounds (x ⋈ c). Branch guards
+// produced by symbolic execution are overwhelmingly of this shape, so
+// most feasibility queries never reach DPLL at all.
+
+// iv is a rational interval with open/closed ends plus punched-out
+// points (from disequalities). Bounds are int64 because guards compare
+// against IntConst; over the dense rationals an interval is empty iff
+// lo > hi or lo == hi with either end open.
+type iv struct {
+	hasLo, hasHi   bool
+	lo, hi         int64
+	loOpen, hiOpen bool
+	holes          []int64
+}
+
+func (v *iv) boundLo(c int64, open bool) {
+	if !v.hasLo || c > v.lo || (c == v.lo && open) {
+		v.hasLo, v.lo, v.loOpen = true, c, open
+	}
+}
+
+func (v *iv) boundHi(c int64, open bool) {
+	if !v.hasHi || c < v.hi || (c == v.hi && open) {
+		v.hasHi, v.hi, v.hiOpen = true, c, open
+	}
+}
+
+func (v *iv) empty() bool {
+	if !v.hasLo || !v.hasHi {
+		return false
+	}
+	if v.lo > v.hi {
+		return true
+	}
+	if v.lo == v.hi {
+		if v.loOpen || v.hiOpen {
+			return true
+		}
+		// Point interval: dead iff the point is punched out.
+		for _, h := range v.holes {
+			if h == v.lo {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// QuickConj tries to decide the conjunction of fs with per-variable
+// interval reasoning. decided=false means the conjunction contains a
+// shape the fast path does not recognize AND no recognized subset is
+// already contradictory — the caller must fall back to the full
+// solver. When decided, sat is exact for rational semantics: every
+// recognized conjunct constrains a single variable, so per-variable
+// intervals are a complete decision procedure for the recognized
+// fragment, and a contradiction within the recognized subset refutes
+// the whole conjunction.
+func QuickConj(fs []Formula) (sat, decided bool) {
+	bools := map[string]bool{}
+	ivs := map[string]*iv{}
+	all := true
+	get := func(name string) *iv {
+		v := ivs[name]
+		if v == nil {
+			v = &iv{}
+			ivs[name] = v
+		}
+		return v
+	}
+	var add func(f Formula, pos bool) bool // false = recognized contradiction
+	add = func(f Formula, pos bool) bool {
+		switch f := f.(type) {
+		case BoolConst:
+			if f.Val != pos {
+				return false
+			}
+			return true
+		case BoolVar:
+			if prev, ok := bools[f.Name]; ok {
+				return prev == pos
+			}
+			bools[f.Name] = pos
+			return true
+		case Not:
+			return add(f.X, !pos)
+		case And:
+			if pos {
+				return add(f.X, true) && add(f.Y, true)
+			}
+		case Eq:
+			if name, c, ok := varConst(f.X, f.Y); ok {
+				v := get(name)
+				if pos {
+					v.boundLo(c, false)
+					v.boundHi(c, false)
+				} else {
+					v.holes = append(v.holes, c)
+				}
+				return !v.empty()
+			}
+		case Le:
+			if name, c, flip, ok := varConstDir(f.X, f.Y); ok {
+				v := get(name)
+				switch {
+				case pos && !flip: // x <= c
+					v.boundHi(c, false)
+				case pos && flip: // c <= x
+					v.boundLo(c, false)
+				case !pos && !flip: // !(x <= c): x > c
+					v.boundLo(c, true)
+				default: // !(c <= x): x < c
+					v.boundHi(c, true)
+				}
+				return !v.empty()
+			}
+		case Lt:
+			if name, c, flip, ok := varConstDir(f.X, f.Y); ok {
+				v := get(name)
+				switch {
+				case pos && !flip: // x < c
+					v.boundHi(c, true)
+				case pos && flip: // c < x
+					v.boundLo(c, true)
+				case !pos && !flip: // !(x < c): x >= c
+					v.boundLo(c, false)
+				default: // !(c < x): x <= c
+					v.boundHi(c, false)
+				}
+				return !v.empty()
+			}
+		}
+		all = false
+		return true // unrecognized: no contradiction evidence
+	}
+	for _, f := range fs {
+		if !add(f, true) {
+			return false, true
+		}
+	}
+	if !all {
+		return false, false
+	}
+	return true, true
+}
+
+// varConst matches (IntVar, IntConst) in either order.
+func varConst(x, y Term) (name string, c int64, ok bool) {
+	if v, okv := x.(IntVar); okv {
+		if k, okc := y.(IntConst); okc {
+			return v.Name, k.Val, true
+		}
+	}
+	if v, okv := y.(IntVar); okv {
+		if k, okc := x.(IntConst); okc {
+			return v.Name, k.Val, true
+		}
+	}
+	return "", 0, false
+}
+
+// varConstDir matches an ordered comparison operand pair; flip=true
+// means the constant is on the left (c ⋈ x).
+func varConstDir(x, y Term) (name string, c int64, flip, ok bool) {
+	if v, okv := x.(IntVar); okv {
+		if k, okc := y.(IntConst); okc {
+			return v.Name, k.Val, false, true
+		}
+	}
+	if k, okc := x.(IntConst); okc {
+		if v, okv := y.(IntVar); okv {
+			return v.Name, k.Val, true, true
+		}
+	}
+	return "", 0, false, false
+}

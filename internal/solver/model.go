@@ -1,0 +1,314 @@
+package solver
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Model is a satisfying assignment: rational values for the canonical
+// linear-form keys ("v:<name>" integer variables, "a:<app>" purified
+// applications) and truth values for boolean variables. Variables
+// absent from the model default to 0 / false; by construction of the
+// NNF search that extension still satisfies the formula the model was
+// extracted from.
+type Model struct {
+	Ints  map[string]*big.Rat
+	Bools map[string]bool
+}
+
+// Eval evaluates f under the model (missing variables default to
+// 0/false). This is what makes counterexample caching sound: a cached
+// model is only trusted for a new query after Eval confirms it
+// satisfies that query.
+func (m *Model) Eval(f Formula) (bool, error) {
+	switch f := f.(type) {
+	case BoolConst:
+		return f.Val, nil
+	case BoolVar:
+		return m.Bools[f.Name], nil
+	case Not:
+		v, err := m.Eval(f.X)
+		return !v, err
+	case And:
+		x, err := m.Eval(f.X)
+		if err != nil {
+			return false, err
+		}
+		if !x {
+			return false, nil
+		}
+		return m.Eval(f.Y)
+	case Or:
+		x, err := m.Eval(f.X)
+		if err != nil {
+			return false, err
+		}
+		if x {
+			return true, nil
+		}
+		return m.Eval(f.Y)
+	case Iff:
+		x, err := m.Eval(f.X)
+		if err != nil {
+			return false, err
+		}
+		y, err := m.Eval(f.Y)
+		return x == y, err
+	case Eq:
+		s, err := m.cmpSign(f.X, f.Y)
+		return s == 0, err
+	case Le:
+		s, err := m.cmpSign(f.X, f.Y)
+		return s <= 0, err
+	case Lt:
+		s, err := m.cmpSign(f.X, f.Y)
+		return s < 0, err
+	case nil:
+		return false, fmt.Errorf("solver: nil formula")
+	}
+	return false, fmt.Errorf("solver: unknown formula %T", f)
+}
+
+// cmpSign returns sign(x - y) under the model.
+func (m *Model) cmpSign(x, y Term) (int, error) {
+	l, err := linSub(x, y)
+	if err != nil {
+		return 0, err
+	}
+	return m.evalLin(l).Sign(), nil
+}
+
+func (m *Model) evalLin(l *lin) *big.Rat {
+	v := new(big.Rat).Set(l.k)
+	for key, c := range l.coefs {
+		if mv, ok := m.Ints[key]; ok {
+			v.Add(v, new(big.Rat).Mul(c, mv))
+		}
+	}
+	return v
+}
+
+// gaussStep records one Gaussian pivot: e still contains c*v; after
+// every later variable is valued, v = -(e - c*v)/c.
+type gaussStep struct {
+	v string
+	c *big.Rat
+	e *lin
+}
+
+// fmStep records one Fourier–Motzkin elimination: the lower and upper
+// bound rows for v, each still containing v (and possibly variables
+// eliminated in later steps, which back-substitution values first).
+type fmStep struct {
+	v              string
+	lowers, uppers []ineq
+}
+
+// theoryModel mirrors theoryConj but records the elimination order so
+// that, on SAT, a concrete rational witness can be rebuilt by reverse
+// substitution. It returns (nil, false) when the conjunction is UNSAT.
+func theoryModel(eqs []*lin, ineqs []ineq, diseqs []*lin) (map[string]*big.Rat, bool) {
+	if len(diseqs) > 0 {
+		d, rest := diseqs[0], diseqs[1:]
+		lt := append(append([]ineq{}, ineqs...), ineq{d.clone(), true})
+		if m, ok := theoryModel(eqs, lt, rest); ok {
+			return m, true
+		}
+		neg := d.clone()
+		neg.scale(big.NewRat(-1, 1))
+		gt := append(append([]ineq{}, ineqs...), ineq{neg, true})
+		return theoryModel(eqs, gt, rest)
+	}
+
+	eqs2 := make([]*lin, len(eqs))
+	for i, e := range eqs {
+		eqs2[i] = e.clone()
+	}
+	ins := make([]ineq, len(ineqs))
+	for i, in := range ineqs {
+		ins[i] = ineq{in.l.clone(), in.strict}
+	}
+
+	var gsteps []gaussStep
+	for len(eqs2) > 0 {
+		e := eqs2[0]
+		eqs2 = eqs2[1:]
+		if e.isConst() {
+			if e.k.Sign() != 0 {
+				return nil, false
+			}
+			continue
+		}
+		ks := sortedKeys(e.coefs)
+		v := ks[0]
+		c := e.coefs[v]
+		gsteps = append(gsteps, gaussStep{v: v, c: c, e: e})
+		for _, f := range eqs2 {
+			if d, ok := f.coefs[v]; ok {
+				s := new(big.Rat).Quo(d, c)
+				s.Neg(s)
+				f.addScaled(e, s)
+			}
+		}
+		for i := range ins {
+			if d, ok := ins[i].l.coefs[v]; ok {
+				s := new(big.Rat).Quo(d, c)
+				s.Neg(s)
+				ins[i].l.addScaled(e, s)
+			}
+		}
+	}
+
+	var fsteps []fmStep
+	for {
+		var v string
+		found := false
+		for _, in := range ins {
+			if len(in.l.coefs) > 0 {
+				v = sortedKeys(in.l.coefs)[0]
+				found = true
+				break
+			}
+		}
+		if !found {
+			break
+		}
+		var lowers, uppers []ineq
+		var rest []ineq
+		for _, in := range ins {
+			c, ok := in.l.coefs[v]
+			switch {
+			case !ok:
+				rest = append(rest, in)
+			case c.Sign() > 0:
+				uppers = append(uppers, in)
+			default:
+				lowers = append(lowers, in)
+			}
+		}
+		fsteps = append(fsteps, fmStep{v: v, lowers: lowers, uppers: uppers})
+		for _, lo := range lowers {
+			for _, up := range uppers {
+				cl := lo.l.coefs[v]
+				cu := up.l.coefs[v]
+				comb := lo.l.clone()
+				comb.scale(cu)
+				scaledUp := up.l.clone()
+				negCl := new(big.Rat).Neg(cl)
+				scaledUp.scale(negCl)
+				comb.addScaled(scaledUp, big.NewRat(1, 1))
+				delete(comb.coefs, v)
+				rest = append(rest, ineq{comb, lo.strict || up.strict})
+			}
+		}
+		ins = rest
+	}
+
+	for _, in := range ins {
+		if !in.l.isConst() {
+			continue
+		}
+		s := in.l.k.Sign()
+		if s > 0 || (s == 0 && in.strict) {
+			return nil, false
+		}
+	}
+
+	// Back-substitute. FM steps first, newest-first: a step's bound rows
+	// may mention variables eliminated in later steps, which are then
+	// already valued; anything still unvalued reads as 0.
+	model := map[string]*big.Rat{}
+	for i := len(fsteps) - 1; i >= 0; i-- {
+		st := fsteps[i]
+		v, ok := pickWithin(st, model)
+		if !ok {
+			return nil, false // numeric inconsistency; caller drops the model
+		}
+		model[st.v] = v
+	}
+	// Gauss pivots newest-first: each pivot equation mentions only later
+	// pivots, FM variables, and free variables.
+	for i := len(gsteps) - 1; i >= 0; i-- {
+		st := gsteps[i]
+		r := evalLinExcept(st.e, st.v, model)
+		val := new(big.Rat).Neg(r)
+		val.Quo(val, st.c)
+		model[st.v] = val
+	}
+	return model, true
+}
+
+// evalLinExcept evaluates l under the partial model, skipping the v
+// term; unvalued variables read as 0.
+func evalLinExcept(l *lin, v string, model map[string]*big.Rat) *big.Rat {
+	r := new(big.Rat).Set(l.k)
+	for key, c := range l.coefs {
+		if key == v {
+			continue
+		}
+		if mv, ok := model[key]; ok {
+			r.Add(r, new(big.Rat).Mul(c, mv))
+		}
+	}
+	return r
+}
+
+// pickWithin chooses a value for st.v between its tightest lower and
+// upper bounds under the partial model (rational semantics: any
+// nonempty interval, open or closed, has a witness).
+func pickWithin(st fmStep, model map[string]*big.Rat) (*big.Rat, bool) {
+	var lo, hi *big.Rat
+	var loStrict, hiStrict bool
+	for _, in := range st.lowers {
+		c := in.l.coefs[st.v] // negative: c*v + r <= 0  =>  v >= -r/c
+		b := boundOf(in, st.v, c, model)
+		if lo == nil || b.Cmp(lo) > 0 {
+			lo, loStrict = b, in.strict
+		} else if b.Cmp(lo) == 0 && in.strict {
+			loStrict = true
+		}
+	}
+	for _, in := range st.uppers {
+		c := in.l.coefs[st.v] // positive: c*v + r <= 0  =>  v <= -r/c
+		b := boundOf(in, st.v, c, model)
+		if hi == nil || b.Cmp(hi) < 0 {
+			hi, hiStrict = b, in.strict
+		} else if b.Cmp(hi) == 0 && in.strict {
+			hiStrict = true
+		}
+	}
+	switch {
+	case lo == nil && hi == nil:
+		return new(big.Rat), true
+	case hi == nil:
+		if loStrict {
+			return new(big.Rat).Add(lo, big.NewRat(1, 1)), true
+		}
+		return lo, true
+	case lo == nil:
+		if hiStrict {
+			return new(big.Rat).Sub(hi, big.NewRat(1, 1)), true
+		}
+		return hi, true
+	}
+	switch lo.Cmp(hi) {
+	case -1:
+		mid := new(big.Rat).Add(lo, hi)
+		mid.Mul(mid, big.NewRat(1, 2))
+		return mid, true
+	case 0:
+		if loStrict || hiStrict {
+			return nil, false
+		}
+		return lo, true
+	}
+	return nil, false
+}
+
+// boundOf computes -r/c for the row's residue r = eval(l - c*v).
+func boundOf(in ineq, v string, c *big.Rat, model map[string]*big.Rat) *big.Rat {
+	r := evalLinExcept(in.l, v, model)
+	b := new(big.Rat).Neg(r)
+	b.Quo(b, c)
+	return b
+}

@@ -1,0 +1,91 @@
+package solver
+
+// PC is an incremental path condition: an immutable cons list of
+// already-simplified conjuncts whose tail is shared with the parent
+// path. Extending a path condition at a fork is O(size of the new
+// guard) — the prefix is never copied — and both fork children alias
+// the parent's list. nil is the empty (true) path condition, so the
+// zero value is ready to use.
+//
+// Each node caches the independence-support tokens of its conjunct,
+// which lets the engine slice a query into independent components
+// without re-walking formulas on every solver call.
+type PC struct {
+	parent  *PC
+	f       Formula
+	support []string
+	n       int
+	dead    bool
+}
+
+// PCTrue is the empty path condition. (Any nil *PC behaves the same.)
+var PCTrue *PC
+
+// Len reports the number of conjuncts.
+func (p *PC) Len() int {
+	if p == nil {
+		return 0
+	}
+	return p.n
+}
+
+// Dead reports whether the path condition contains a literal false —
+// an infeasible path that needs no solver to reject.
+func (p *PC) Dead() bool {
+	if p == nil {
+		return false
+	}
+	return p.dead
+}
+
+// And returns p ∧ f as a new path condition sharing p as its tail. The
+// guard is simplified and split into top-level conjuncts, one node
+// each, so downstream slicing sees the finest stable granularity.
+func (p *PC) And(f Formula) *PC {
+	return p.and(Simplify(f))
+}
+
+func (p *PC) and(f Formula) *PC {
+	switch f := f.(type) {
+	case BoolConst:
+		if f.Val {
+			return p
+		}
+		if p.Dead() {
+			return p
+		}
+		return &PC{parent: p, f: False, n: p.Len() + 1, dead: true}
+	case And:
+		return p.and(f.X).and(f.Y)
+	}
+	if p != nil && formulaEq(p.f, f) {
+		return p // re-asserted guard (e.g. a loop condition), keep the node
+	}
+	return &PC{parent: p, f: f, support: Support(f), n: p.Len() + 1, dead: p.Dead()}
+}
+
+// Head returns the newest conjunct and its cached support tokens.
+func (p *PC) Head() (Formula, []string) { return p.f, p.support }
+
+// Parent returns the path condition without its newest conjunct.
+func (p *PC) Parent() *PC { return p.parent }
+
+// Conjuncts returns the conjuncts oldest-first.
+func (p *PC) Conjuncts() []Formula {
+	out := make([]Formula, p.Len())
+	for q := p; q != nil; q = q.parent {
+		out[q.n-1] = q.f
+	}
+	return out
+}
+
+// Formula folds the path condition back into a single Formula (for
+// callers outside the engine's sliced pipeline).
+func (p *PC) Formula() Formula {
+	if p == nil {
+		return True
+	}
+	return Conj(p.Conjuncts()...)
+}
+
+func (p *PC) String() string { return p.Formula().String() }

@@ -1,0 +1,725 @@
+package solver
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// writeInt appends a decimal integer without fmt's reflection overhead
+// (keys are built in hot simplifier/memo paths).
+func writeInt(sb *strings.Builder, v int64) {
+	var buf [20]byte
+	sb.Write(strconv.AppendInt(buf[:0], v, 10))
+}
+
+// Simplify returns a formula equivalent to f with constants folded and
+// common redundancies canonicalized away:
+//
+//   - double negation: !!x → x (via NewNot)
+//   - constant folding through And/Or/Not/Iff and the comparisons
+//   - x - x → 0 and other arithmetic identities (SimplifyTerm)
+//   - comparisons of syntactically equal terms: t = t → true,
+//     t <= t → true, t < t → false
+//   - duplicate and complementary conjuncts/disjuncts: x ∧ x → x,
+//     x ∧ ¬x → false, x ∨ ¬x → true
+//   - the consensus rule on disjunctions of conjunction-of-literal
+//     clauses: (A ∧ x) ∨ (A ∧ ¬x) → A, applied to fixpoint — this is
+//     what collapses the exhaustiveness check over 2^k complete branch
+//     guards without any DPLL search
+//
+// Simplify never errors: formulas it cannot improve (including nil or
+// unknown variants) come back unchanged, and the solver's own
+// conversion reports those.
+func Simplify(f Formula) Formula {
+	switch f := f.(type) {
+	case nil, BoolConst, BoolVar:
+		return f
+	case Not:
+		return NewNot(Simplify(f.X))
+	case And:
+		return simplifyAnd(f)
+	case Or:
+		return simplifyOr(f)
+	case Iff:
+		x, y := Simplify(f.X), Simplify(f.Y)
+		if bx, ok := x.(BoolConst); ok {
+			if bx.Val {
+				return y
+			}
+			return NewNot(y)
+		}
+		if by, ok := y.(BoolConst); ok {
+			if by.Val {
+				return x
+			}
+			return NewNot(x)
+		}
+		if formulaEq(x, y) {
+			return True
+		}
+		return Iff{x, y}
+	case Eq:
+		x, y := SimplifyTerm(f.X), SimplifyTerm(f.Y)
+		if cx, ok := x.(IntConst); ok {
+			if cy, ok := y.(IntConst); ok {
+				return BoolConst{cx.Val == cy.Val}
+			}
+		}
+		if termEq(x, y) {
+			return True
+		}
+		return Eq{x, y}
+	case Le:
+		x, y := SimplifyTerm(f.X), SimplifyTerm(f.Y)
+		if cx, ok := x.(IntConst); ok {
+			if cy, ok := y.(IntConst); ok {
+				return BoolConst{cx.Val <= cy.Val}
+			}
+		}
+		if termEq(x, y) {
+			return True
+		}
+		return Le{x, y}
+	case Lt:
+		x, y := SimplifyTerm(f.X), SimplifyTerm(f.Y)
+		if cx, ok := x.(IntConst); ok {
+			if cy, ok := y.(IntConst); ok {
+				return BoolConst{cx.Val < cy.Val}
+			}
+		}
+		if termEq(x, y) {
+			return False
+		}
+		return Lt{x, y}
+	}
+	return f
+}
+
+// flattenInto collects the leaves of a same-op (And or Or) spine
+// without re-simplifying interior spine nodes; each non-spine leaf is
+// simplified exactly once, and leaves that simplify back into the
+// spine op are flattened in turn.
+func flattenInto(f Formula, isAnd bool, out *[]Formula) {
+	switch f := f.(type) {
+	case And:
+		if isAnd {
+			flattenInto(f.X, isAnd, out)
+			flattenInto(f.Y, isAnd, out)
+			return
+		}
+	case Or:
+		if !isAnd {
+			flattenInto(f.X, isAnd, out)
+			flattenInto(f.Y, isAnd, out)
+			return
+		}
+	}
+	s := Simplify(f)
+	switch s := s.(type) {
+	case And:
+		if isAnd {
+			collectLeaves(s, isAnd, out)
+			return
+		}
+	case Or:
+		if !isAnd {
+			collectLeaves(s, isAnd, out)
+			return
+		}
+	}
+	*out = append(*out, s)
+}
+
+// collectLeaves gathers the already-simplified leaves of a spine.
+func collectLeaves(f Formula, isAnd bool, out *[]Formula) {
+	switch f := f.(type) {
+	case And:
+		if isAnd {
+			collectLeaves(f.X, isAnd, out)
+			collectLeaves(f.Y, isAnd, out)
+			return
+		}
+	case Or:
+		if !isAnd {
+			collectLeaves(f.X, isAnd, out)
+			collectLeaves(f.Y, isAnd, out)
+			return
+		}
+	}
+	*out = append(*out, f)
+}
+
+func simplifyAnd(f And) Formula {
+	var leaves []Formula
+	flattenInto(f.X, true, &leaves)
+	flattenInto(f.Y, true, &leaves)
+	seen := make(map[string]bool, len(leaves))
+	kept := leaves[:0]
+	for _, l := range leaves {
+		if c, ok := l.(BoolConst); ok {
+			if !c.Val {
+				return False
+			}
+			continue
+		}
+		k := FormulaKey(l)
+		if seen[k] {
+			continue
+		}
+		if seen[negKey(k)] {
+			return False // x ∧ ¬x
+		}
+		seen[k] = true
+		kept = append(kept, l)
+	}
+	return Conj(kept...)
+}
+
+// mergeLimit bounds the consensus pass; beyond it the disjunction is
+// rebuilt as-is (the pass is quadratic in the worst case).
+const mergeLimit = 4096
+
+func simplifyOr(f Or) Formula {
+	var leaves []Formula
+	flattenInto(f.X, false, &leaves)
+	flattenInto(f.Y, false, &leaves)
+	seen := make(map[string]bool, len(leaves))
+	kept := leaves[:0]
+	for _, l := range leaves {
+		if c, ok := l.(BoolConst); ok {
+			if c.Val {
+				return True
+			}
+			continue
+		}
+		k := FormulaKey(l)
+		if seen[k] {
+			continue
+		}
+		if seen[negKey(k)] {
+			return True // x ∨ ¬x
+		}
+		seen[k] = true
+		kept = append(kept, l)
+	}
+	if len(kept) > 1 && len(kept) <= mergeLimit {
+		kept = mergeDisjuncts(kept)
+	}
+	return Disj(kept...)
+}
+
+// literal is one conjunct of a disjunct, viewed atomically: any
+// non-And subformula, with negation split off as polarity. Atoms are
+// interned to small integers once per pass, so clause signatures hash
+// integers instead of concatenating key strings.
+type literal struct {
+	f    Formula // the positive form
+	atom int
+	pos  bool
+}
+
+// clause is one disjunct decomposed into literals sorted by atom id.
+type clause struct {
+	lits   []literal
+	dead   bool
+	frozen bool // already merged this round; settle next round
+}
+
+// mergeDisjuncts applies the consensus rule (A ∧ x) ∨ (A ∧ ¬x) → A to
+// fixpoint over disjuncts that decompose into conjunctions of
+// literals. Guards produced by forking at k conditionals form a
+// complete binary tree of 2^k such clauses, which this pass collapses
+// level by level to a single clause (or to true). Each round indexes
+// every live clause once by hashed signatures and performs all
+// non-overlapping merges it finds, so the complete-tree case costs
+// O(k · total literals) over its k rounds rather than rebuilding the
+// index per merge. Hash collisions are harmless: a probe verifies the
+// clauses literal by literal before merging.
+func mergeDisjuncts(ds []Formula) []Formula {
+	atomIDs := map[string]int{}
+	clauses := make([]clause, len(ds))
+	for i, d := range ds {
+		var parts []Formula
+		collectLeaves(d, true, &parts)
+		cl := clause{lits: make([]literal, 0, len(parts))}
+		for _, p := range parts {
+			lit := literal{f: p, pos: true}
+			if n, ok := p.(Not); ok {
+				lit.f, lit.pos = n.X, false
+			}
+			key := FormulaKey(lit.f)
+			id, ok := atomIDs[key]
+			if !ok {
+				id = len(atomIDs)
+				atomIDs[key] = id
+			}
+			lit.atom = id
+			cl.lits = append(cl.lits, lit)
+		}
+		sortLits(cl.lits)
+		clauses[i] = cl
+	}
+	for {
+		merged := false
+		type cand struct{ ci, li int }
+		index := make(map[uint64]cand, len(clauses))
+		for ci := range clauses {
+			cl := &clauses[ci]
+			if cl.dead || cl.frozen {
+				continue
+			}
+			for li := range cl.lits {
+				h := clauseHashWithout(cl.lits, li)
+				prev, ok := index[h]
+				if !ok {
+					index[h] = cand{ci, li}
+					continue
+				}
+				p := &clauses[prev.ci]
+				if p.dead || p.frozen ||
+					p.lits[prev.li].atom != cl.lits[li].atom ||
+					!sameExcept(p.lits, prev.li, cl.lits, li) {
+					continue
+				}
+				if p.lits[prev.li].pos == cl.lits[li].pos {
+					// Identical clauses (can arise after earlier
+					// rounds): keep the first.
+					cl.dead = true
+					merged = true
+					break
+				}
+				// Consensus: drop the literal from the earlier clause
+				// (it keeps its position), kill the later one.
+				p.lits = append(p.lits[:prev.li:prev.li], p.lits[prev.li+1:]...)
+				p.frozen = true
+				cl.dead = true
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			break
+		}
+		for i := range clauses {
+			clauses[i].frozen = false
+		}
+	}
+	var out []Formula
+	for _, cl := range clauses {
+		if cl.dead {
+			continue
+		}
+		if len(cl.lits) == 0 {
+			return []Formula{True}
+		}
+		fs := make([]Formula, len(cl.lits))
+		for i, lit := range cl.lits {
+			if lit.pos {
+				fs[i] = lit.f
+			} else {
+				fs[i] = NewNot(lit.f)
+			}
+		}
+		out = append(out, Conj(fs...))
+	}
+	return out
+}
+
+// clauseHashWithout hashes a clause's literal sequence (sorted by atom
+// id) with one literal's polarity-and-identity replaced by just its
+// atom: two clauses agreeing on it share the remainder and pivot on
+// the same atom.
+func clauseHashWithout(lits []literal, skip int) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i, lit := range lits {
+		var v uint64
+		if i == skip {
+			v = uint64(lit.atom)*4 + 2
+		} else {
+			v = uint64(lit.atom) * 4
+			if lit.pos {
+				v++
+			}
+		}
+		h = (h ^ v) * prime64
+	}
+	return h
+}
+
+// sameExcept reports whether two literal sequences agree (atom and
+// polarity) everywhere except the two skipped positions.
+func sameExcept(a []literal, ai int, b []literal, bi int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, j := 0, 0; ; i, j = i+1, j+1 {
+		if i == ai {
+			i++
+		}
+		if j == bi {
+			j++
+		}
+		if i >= len(a) || j >= len(b) {
+			return i >= len(a) && j >= len(b)
+		}
+		if a[i].atom != b[j].atom || a[i].pos != b[j].pos {
+			return false
+		}
+	}
+}
+
+// sortLits orders a clause's literals by atom id (insertion sort:
+// clause widths are small).
+func sortLits(lits []literal) {
+	for i := 1; i < len(lits); i++ {
+		for j := i; j > 0 && lits[j].atom < lits[j-1].atom; j-- {
+			lits[j], lits[j-1] = lits[j-1], lits[j]
+		}
+	}
+}
+
+func sortStrings(s []string) {
+	// Insertion sort: clause widths are small (one literal per fork
+	// depth), so this beats sort.Strings' interface overhead.
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// negKey gives the key of a formula's negation: "!"+k, with double
+// negation folded at the key level.
+func negKey(k string) string {
+	if strings.HasPrefix(k, "!") {
+		return k[1:]
+	}
+	return "!" + k
+}
+
+// SimplifyTerm folds constants and arithmetic identities: x+0 → x,
+// 0*x → 0, 1*x → x, −(−x) → x, and x − x → 0.
+func SimplifyTerm(t Term) Term {
+	switch t := t.(type) {
+	case nil, IntConst, IntVar:
+		return t
+	case Add:
+		x, y := SimplifyTerm(t.X), SimplifyTerm(t.Y)
+		cx, okx := x.(IntConst)
+		cy, oky := y.(IntConst)
+		if okx && oky {
+			if sum, ok := addInt64(cx.Val, cy.Val); ok {
+				return IntConst{sum}
+			}
+		}
+		if okx && cx.Val == 0 {
+			return y
+		}
+		if oky && cy.Val == 0 {
+			return x
+		}
+		// x - x → 0 in both orientations.
+		if ny, ok := y.(Neg); ok && termEq(x, ny.X) {
+			return IntConst{0}
+		}
+		if nx, ok := x.(Neg); ok && termEq(nx.X, y) {
+			return IntConst{0}
+		}
+		return Add{x, y}
+	case Neg:
+		x := SimplifyTerm(t.X)
+		if c, ok := x.(IntConst); ok && c.Val != minInt64 {
+			return IntConst{-c.Val}
+		}
+		if n, ok := x.(Neg); ok {
+			return n.X
+		}
+		return Neg{x}
+	case Mul:
+		x := SimplifyTerm(t.X)
+		if t.K == 0 {
+			return IntConst{0}
+		}
+		if t.K == 1 {
+			return x
+		}
+		if c, ok := x.(IntConst); ok {
+			if p, ok := mulInt64(t.K, c.Val); ok {
+				return IntConst{p}
+			}
+		}
+		return Mul{K: t.K, X: x}
+	case App:
+		args := make([]Term, len(t.Args))
+		for i, a := range t.Args {
+			args[i] = SimplifyTerm(a)
+		}
+		return App{Fn: t.Fn, Args: args}
+	}
+	return t
+}
+
+const minInt64 = -1 << 63
+
+func addInt64(a, b int64) (int64, bool) {
+	s := a + b
+	if (a > 0 && b > 0 && s < 0) || (a < 0 && b < 0 && s >= 0) {
+		return 0, false
+	}
+	return s, true
+}
+
+func mulInt64(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	p := a * b
+	if p/b != a {
+		return 0, false
+	}
+	return p, true
+}
+
+// termEq is syntactic equality of terms. (Plain == is unusable: App
+// holds a slice, and comparing interfaces that contain it panics.)
+func termEq(a, b Term) bool {
+	switch a := a.(type) {
+	case IntConst:
+		bb, ok := b.(IntConst)
+		return ok && a.Val == bb.Val
+	case IntVar:
+		bb, ok := b.(IntVar)
+		return ok && a.Name == bb.Name
+	case Add:
+		bb, ok := b.(Add)
+		return ok && termEq(a.X, bb.X) && termEq(a.Y, bb.Y)
+	case Neg:
+		bb, ok := b.(Neg)
+		return ok && termEq(a.X, bb.X)
+	case Mul:
+		bb, ok := b.(Mul)
+		return ok && a.K == bb.K && termEq(a.X, bb.X)
+	case App:
+		bb, ok := b.(App)
+		if !ok || a.Fn != bb.Fn || len(a.Args) != len(bb.Args) {
+			return false
+		}
+		for i := range a.Args {
+			if !termEq(a.Args[i], bb.Args[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// formulaEq is syntactic equality of formulas.
+func formulaEq(a, b Formula) bool {
+	switch a := a.(type) {
+	case BoolConst:
+		bb, ok := b.(BoolConst)
+		return ok && a.Val == bb.Val
+	case BoolVar:
+		bb, ok := b.(BoolVar)
+		return ok && a.Name == bb.Name
+	case Not:
+		bb, ok := b.(Not)
+		return ok && formulaEq(a.X, bb.X)
+	case And:
+		bb, ok := b.(And)
+		return ok && formulaEq(a.X, bb.X) && formulaEq(a.Y, bb.Y)
+	case Or:
+		bb, ok := b.(Or)
+		return ok && formulaEq(a.X, bb.X) && formulaEq(a.Y, bb.Y)
+	case Iff:
+		bb, ok := b.(Iff)
+		return ok && formulaEq(a.X, bb.X) && formulaEq(a.Y, bb.Y)
+	case Eq:
+		bb, ok := b.(Eq)
+		return ok && termEq(a.X, bb.X) && termEq(a.Y, bb.Y)
+	case Le:
+		bb, ok := b.(Le)
+		return ok && termEq(a.X, bb.X) && termEq(a.Y, bb.Y)
+	case Lt:
+		bb, ok := b.(Lt)
+		return ok && termEq(a.X, bb.X) && termEq(a.Y, bb.Y)
+	}
+	return false
+}
+
+// FormulaKey renders an injective canonical string for f: distinct
+// structures yield distinct keys (names are length-prefixed so no
+// name can forge a delimiter). Negation is normalized so that
+// key(¬x) == "!"+key(x).
+func FormulaKey(f Formula) string {
+	var sb strings.Builder
+	formulaKey(f, &sb)
+	return sb.String()
+}
+
+func formulaKey(f Formula, sb *strings.Builder) {
+	switch f := f.(type) {
+	case BoolConst:
+		if f.Val {
+			sb.WriteString("T")
+		} else {
+			sb.WriteString("F")
+		}
+	case BoolVar:
+		sb.WriteByte('b')
+		writeInt(sb, int64(len(f.Name)))
+		sb.WriteByte(':')
+		sb.WriteString(f.Name)
+	case Not:
+		// Normalize nested negation at the key level.
+		if inner, ok := f.X.(Not); ok {
+			formulaKey(inner.X, sb)
+			return
+		}
+		sb.WriteString("!")
+		formulaKey(f.X, sb)
+	case And:
+		sb.WriteString("&(")
+		formulaKey(f.X, sb)
+		sb.WriteString(",")
+		formulaKey(f.Y, sb)
+		sb.WriteString(")")
+	case Or:
+		sb.WriteString("|(")
+		formulaKey(f.X, sb)
+		sb.WriteString(",")
+		formulaKey(f.Y, sb)
+		sb.WriteString(")")
+	case Iff:
+		sb.WriteString("~(")
+		formulaKey(f.X, sb)
+		sb.WriteString(",")
+		formulaKey(f.Y, sb)
+		sb.WriteString(")")
+	case Eq:
+		sb.WriteString("=(")
+		termKey(f.X, sb)
+		sb.WriteString(",")
+		termKey(f.Y, sb)
+		sb.WriteString(")")
+	case Le:
+		sb.WriteString("<=(")
+		termKey(f.X, sb)
+		sb.WriteString(",")
+		termKey(f.Y, sb)
+		sb.WriteString(")")
+	case Lt:
+		sb.WriteString("<(")
+		termKey(f.X, sb)
+		sb.WriteString(",")
+		termKey(f.Y, sb)
+		sb.WriteString(")")
+	default:
+		fmt.Fprintf(sb, "?%T", f)
+	}
+}
+
+func termKey(t Term, sb *strings.Builder) {
+	switch t := t.(type) {
+	case IntConst:
+		sb.WriteByte('c')
+		writeInt(sb, t.Val)
+	case IntVar:
+		sb.WriteByte('v')
+		writeInt(sb, int64(len(t.Name)))
+		sb.WriteByte(':')
+		sb.WriteString(t.Name)
+	case Add:
+		sb.WriteString("+(")
+		termKey(t.X, sb)
+		sb.WriteString(",")
+		termKey(t.Y, sb)
+		sb.WriteString(")")
+	case Neg:
+		sb.WriteString("-")
+		termKey(t.X, sb)
+	case Mul:
+		fmt.Fprintf(sb, "*%d", t.K)
+		termKey(t.X, sb)
+	case App:
+		fmt.Fprintf(sb, "@%d:%s(", len(t.Fn), t.Fn)
+		for i, a := range t.Args {
+			if i > 0 {
+				sb.WriteString(",")
+			}
+			termKey(a, sb)
+		}
+		sb.WriteString(")")
+	default:
+		fmt.Fprintf(sb, "?%T", t)
+	}
+}
+
+// Support returns the sorted independence tokens of f: "b:" boolean
+// variables, "v:" integer variables, and "fn:" uninterpreted function
+// symbols. Two formulas sharing no token cannot constrain each other,
+// which is the soundness condition behind constraint-independence
+// slicing. (Function applications are merged at symbol granularity:
+// congruence can link any two applications of one symbol.)
+func Support(f Formula) []string {
+	set := map[string]bool{}
+	supportFormula(f, set)
+	out := make([]string, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sortStrings(out)
+	return out
+}
+
+func supportFormula(f Formula, set map[string]bool) {
+	switch f := f.(type) {
+	case BoolVar:
+		set["b:"+f.Name] = true
+	case Not:
+		supportFormula(f.X, set)
+	case And:
+		supportFormula(f.X, set)
+		supportFormula(f.Y, set)
+	case Or:
+		supportFormula(f.X, set)
+		supportFormula(f.Y, set)
+	case Iff:
+		supportFormula(f.X, set)
+		supportFormula(f.Y, set)
+	case Eq:
+		supportTerm(f.X, set)
+		supportTerm(f.Y, set)
+	case Le:
+		supportTerm(f.X, set)
+		supportTerm(f.Y, set)
+	case Lt:
+		supportTerm(f.X, set)
+		supportTerm(f.Y, set)
+	}
+}
+
+func supportTerm(t Term, set map[string]bool) {
+	switch t := t.(type) {
+	case IntVar:
+		set["v:"+t.Name] = true
+	case Add:
+		supportTerm(t.X, set)
+		supportTerm(t.Y, set)
+	case Neg:
+		supportTerm(t.X, set)
+	case Mul:
+		supportTerm(t.X, set)
+	case App:
+		set["fn:"+t.Fn] = true
+		for _, a := range t.Args {
+			supportTerm(a, set)
+		}
+	}
+}

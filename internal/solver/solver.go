@@ -51,24 +51,40 @@ func (e ErrResource) Unwrap() error { return ErrLimit }
 
 // Sat reports whether f is satisfiable (over the rationals for the
 // arithmetic part; see the package comment for the conservativity
-// argument).
+// argument). Formulas are canonicalized by Simplify first, so
+// trivially true/false guards never reach the DPLL search.
 func (s *Solver) Sat(f Formula) (bool, error) {
+	ok, _, err := s.sat(f, false)
+	return ok, err
+}
+
+// SatModel is Sat plus a satisfying assignment when the answer is
+// "sat". The model may be nil even on sat (extraction is best-effort);
+// callers must verify a model against any new query with Model.Eval
+// before trusting it, which is what the engine's counterexample cache
+// does.
+func (s *Solver) SatModel(f Formula) (bool, *Model, error) {
+	return s.sat(f, true)
+}
+
+func (s *Solver) sat(f Formula, wantModel bool) (bool, *Model, error) {
 	s.Stats.SatQueries++
+	f = Simplify(f)
 	table := newAtomTable()
 	n, err := toNNF(f, true, table)
 	if err != nil {
-		return false, err
+		return false, nil, err
 	}
 	if len(table.byKey) > s.MaxAtoms {
-		return false, ErrResource{fmt.Sprintf("query has %d atoms (max %d)", len(table.byKey), s.MaxAtoms)}
+		return false, nil, ErrResource{fmt.Sprintf("query has %d atoms (max %d)", len(table.byKey), s.MaxAtoms)}
 	}
 	s.Stats.Atoms += len(table.byKey)
-	c := &searchCtx{solver: s, assign: map[*atom]bool{}, budget: s.MaxDecisions}
+	c := &searchCtx{solver: s, assign: map[*atom]bool{}, budget: s.MaxDecisions, wantModel: wantModel}
 	ok, err := c.search(n)
 	if err != nil {
-		return false, err
+		return false, nil, err
 	}
-	return ok, nil
+	return ok, c.model, nil
 }
 
 // Valid reports whether f holds under every valuation.
@@ -88,76 +104,42 @@ func (s *Solver) Tautology(gs ...Formula) (bool, error) {
 
 // searchCtx is the state of one DPLL search.
 type searchCtx struct {
-	solver *Solver
-	assign map[*atom]bool
-	budget int
+	solver    *Solver
+	assign    map[*atom]bool
+	budget    int
+	wantModel bool
+	model     *Model
 }
 
-// evalNode evaluates n under the partial assignment; unknown is
-// reported via ok=false together with the first unassigned atom seen.
-func (c *searchCtx) evalNode(n node) (val bool, ok bool, pick *atom) {
-	switch n := n.(type) {
-	case nConst:
-		return n.val, true, nil
-	case nLit:
-		if v, assigned := c.assign[n.a]; assigned {
-			return v == n.pos, true, nil
-		}
-		return false, false, n.a
-	case nAnd:
-		xv, xok, xp := c.evalNode(n.x)
-		if xok && !xv {
-			return false, true, nil
-		}
-		yv, yok, yp := c.evalNode(n.y)
-		if yok && !yv {
-			return false, true, nil
-		}
-		if xok && yok {
-			return true, true, nil
-		}
-		if xp != nil {
-			return false, false, xp
-		}
-		return false, false, yp
-	case nOr:
-		xv, xok, xp := c.evalNode(n.x)
-		if xok && xv {
-			return true, true, nil
-		}
-		yv, yok, yp := c.evalNode(n.y)
-		if yok && yv {
-			return true, true, nil
-		}
-		if xok && yok {
-			return false, true, nil
-		}
-		if xp != nil {
-			return false, false, xp
-		}
-		return false, false, yp
-	}
-	panic("solver: unreachable node kind")
-}
-
-// search runs DPLL with eager theory pruning.
+// search runs DPLL with eager theory pruning. Each decision
+// *conditions* the formula — rewrites the tree with the decided atom
+// replaced by a constant, sharing untouched subtrees — so the work per
+// decision is proportional to the residual formula, not to a full
+// re-evaluation of the original tree at every node of the search.
 func (c *searchCtx) search(n node) (bool, error) {
-	val, ok, pick := c.evalNode(n)
-	if ok {
-		if !val {
+	if cn, ok := n.(nConst); ok {
+		if !cn.val {
 			return false, nil
 		}
-		return c.theoryOK(), nil
+		if !c.theoryOK() {
+			return false, nil
+		}
+		if c.wantModel {
+			c.capture()
+		}
+		return true, nil
 	}
 	if c.budget <= 0 {
 		return false, ErrResource{"decision budget exhausted"}
 	}
 	c.budget--
 	c.solver.Stats.Decisions++
+	pick := firstLit(n)
 	for _, v := range [2]bool{true, false} {
 		c.assign[pick] = v
 		if pick.kind == atomBool || c.theoryOK() {
-			sat, err := c.search(n)
+			cond, _ := condition(n, pick, v)
+			sat, err := c.search(cond)
 			if err != nil {
 				return false, err
 			}
@@ -169,6 +151,99 @@ func (c *searchCtx) search(n node) (bool, error) {
 	}
 	delete(c.assign, pick)
 	return false, nil
+}
+
+// firstLit returns the leftmost literal's atom; n must not be a bare
+// constant (conditioning folds constants away, so any interior node
+// still contains a literal).
+func firstLit(n node) *atom {
+	switch n := n.(type) {
+	case nLit:
+		return n.a
+	case nAnd:
+		if a := firstLit(n.x); a != nil {
+			return a
+		}
+		return firstLit(n.y)
+	case nOr:
+		if a := firstLit(n.x); a != nil {
+			return a
+		}
+		return firstLit(n.y)
+	}
+	return nil
+}
+
+// condition substitutes v for atom a throughout n, folding constants
+// upward; unchanged subtrees are returned as-is (shared, not copied).
+func condition(n node, a *atom, v bool) (node, bool) {
+	switch t := n.(type) {
+	case nLit:
+		if t.a == a {
+			return nConst{t.pos == v}, true
+		}
+		return n, false
+	case nAnd:
+		x, cx := condition(t.x, a, v)
+		y, cy := condition(t.y, a, v)
+		if !cx && !cy {
+			return n, false
+		}
+		return mkAnd(x, y), true
+	case nOr:
+		x, cx := condition(t.x, a, v)
+		y, cy := condition(t.y, a, v)
+		if !cx && !cy {
+			return n, false
+		}
+		return mkOr(x, y), true
+	}
+	return n, false
+}
+
+// capture extracts a model from the current (theory-consistent, NNF-
+// monotone-complete) assignment. Extraction is best-effort: on any
+// numeric corner the model is dropped and the sat verdict stands.
+func (c *searchCtx) capture() {
+	m := &Model{Ints: map[string]*big.Rat{}, Bools: map[string]bool{}}
+	var eqs []*lin
+	var ineqs []ineq
+	var diseqs []*lin
+	for a, v := range c.assign {
+		switch a.kind {
+		case atomBool:
+			m.Bools[a.name] = v
+		case atomEq:
+			if v {
+				eqs = append(eqs, a.l)
+			} else {
+				diseqs = append(diseqs, a.l)
+			}
+		case atomLe:
+			if v {
+				ineqs = append(ineqs, ineq{a.l, false})
+			} else {
+				neg := a.l.clone()
+				neg.scale(ratNegOne())
+				ineqs = append(ineqs, ineq{neg, true})
+			}
+		case atomLt:
+			if v {
+				ineqs = append(ineqs, ineq{a.l, true})
+			} else {
+				neg := a.l.clone()
+				neg.scale(ratNegOne())
+				ineqs = append(ineqs, ineq{neg, false})
+			}
+		}
+	}
+	ints, ok := theoryModel(eqs, ineqs, diseqs)
+	if !ok {
+		c.model = nil
+		return
+	}
+	m.Ints = ints
+	c.model = m
 }
 
 // theoryOK checks the arithmetic consistency of the current literal

@@ -205,7 +205,7 @@ func (x *Executor) evalCall(st State, e *microc.Call, depth int) ([]evalOut, err
 		resolved := false
 		for _, c := range cases {
 			if vf, ok := c.leaf.(VFunc); ok {
-				pc := solver.NewAnd(fo.st.PC, c.g)
+				pc := fo.st.PC.And(c.g)
 				if !x.feasible(pc) {
 					continue
 				}
@@ -503,13 +503,13 @@ func (x *Executor) derefTargets(st State, v Value, pos microc.Pos, what string) 
 			x.report(st, Imprecision, pos, "dereference of unmodeled value %s", what)
 		}
 	}
-	if x.feasible(solver.NewAnd(st.PC, nullG)) {
+	if x.feasible(st.PC, nullG) {
 		x.report(st, NullDeref, pos, "dereference of possibly-null pointer %s", what)
 	}
 	var out []lvOut
 	survivors := 0
 	for _, c := range objCases {
-		pc := solver.NewAnd(st.PC, c.g)
+		pc := st.PC.And(c.g)
 		if !x.feasible(pc) {
 			continue
 		}

@@ -194,16 +194,23 @@ func (x *Executor) FreshBool(hint string) solver.Formula {
 	return solver.BoolVar{Name: fmt.Sprintf("cb%d_%s", x.freshID(), hint)}
 }
 
-// feasible decides satisfiability of a path condition, erring toward
-// feasible on solver resource errors (conservative: keeps reports).
-// With an engine the query goes through its memoizing, per-worker
-// solver pool, which classifies resource-exhausted queries the same
-// way: unknown → keep the path.
-func (x *Executor) feasible(pc solver.Formula) bool {
+// feasible decides satisfiability of a path condition plus extra
+// guards, erring toward feasible on solver resource errors
+// (conservative: keeps reports). With an engine the query goes through
+// its sliced, memoizing, per-worker solver pipeline, which classifies
+// resource-exhausted queries the same way: unknown → keep the path.
+func (x *Executor) feasible(pc *solver.PC, extras ...solver.Formula) bool {
 	if x.Engine != nil {
-		return x.Engine.Feasible(pc)
+		return x.Engine.FeasiblePC(pc, extras...)
 	}
-	sat, err := x.Solv.Sat(pc)
+	if pc.Dead() {
+		return false
+	}
+	f := pc.Formula()
+	for _, e := range extras {
+		f = solver.NewAnd(f, e)
+	}
+	sat, err := x.Solv.Sat(f)
 	if err != nil {
 		return true
 	}

@@ -42,7 +42,7 @@ func (x *Executor) Run(entry string) ([]Outcome, error) {
 	if !ok {
 		return nil, fmt.Errorf("symexec: no function %s", entry)
 	}
-	st := State{PC: solver.True, Mem: NewMemory()}
+	st := State{PC: solver.PCTrue, Mem: NewMemory()}
 	var err error
 	st, err = x.InitGlobals(st)
 	if err != nil {
@@ -108,9 +108,9 @@ func (x *Executor) clearFrame(st State, f *microc.FuncDef) {
 	drop := func(d *microc.VarDecl) {
 		obj := x.VarObj(d)
 		for field := range collectFields(x.Prog, d.Type) {
-			delete(st.Mem.cells, cellKey{obj, field})
+			st.Mem.Delete(obj, field)
 		}
-		delete(st.Mem.cells, cellKey{obj, ""})
+		st.Mem.Delete(obj, "")
 	}
 	for _, p := range f.Params {
 		drop(p)
@@ -143,7 +143,7 @@ func (x *Executor) callFunction(st State, f *microc.FuncDef, args []Value, depth
 			continue
 		}
 		ng := nullFormula(args[i])
-		if x.feasible(solver.NewAnd(st.PC, ng)) {
+		if x.feasible(st.PC, ng) {
 			x.report(st, NullArg, pos, "possibly-null argument for nonnull parameter %s of %s", p.Name, f.Name)
 		}
 		// Continue under the assumption the argument was not null.
@@ -278,8 +278,8 @@ func (x *Executor) execStmt(st State, s microc.Stmt, depth int) ([]flowOutcome, 
 		}
 		var out []flowOutcome
 		for _, c := range conds {
-			thenPC := solver.NewAnd(c.st.PC, c.f)
-			elsePC := solver.NewAnd(c.st.PC, solver.NewNot(c.f))
+			thenPC := c.st.PC.And(c.f)
+			elsePC := c.st.PC.And(solver.NewNot(c.f))
 			thenOK := x.feasible(thenPC)
 			elseOK := x.feasible(elsePC)
 			if thenOK && elseOK {
@@ -334,8 +334,8 @@ func (x *Executor) execStmt(st State, s microc.Stmt, depth int) ([]flowOutcome, 
 					return nil, err
 				}
 				for _, c := range conds {
-					exitPC := solver.NewAnd(c.st.PC, solver.NewNot(c.f))
-					bodyPC := solver.NewAnd(c.st.PC, c.f)
+					exitPC := c.st.PC.And(solver.NewNot(c.f))
+					bodyPC := c.st.PC.And(c.f)
 					exitOK := x.feasible(exitPC)
 					bodyOK := iter < x.MaxUnroll && x.feasible(bodyPC)
 					if exitOK {
@@ -401,7 +401,7 @@ func (x *Executor) execStmt(st State, s microc.Stmt, depth int) ([]flowOutcome, 
 // exhausted the fork degrades gracefully: the path continues into the
 // then side only, with an Imprecision report — the same truncation
 // contract as MaxPaths.
-func (x *Executor) forkIf(st State, s *microc.IfStmt, thenPC, elsePC solver.Formula, depth int) ([]flowOutcome, error) {
+func (x *Executor) forkIf(st State, s *microc.IfStmt, thenPC, elsePC *solver.PC, depth int) ([]flowOutcome, error) {
 	if err := x.Engine.Charge(st.forkDepth); err != nil {
 		if errors.Is(err, engine.ErrBudget) {
 			x.report(st, Imprecision, s.StmtPos(), "engine path budget exhausted; truncating")

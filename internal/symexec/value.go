@@ -14,8 +14,10 @@ package symexec
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"mix/internal/microc"
+	"mix/internal/persist"
 	"mix/internal/pointer"
 	"mix/internal/solver"
 )
@@ -115,39 +117,81 @@ type cellKey struct {
 	field string
 }
 
-// Memory is a persistent-enough memory: a flat map cloned on fork.
+// hashCell hashes a cell address deterministically: by the object's
+// stable ID, never its pointer, so HAMT layout — and thus every
+// iteration order downstream — is identical across runs and across
+// worker schedules.
+func hashCell(k cellKey) uint64 {
+	return persist.HashU64(uint64(k.obj.ID)) ^ persist.HashString(k.field)
+}
+
+// Memory is the symbolic store: a mutable head over a persistent
+// (structurally shared) cell map. Writes swap the immutable root in
+// place — callers that share a *Memory pointer observe them, exactly
+// like the seed's flat map — while Clone is O(1): the fork and its
+// parent share every unchanged cell and diverge copy-on-write,
+// path-copying only the O(log n) nodes on a written path.
 type Memory struct {
-	cells map[cellKey]Value
+	cells persist.Map[cellKey, Value]
+}
+
+// memClones / memSharedCells / memWrites instrument fork cost for the
+// benchmarks: memSharedCells counts cells a clone shared structurally
+// — each one a cell the seed's eager copy would have duplicated.
+var memClones, memSharedCells, memWrites atomic.Int64
+
+// MemoryStats reports (clones, cells shared across those clones,
+// writes) since the last reset.
+func MemoryStats() (clones, sharedCells, writes int64) {
+	return memClones.Load(), memSharedCells.Load(), memWrites.Load()
+}
+
+// ResetMemoryStats zeroes the package-wide memory counters.
+func ResetMemoryStats() {
+	memClones.Store(0)
+	memSharedCells.Store(0)
+	memWrites.Store(0)
 }
 
 // NewMemory returns an empty memory.
-func NewMemory() *Memory { return &Memory{cells: map[cellKey]Value{}} }
+func NewMemory() *Memory {
+	return &Memory{cells: persist.NewMap[cellKey, Value](hashCell)}
+}
 
-// Clone copies the memory for a forked path.
+// Clone forks the memory in O(1); both copies share all current cells.
 func (m *Memory) Clone() *Memory {
-	c := &Memory{cells: make(map[cellKey]Value, len(m.cells))}
-	for k, v := range m.cells {
-		c.cells[k] = v
-	}
-	return c
+	memClones.Add(1)
+	memSharedCells.Add(int64(m.cells.Len()))
+	return &Memory{cells: m.cells}
 }
 
 // Read returns the cell value, if initialized.
 func (m *Memory) Read(obj *Object, field string) (Value, bool) {
-	v, ok := m.cells[cellKey{obj, field}]
-	return v, ok
+	return m.cells.Get(cellKey{obj, field})
 }
 
-// Write sets a cell.
+// Write sets a cell (copy-on-write underneath; siblings forked earlier
+// are unaffected).
 func (m *Memory) Write(obj *Object, field string, v Value) {
-	m.cells[cellKey{obj, field}] = v
+	memWrites.Add(1)
+	m.cells = m.cells.Set(cellKey{obj, field}, v)
 }
 
-// Cells iterates over all initialized cells.
+// Delete removes a cell, if present.
+func (m *Memory) Delete(obj *Object, field string) {
+	m.cells = m.cells.Delete(cellKey{obj, field})
+}
+
+// Len reports the number of initialized cells.
+func (m *Memory) Len() int { return m.cells.Len() }
+
+// Cells iterates over all initialized cells in deterministic (hash)
+// order; callers needing a semantic order still sort.
 func (m *Memory) Cells(f func(obj *Object, field string, v Value)) {
-	for k, v := range m.cells {
+	m.cells.Range(func(k cellKey, v Value) bool {
 		f(k.obj, k.field, v)
-	}
+		return true
+	})
 }
 
 // reportSink collects the reports emitted along one scheduler task.
@@ -160,8 +204,11 @@ type reportSink struct {
 }
 
 // State is one symbolic execution path: a path condition and memory.
+// The PC is an incremental cons list (nil = true): extending it at a
+// fork shares the whole prefix with the sibling, and the engine's
+// solver pipeline consumes it conjunct by conjunct.
 type State struct {
-	PC  solver.Formula
+	PC  *solver.PC
 	Mem *Memory
 	// rs is the task-local report sink under parallel exploration (nil
 	// when running sequentially).
@@ -181,7 +228,7 @@ func (s State) Clone() State {
 // With returns the state with the path condition extended by f.
 func (s State) With(f solver.Formula) State {
 	c := s
-	c.PC = solver.NewAnd(s.PC, f)
+	c.PC = s.PC.And(f)
 	return c
 }
 

@@ -29,6 +29,7 @@ import (
 	"mix/internal/microc"
 	"mix/internal/mixy"
 	"mix/internal/sym"
+	"mix/internal/symexec"
 	"mix/internal/types"
 )
 
@@ -95,6 +96,14 @@ type Result struct {
 	MemoHits   int
 	MemoMisses int
 	SolverTime time.Duration
+	// Solver-pipeline statistics (zero without Workers): queries decided
+	// by the constant-time interval fast path, independence components
+	// that reached the memo/DPLL stage, the largest such component (in
+	// conjuncts), and components satisfied by a cached counterexample.
+	QuickDecided int
+	Slices       int
+	MaxSlice     int
+	CexHits      int
 }
 
 // Parse parses a core-language program.
@@ -174,6 +183,10 @@ func CheckExpr(e lang.Expr, cfg Config) Result {
 		res.MemoHits = int(es.MemoHits)
 		res.MemoMisses = int(es.MemoMisses)
 		res.SolverTime = es.SolverTime
+		res.QuickDecided = int(es.QuickDecided)
+		res.Slices = int(es.Slices)
+		res.MaxSlice = int(es.MaxSlice)
+		res.CexHits = int(es.CexHits)
 	}
 	if ty != nil {
 		res.Type = ty.String()
@@ -222,6 +235,18 @@ type CResult struct {
 	MemoHits   int
 	MemoMisses int
 	SolverTime time.Duration
+	// Solver-pipeline statistics (zero without Workers): see
+	// Result.QuickDecided and friends.
+	QuickDecided int
+	Slices       int
+	MaxSlice     int
+	CexHits      int
+	// Persistent-memory statistics: state forks (O(1) clones), cells
+	// those forks shared structurally instead of copying, and cell
+	// writes.
+	MemClones   int64
+	SharedCells int64
+	MemWrites   int64
 }
 
 // ParseC parses a MicroC translation unit.
@@ -238,6 +263,7 @@ func AnalyzeC(src string, cfg CConfig) (CResult, error) {
 	if cfg.Workers > 0 {
 		eng = engine.New(engine.Options{Workers: cfg.Workers, NoMemo: cfg.NoMemo})
 	}
+	symexec.ResetMemoryStats()
 	a, err := mixy.Run(prog, mixy.Options{
 		Entry:             cfg.Entry,
 		IgnoreAnnotations: cfg.PureTypes,
@@ -254,11 +280,16 @@ func AnalyzeC(src string, cfg CConfig) (CResult, error) {
 		FixpointIters:  a.Stats.FixpointIters,
 		SolverQueries:  a.Stats.SolverQueries,
 	}
+	res.MemClones, res.SharedCells, res.MemWrites = symexec.MemoryStats()
 	if eng != nil {
 		es := eng.Snapshot()
 		res.MemoHits = int(es.MemoHits)
 		res.MemoMisses = int(es.MemoMisses)
 		res.SolverTime = es.SolverTime
+		res.QuickDecided = int(es.QuickDecided)
+		res.Slices = int(es.Slices)
+		res.MaxSlice = int(es.MaxSlice)
+		res.CexHits = int(es.CexHits)
 	}
 	for _, w := range a.Warnings {
 		res.Warnings = append(res.Warnings, w.String())
