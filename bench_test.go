@@ -74,7 +74,7 @@ func BenchmarkE3TimingSweep(b *testing.B) {
 	for _, k := range []int{0, 1, 2, 3} {
 		k := k
 		src := corpus.SyntheticVsftpd(n, k)
-		prog := microc.MustParse(src)
+		prog := mustParse(src)
 		b.Run(fmt.Sprintf("blocks=%d", k), func(b *testing.B) {
 			var queries int
 			for i := 0; i < b.N; i++ {
@@ -153,7 +153,7 @@ func BenchmarkE5Frontier(b *testing.B) {
 // BenchmarkE6Caching measures block caching (Section 4.3).
 func BenchmarkE6Caching(b *testing.B) {
 	src := cacheBenchProgram(12)
-	prog := microc.MustParse(src)
+	prog := mustParse(src)
 	for _, cache := range []bool{true, false} {
 		cache := cache
 		name := "on"
@@ -201,7 +201,7 @@ void sym_side(void) MIX(symbolic) {
 }
 int main(void) { sym_side(); return 0; }
 `
-	prog := microc.MustParse(src)
+	prog := mustParse(src)
 	var cuts int
 	for i := 0; i < b.N; i++ {
 		a, err := mixy.Run(prog, mixy.Options{})
@@ -242,4 +242,15 @@ func BenchmarkSolver(b *testing.B) {
 			}
 		}
 	})
+}
+
+// mustParse parses a MicroC test fixture, panicking on error; the
+// library itself reports parse errors through the normal return path,
+// fixtures are expected to be valid.
+func mustParse(src string) *microc.Program {
+	prog, err := microc.Parse(src)
+	if err != nil {
+		panic("bad MicroC fixture: " + err.Error())
+	}
+	return prog
 }

@@ -4,7 +4,8 @@
 // Usage:
 //
 //	mix [-symbolic] [-unsound] [-defer] [-env name:type,...]
-//	    [-workers n] [-max-paths n] [-memo=false] file.mix
+//	    [-workers n] [-max-paths n] [-memo=false]
+//	    [-deadline d] [-solver-timeout d] file.mix
 //
 // The program is read from the file (or stdin when the argument is
 // "-"). Free variables are declared with -env, e.g.
@@ -15,6 +16,12 @@
 // the engine's total path budget; -memo=false disables the engine's
 // solver memo table. With -v the engine's fork/steal/memo statistics
 // are printed alongside path and query counts.
+//
+// -deadline bounds the whole check's wall-clock time and
+// -solver-timeout bounds each solver query. A check cut short by
+// either (or by -max-paths) degrades instead of failing: it prints an
+// imprecision report naming the fault class and exits 0, because a
+// truncated exploration certifies nothing and refutes nothing.
 package main
 
 import (
@@ -36,6 +43,8 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel engine workers (0 = sequential, no engine)")
 	maxPaths := flag.Int("max-paths", 0, "engine path budget (0 = unlimited)")
 	memo := flag.Bool("memo", true, "memoize solver queries (engine only)")
+	deadline := flag.Duration("deadline", 0, "wall-clock deadline for the whole check (0 = none)")
+	solverTimeout := flag.Duration("solver-timeout", 0, "per-query solver timeout (0 = none)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -56,6 +65,8 @@ func main() {
 		Workers:           *workers,
 		MaxPaths:          *maxPaths,
 		NoMemo:            !*memo,
+		Deadline:          *deadline,
+		SolverTimeout:     *solverTimeout,
 	}
 	if *symbolic {
 		cfg.Mode = mix.StartSymbolic
@@ -77,12 +88,21 @@ func main() {
 			fmt.Println(r)
 		}
 		fmt.Printf("paths=%d solver-queries=%d\n", res.Paths, res.SolverQueries)
-		if *workers > 0 || *maxPaths > 0 {
+		if *workers > 0 || *maxPaths > 0 || *deadline > 0 || *solverTimeout > 0 {
 			fmt.Printf("engine: forks=%d steals=%d memo-hits=%d memo-misses=%d solver-time=%v\n",
 				res.Forks, res.Steals, res.MemoHits, res.MemoMisses, res.SolverTime)
 			fmt.Printf("pipeline: quick-decided=%d slices=%d max-slice=%d cex-hits=%d\n",
 				res.QuickDecided, res.Slices, res.MaxSlice, res.CexHits)
+			fmt.Printf("faults: timeouts=%d panics-recovered=%d paths-truncated=%d\n",
+				res.Timeouts, res.PanicsRecovered, res.PathsTruncated)
 		}
+	}
+	if res.Degraded {
+		// A degraded check is unknown, not rejected: report the
+		// imprecision and exit 0 so batch drivers keep going.
+		fmt.Printf("imprecision: analysis degraded (%s): %s\n", res.Fault, res.FaultDetail)
+		fmt.Println("type: unknown (exploration truncated; cannot certify)")
+		return
 	}
 	if res.Err != nil {
 		fmt.Fprintln(os.Stderr, res.Err)

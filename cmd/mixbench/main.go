@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	mixbench [-table E1..E8|X1..X5|all]
+//	mixbench [-table E1..E8|X1..X6|all]
 package main
 
 import (
@@ -45,10 +45,10 @@ func main() {
 		"E1": tableE1, "E2": tableE2, "E3": tableE3, "E4": tableE4,
 		"E5": tableE5, "E6": tableE6, "E7": tableE7, "E8": tableE8,
 		"X1": tableX1, "X2": tableX2, "X3": tableX3, "X4": tableX4,
-		"X5": tableX5,
+		"X5": tableX5, "X6": tableX6,
 	}
 	if *table == "all" {
-		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "X1", "X2", "X3", "X4", "X5"} {
+		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "X1", "X2", "X3", "X4", "X5", "X6"} {
 			tables[id]()
 			fmt.Println()
 		}
@@ -150,7 +150,7 @@ func tableE3() {
 	var base time.Duration
 	for _, k := range []int{0, 1, 2, 3} {
 		src := corpus.SyntheticVsftpd(n, k)
-		prog := microc.MustParse(src)
+		prog := parseC(src)
 		start := time.Now()
 		a, err := mixy.Run(prog, mixy.Options{})
 		must(err)
@@ -236,7 +236,7 @@ func tableE6() {
 	for _, sites := range []int{4, 16} {
 		src := cacheProgram(sites)
 		for _, cache := range []bool{true, false} {
-			prog := microc.MustParse(src)
+			prog := parseC(src)
 			start := time.Now()
 			a, err := mixy.Run(prog, mixy.Options{NoCache: !cache})
 			must(err)
@@ -294,7 +294,7 @@ int main(void) {
   return 0;
 }
 `
-	prog := microc.MustParse(src)
+	prog := parseC(src)
 	start := time.Now()
 	a, err := mixy.Run(prog, mixy.Options{})
 	must(err)
@@ -423,7 +423,13 @@ func tableX3() {
 	crashes, missed, clean, pureFP, mixFP := 0, 0, 0, 0, 0
 	for i := 0; i < programs; i++ {
 		src := gen.Program()
-		prog := microc.MustParse(src)
+		prog, perr := microc.Parse(src)
+		if perr != nil {
+			// One malformed generated program must not take down the
+			// whole differential batch.
+			fmt.Fprintf(os.Stderr, "mixbench: skipping malformed generated program %d: %v\n", i, perr)
+			continue
+		}
 		_, runErr := cexec.New(prog, 1).Run("main")
 		crashed := errors.Is(runErr, cexec.ErrNullDeref)
 		mixed, err := mixy.Run(prog, mixy.Options{StrictInit: true})
@@ -436,7 +442,7 @@ func tableX3() {
 			continue
 		}
 		clean++
-		pure, err := mixy.Run(microc.MustParse(src), mixy.Options{IgnoreAnnotations: true, StrictInit: true})
+		pure, err := mixy.Run(parseC(src), mixy.Options{IgnoreAnnotations: true, StrictInit: true})
 		must(err)
 		if len(pure.Warnings) > 0 {
 			pureFP++
@@ -590,13 +596,13 @@ func tableX5() {
 	fmt.Fprintln(w, "bench\tpaths\tclones\tshared cells\twrites\tquick\tslices\tmax slice\tcex hits\tmemo hits\tqueries\ttime")
 
 	runBench := func(name, src string, maxPaths int) {
-		prog := microc.MustParse(src)
+		prog := parseC(src)
 		var best time.Duration
 		var snap engine.Stats
 		var clones, shared, writes int64
 		var paths int
 		for rep := 0; rep < 3; rep++ {
-			x := symexec.New(microc.MustParse(src), pointer.Analyze(prog))
+			x := symexec.New(parseC(src), pointer.Analyze(prog))
 			if maxPaths > 0 {
 				x.MaxPaths = maxPaths
 			}
@@ -726,4 +732,72 @@ func must(err error) {
 		fmt.Fprintln(os.Stderr, "mixbench:", err)
 		os.Exit(1)
 	}
+}
+
+// parseC parses bench source through the normal error path; a
+// malformed program stops the run with a diagnostic, never a panic.
+func parseC(src string) *microc.Program {
+	prog, err := microc.Parse(src)
+	must(err)
+	return prog
+}
+
+// tableX6 measures verdict quality against the wall-clock budget: the
+// degradation ladder trades certification for promptness, and the
+// claim under test is that every budget produces a verdict — certified
+// when the budget suffices, explicitly degraded (with the fault class
+// named) when it does not, and never a hang or a crash.
+func tableX6() {
+	fmt.Println("X6 — graceful degradation: verdict quality vs. deadline")
+	fmt.Println("claims: expired budgets terminate promptly with an explicit imprecision verdict; generous budgets certify the same type as an unbounded run")
+
+	type row struct {
+		Bench       string `json:"bench"`
+		Deadline    string `json:"deadline"`
+		Verdict     string `json:"verdict"` // "certified <type>" or "degraded (<class>)"
+		Fault       string `json:"fault,omitempty"`
+		Paths       int    `json:"paths"`
+		Timeouts    int64  `json:"timeouts"`
+		Truncations int64  `json:"paths_truncated"`
+		TimeNS      int64  `json:"time_ns"`
+	}
+	var rows []row
+
+	src, envPairs := corpus.Ladder(12) // 4096 paths
+	env := map[string]string{}
+	for _, p := range envPairs {
+		env[p[0]] = p[1]
+	}
+
+	w := newTab()
+	fmt.Fprintln(w, "bench\tdeadline\tverdict\tpaths\ttimeouts\ttruncated\ttime")
+	for _, d := range []time.Duration{0, 10 * time.Second, 50 * time.Millisecond, time.Millisecond, time.Nanosecond} {
+		cfg := mix.Config{Mode: mix.StartSymbolic, Env: env, Workers: 4, Deadline: d}
+		start := time.Now()
+		res := mix.Check(src, cfg)
+		dur := time.Since(start)
+		must(res.Err)
+		verdict := "certified " + res.Type
+		if res.Degraded {
+			verdict = "degraded (" + res.Fault + ")"
+		}
+		label := "none"
+		if d > 0 {
+			label = d.String()
+		}
+		rows = append(rows, row{
+			Bench: "ladder-12", Deadline: label, Verdict: verdict, Fault: res.Fault,
+			Paths: res.Paths, Timeouts: res.Timeouts, Truncations: res.PathsTruncated,
+			TimeNS: dur.Nanoseconds(),
+		})
+		fmt.Fprintf(w, "ladder-12\t%s\t%s\t%d\t%d\t%d\t%v\n",
+			label, verdict, res.Paths, res.Timeouts, res.PathsTruncated,
+			dur.Round(time.Microsecond))
+	}
+	w.Flush()
+
+	out, err := json.MarshalIndent(rows, "", "  ")
+	must(err)
+	must(os.WriteFile("BENCH_faults.json", append(out, '\n'), 0o644))
+	fmt.Println("wrote BENCH_faults.json")
 }

@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	mixy [-pure] [-entry main] [-nocache] [-workers n] [-memo=false] file.mc
+//	mixy [-pure] [-entry main] [-nocache] [-workers n] [-memo=false]
+//	     [-deadline d] [-solver-timeout d] file.mc
 //
 // -pure ignores the MIX annotations, giving the paper's baseline of
 // pure type qualifier inference. Exit status 1 means warnings were
@@ -14,6 +15,13 @@
 // and evaluates each block's translation queries on n workers (0, the
 // default, keeps the analysis engine-free); -memo=false disables the
 // memo table. -stats then also prints memo hit/miss counts.
+//
+// -deadline bounds the whole analysis' wall-clock time and
+// -solver-timeout bounds each solver query. A run cut short by either
+// degrades soundly: the fixed point stops and the frontier's
+// qualifiers are pessimized to null, so warnings over-approximate
+// instead of silently missing. -stats reports the fault counters
+// (timeouts, panics recovered, paths truncated).
 package main
 
 import (
@@ -32,6 +40,8 @@ func main() {
 	stats := flag.Bool("stats", false, "print analysis statistics")
 	workers := flag.Int("workers", 0, "engine workers for solver queries (0 = no engine)")
 	memo := flag.Bool("memo", true, "memoize solver queries (engine only)")
+	deadline := flag.Duration("deadline", 0, "wall-clock deadline for the whole analysis (0 = none)")
+	solverTimeout := flag.Duration("solver-timeout", 0, "per-query solver timeout (0 = none)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -46,15 +56,20 @@ func main() {
 	}
 
 	res, err := mix.AnalyzeC(src, mix.CConfig{
-		Entry:     *entry,
-		PureTypes: *pure,
-		NoCache:   *nocache,
-		Workers:   *workers,
-		NoMemo:    !*memo,
+		Entry:         *entry,
+		PureTypes:     *pure,
+		NoCache:       *nocache,
+		Workers:       *workers,
+		NoMemo:        !*memo,
+		Deadline:      *deadline,
+		SolverTimeout: *solverTimeout,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mixy:", err)
 		os.Exit(2)
+	}
+	if res.Degraded {
+		fmt.Printf("imprecision: analysis degraded (%s): %s\n", res.Fault, res.FaultDetail)
 	}
 	for _, w := range res.Warnings {
 		fmt.Println("warning:", w)
@@ -64,6 +79,8 @@ func main() {
 			res.BlocksAnalyzed, res.CacheHits, res.FixpointIters, res.SolverQueries)
 		fmt.Printf("memory: clones=%d shared-cells=%d writes=%d\n",
 			res.MemClones, res.SharedCells, res.MemWrites)
+		fmt.Printf("faults: timeouts=%d panics-recovered=%d paths-truncated=%d\n",
+			res.Timeouts, res.PanicsRecovered, res.PathsTruncated)
 		if *workers > 0 {
 			fmt.Printf("engine: memo-hits=%d memo-misses=%d solver-time=%v\n",
 				res.MemoHits, res.MemoMisses, res.SolverTime)

@@ -10,7 +10,7 @@ import (
 
 func runMain(t *testing.T, src string, seed int64) (Value, error) {
 	t.Helper()
-	prog := microc.MustParse(src)
+	prog := mustParse(src)
 	return New(prog, seed).Run("main")
 }
 
@@ -156,7 +156,7 @@ int main(void) {
 }
 
 func TestInfiniteLoopHitsFuel(t *testing.T) {
-	prog := microc.MustParse(`
+	prog := mustParse(`
 int main(void) { while (1) { } return 0; }`)
 	ip := New(prog, 1)
 	ip.Fuel = 1000
@@ -182,7 +182,7 @@ func TestCorpusCasesNeverCrash(t *testing.T) {
 	for _, c := range corpus.Cases {
 		c := c
 		t.Run(c.Name, func(t *testing.T) {
-			prog := microc.MustParse(c.Source)
+			prog := mustParse(c.Source)
 			for seed := int64(0); seed < 25; seed++ {
 				ip := New(prog, seed)
 				if _, err := ip.Run(c.Entry); err != nil {
@@ -200,7 +200,7 @@ func TestCorpusCasesNeverCrash(t *testing.T) {
 // program: its residual MIXY warnings are false positives, so concrete
 // runs must still be clean.
 func TestVsftpdMiniNeverCrashes(t *testing.T) {
-	prog := microc.MustParse(corpus.VsftpdMini.Source)
+	prog := mustParse(corpus.VsftpdMini.Source)
 	for seed := int64(0); seed < 25; seed++ {
 		ip := New(prog, seed)
 		if _, err := ip.Run("main"); err != nil && !errors.Is(err, ErrFuel) {
@@ -230,4 +230,15 @@ int main(void) {
 	if !errors.Is(err, ErrNullDeref) {
 		t.Fatalf("got %v, want crash", err)
 	}
+}
+
+// mustParse parses a MicroC test fixture, panicking on error; the
+// library itself reports parse errors through the normal return path,
+// fixtures are expected to be valid.
+func mustParse(src string) *microc.Program {
+	prog, err := microc.Parse(src)
+	if err != nil {
+		panic("bad MicroC fixture: " + err.Error())
+	}
+	return prog
 }

@@ -75,7 +75,7 @@ func TestDifferentialPrecision(t *testing.T) {
 	pureFP, mixFP, clean := 0, 0, 0
 	for i := 0; i < programs; i++ {
 		src := gen.Program()
-		prog := microc.MustParse(src)
+		prog := mustParse(src)
 		ip := cexec.New(prog, 1)
 		if _, runErr := ip.Run("main"); runErr != nil {
 			continue // only clean programs measure false positives
@@ -85,7 +85,7 @@ func TestDifferentialPrecision(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		mixed, err := mixy.Run(microc.MustParse(src), mixy.Options{StrictInit: true})
+		mixed, err := mixy.Run(mustParse(src), mixy.Options{StrictInit: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -117,7 +117,7 @@ func TestGeneratedProgramsPrintRoundTrip(t *testing.T) {
 	gen := New(77, DefaultConfig())
 	for i := 0; i < 50; i++ {
 		src := gen.Program()
-		p1 := microc.MustParse(src)
+		p1 := mustParse(src)
 		printed := microc.Print(p1)
 		p2, err := microc.Parse(printed)
 		if err != nil {
@@ -149,4 +149,15 @@ func TestGeneratorDeterminism(t *testing.T) {
 			t.Fatal("same seed must generate identical programs")
 		}
 	}
+}
+
+// mustParse parses a MicroC test fixture, panicking on error; the
+// library itself reports parse errors through the normal return path,
+// fixtures are expected to be valid.
+func mustParse(src string) *microc.Program {
+	prog, err := microc.Parse(src)
+	if err != nil {
+		panic("bad MicroC fixture: " + err.Error())
+	}
+	return prog
 }

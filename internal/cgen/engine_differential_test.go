@@ -5,7 +5,6 @@ import (
 	"testing"
 
 	"mix/internal/engine"
-	"mix/internal/microc"
 	"mix/internal/mixy"
 )
 
@@ -37,7 +36,7 @@ func TestPipelineMatchesDirectSolver(t *testing.T) {
 	diverse := 0
 	for i := 0; i < programs; i++ {
 		src := gen.Program()
-		base, err := mixy.Run(microc.MustParse(src), mixy.Options{StrictInit: true})
+		base, err := mixy.Run(mustParse(src), mixy.Options{StrictInit: true})
 		if err != nil {
 			t.Fatalf("program %d: direct run failed: %v\n%s", i, err, src)
 		}
@@ -46,7 +45,7 @@ func TestPipelineMatchesDirectSolver(t *testing.T) {
 			diverse++
 		}
 		for _, e := range engines {
-			a, err := mixy.Run(microc.MustParse(src), mixy.Options{StrictInit: true, Engine: e.mk()})
+			a, err := mixy.Run(mustParse(src), mixy.Options{StrictInit: true, Engine: e.mk()})
 			if err != nil {
 				t.Fatalf("program %d (%s): engine run failed: %v\n%s", i, e.name, err, src)
 			}

@@ -19,10 +19,12 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
 	"mix/internal/engine"
+	"mix/internal/fault"
 	"mix/internal/lang"
 	"mix/internal/solver"
 	"mix/internal/sym"
@@ -152,10 +154,12 @@ func (c *Checker) tSymBlock(env *types.Env, e lang.Expr) (types.Type, error) {
 	}
 	// S = ⟨true; μ⟩ with μ fresh.
 	st := c.exec.InitialState()
+	before := c.exec.ImprecisionCount()
 	results, err := c.exec.Run(senv, st, e)
 	if err != nil {
 		return nil, err
 	}
+	degraded := c.exec.ImprecisionCount() > before
 
 	var okResults []sym.Result
 	for _, r := range results {
@@ -165,7 +169,13 @@ func (c *Checker) tSymBlock(env *types.Env, e lang.Expr) (types.Type, error) {
 		}
 		feasible, ferr := c.feasible(r.Err.State.Guard)
 		if ferr != nil {
-			return nil, fmt.Errorf("core: feasibility check failed: %w", ferr)
+			if unknownSat(ferr) {
+				// Solver resource limit: unknown → keep the path and
+				// its finding (conservative, same as engine.Feasible).
+				feasible = true
+			} else {
+				return nil, fmt.Errorf("core: feasibility check failed: %w", ferr)
+			}
 		}
 		c.addReport(Report{
 			Pos: r.Err.Pos, Msg: r.Err.Msg,
@@ -174,6 +184,22 @@ func (c *Checker) tSymBlock(env *types.Env, e lang.Expr) (types.Type, error) {
 		if feasible {
 			return nil, &types.Error{Pos: r.Err.Pos, Msg: r.Err.Msg}
 		}
+	}
+
+	// A truncated exploration (budget, deadline, recovered panic) can
+	// never certify the block: the missing paths could disagree on
+	// type, corrupt memory, or break exhaustiveness. Feasible path
+	// errors found above still win — they were genuinely explored — but
+	// from here on the only sound answer is the degradation ladder's
+	// top, surfaced as a classified fault the caller absorbs into an
+	// "unknown" verdict rather than a crash or a false "well typed".
+	if degraded {
+		cause := c.exec.Degraded()
+		if cause == nil {
+			cause = fault.New(fault.PathBudget, "core.tSymBlock", "", nil)
+		}
+		return nil, fmt.Errorf("core: %s: symbolic block exploration truncated, cannot certify: %w",
+			e.Pos(), cause)
 	}
 	if len(okResults) == 0 {
 		return nil, &types.Error{Pos: e.Pos(), Msg: "symbolic block has no surviving execution paths"}
@@ -193,7 +219,11 @@ func (c *Checker) tSymBlock(env *types.Env, e lang.Expr) (types.Type, error) {
 			// applies just as for type errors.
 			feasible, ferr := c.feasible(r.State.Guard)
 			if ferr != nil {
-				return nil, fmt.Errorf("core: feasibility check failed: %w", ferr)
+				if unknownSat(ferr) {
+					feasible = true
+				} else {
+					return nil, fmt.Errorf("core: feasibility check failed: %w", ferr)
+				}
 			}
 			c.addReport(Report{
 				Pos: e.Pos(), Msg: err.Error(),
@@ -248,6 +278,13 @@ func (c *Checker) seTypBlock(env *sym.Env, st sym.State, e lang.Expr) (sym.Resul
 	}
 	ty, err := c.typs.Check(tenv, e)
 	if err != nil {
+		// A classified fault from a nested symbolic block (deadline,
+		// budget, panic) is not a type error of this path — it must
+		// propagate so the enclosing executor degrades, instead of
+		// masquerading as a path-conditioned finding.
+		if fault.Degradable(err) {
+			return sym.Result{}, err
+		}
 		// A type error inside a typed block is a path-conditioned
 		// finding: if the enclosing symbolic path is infeasible, the
 		// block is dead and the error is discarded (Section 2's
@@ -332,6 +369,14 @@ func (c *Checker) memOK(st sym.State) error {
 		return err == nil && !sat
 	}
 	return sym.MemOKWith(st.Mem, eq)
+}
+
+// unknownSat reports whether a satisfiability error is a plain,
+// deterministic solver resource limit — the "unknown" answer — as
+// opposed to a transient classified fault (timeout, cancellation,
+// injection) or a hard failure.
+func unknownSat(err error) bool {
+	return errors.Is(err, solver.ErrLimit) && fault.Of(err) == nil
 }
 
 // addReport appends a finding under the report lock.

@@ -23,7 +23,7 @@ func TestCase4VariantDiffers(t *testing.T) {
 	if Case4.Source == Case4NoTyped.Source {
 		t.Fatal("Case4NoTyped must strip the MIX(typed) annotation")
 	}
-	prog := microc.MustParse(Case4NoTyped.Source)
+	prog := mustParse(Case4NoTyped.Source)
 	f, ok := prog.Func("sysutil_exit_BLOCK")
 	if !ok || f.Mix != microc.MixNone {
 		t.Fatalf("annotation not stripped: %+v", f)
@@ -93,4 +93,15 @@ func TestDeepConditionalsParse(t *testing.T) {
 	if strings.Contains(plain, "{s") {
 		t.Fatal("plain variant must not contain blocks")
 	}
+}
+
+// mustParse parses a MicroC test fixture, panicking on error; the
+// library itself reports parse errors through the normal return path,
+// fixtures are expected to be valid.
+func mustParse(src string) *microc.Program {
+	prog, err := microc.Parse(src)
+	if err != nil {
+		panic("bad MicroC fixture: " + err.Error())
+	}
+	return prog
 }

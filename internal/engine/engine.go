@@ -30,6 +30,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -37,6 +38,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mix/internal/fault"
 	"mix/internal/solver"
 )
 
@@ -68,6 +70,19 @@ type Options struct {
 	// NewSolver builds the per-worker solver instances; nil means
 	// solver.New. Use it to propagate non-default resource bounds.
 	NewSolver func() *solver.Solver
+	// Context, when non-nil, governs the whole run: cancellation and
+	// deadline expiry are observed cooperatively at fork charges and
+	// inside the DPLL loop, classified as fault.Canceled/fault.Timeout.
+	Context context.Context
+	// Deadline, when > 0, caps the run's wall-clock time by deriving a
+	// deadline context from Context (or Background).
+	Deadline time.Duration
+	// SolverTimeout, when > 0, additionally caps each individual solver
+	// query, so one pathological formula cannot eat the whole deadline.
+	SolverTimeout time.Duration
+	// FaultInjector, when non-nil, arms the deterministic
+	// fault-injection points (chaos tests only).
+	FaultInjector *fault.Injector
 }
 
 // Stats is an aggregated snapshot of engine work.
@@ -81,7 +96,8 @@ type Stats struct {
 	SolverQueries int64 // queries through the pool
 	SolverUnknown int64 // queries answered "unknown" (resource bounds)
 	SolverTime    time.Duration
-	Exhausted     bool // a path or depth budget was hit
+	Exhausted     bool           // a path or depth budget was hit
+	Faults        fault.Snapshot // classified degradation events absorbed this run
 
 	QuickDecided   int64 // queries/components decided by the interval fast path
 	Slices         int64 // independence components that reached memo/DPLL
@@ -97,6 +113,16 @@ type Engine struct {
 	workers  int
 	maxPaths int64
 	maxDepth int
+
+	// ctx holds the run's context.Context boxed in ctxBox (atomic.Value
+	// needs one concrete type); atomic so tests can swap a fresh context
+	// into a live engine (SetContext) without racing the workers that
+	// poll it.
+	ctx      atomic.Value
+	cancel   context.CancelFunc
+	deadline string // budget label for timeout diagnostics, e.g. "deadline=50ms"
+	injector *fault.Injector
+	faults   fault.Counters
 
 	// slots holds the worker tokens available for stolen branches; the
 	// forking goroutine itself is the remaining worker, so capacity is
@@ -120,12 +146,92 @@ func New(o Options) *Engine {
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
-	return &Engine{
+	e := &Engine{
 		workers:  w,
 		maxPaths: o.MaxPaths,
 		maxDepth: o.MaxForkDepth,
+		injector: o.FaultInjector,
 		slots:    make(chan struct{}, w-1),
-		pool:     newSolverPool(o),
+	}
+	ctx := o.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if o.Deadline > 0 {
+		ctx, e.cancel = context.WithTimeout(ctx, o.Deadline)
+		e.deadline = fmt.Sprintf("deadline=%v", o.Deadline)
+	}
+	e.ctx.Store(ctxBox{ctx})
+	e.pool = newSolverPool(e, o)
+	return e
+}
+
+// ctxBox gives every stored context the same concrete type, which
+// atomic.Value requires across stores.
+type ctxBox struct{ ctx context.Context }
+
+// Close releases the engine's deadline timer, if any. Safe on nil.
+func (e *Engine) Close() {
+	if e != nil && e.cancel != nil {
+		e.cancel()
+	}
+}
+
+// Context returns the run's context (Background for a nil engine).
+func (e *Engine) Context() context.Context {
+	if e == nil {
+		return context.Background()
+	}
+	return e.ctx.Load().(ctxBox).ctx
+}
+
+// SetContext swaps the run's context. Tests use this to verify that a
+// cancellation verdict was not memoized: cancel, query, swap in a live
+// context, query again through the same pool.
+func (e *Engine) SetContext(ctx context.Context) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e.ctx.Store(ctxBox{ctx})
+}
+
+// Injector exposes the armed fault-injection points (nil in
+// production). Executors visit their own points through it so one
+// injector drives the whole stack.
+func (e *Engine) Injector() *fault.Injector {
+	if e == nil {
+		return nil
+	}
+	return e.injector
+}
+
+// Faults is the run-wide classified-fault counter. Every layer that
+// absorbs an abort into an imprecise result records it here exactly
+// once, so -stats can report timeouts / panics recovered / paths
+// truncated. Nil for a nil engine (a nil *fault.Counters is inert).
+func (e *Engine) Faults() *fault.Counters {
+	if e == nil {
+		return nil
+	}
+	return &e.faults
+}
+
+// Interrupted reports a classified timeout/cancellation fault if the
+// run's context is done, nil otherwise. Executors poll it at their
+// step boundaries; op names the polling site for diagnostics. Nil-safe.
+func (e *Engine) Interrupted(op string) error { return e.ctxErr(op) }
+
+// ctxErr reports a classified fault if the run's context is done.
+func (e *Engine) ctxErr(op string) error {
+	if e == nil {
+		return nil
+	}
+	ctx := e.Context()
+	select {
+	case <-ctx.Done():
+		return fault.FromContext(op, e.deadline, ctx.Err())
+	default:
+		return nil
 	}
 }
 
@@ -179,9 +285,13 @@ func (e *Engine) AddPaths(n int) {
 }
 
 // Charge accounts for one prospective fork at the given depth. It
-// returns the first fatal error if the run is cancelled, or an error
-// wrapping ErrBudget if the fork would exceed the path or depth
-// budget. A nil engine has no budgets.
+// returns the first fatal error if the run is cancelled, a classified
+// timeout/cancellation fault if the run's context is done, or a
+// classified path-budget fault (still wrapping ErrBudget) if the fork
+// would exceed the path or depth budget. Every non-nil return is
+// fault-classified except a prior hard failure, so executors apply one
+// uniform rule: degradable → truncate with imprecision, else abort. A
+// nil engine has no budgets.
 func (e *Engine) Charge(depth int) error {
 	if e == nil {
 		return nil
@@ -189,23 +299,39 @@ func (e *Engine) Charge(depth int) error {
 	if err := e.bail(); err != nil {
 		return err
 	}
+	if err := e.ctxErr("engine.fork"); err != nil {
+		return err
+	}
+	if err := e.injector.At(fault.PreFork); err != nil {
+		return err
+	}
 	if e.maxDepth > 0 && depth >= e.maxDepth {
 		e.exhausted.Store(true)
-		return fmt.Errorf("fork depth %d reached: %w", depth, ErrBudget)
+		return fault.New(fault.PathBudget, "engine.fork",
+			fmt.Sprintf("max-fork-depth=%d", e.maxDepth),
+			fmt.Errorf("fork depth %d reached: %w", depth, ErrBudget))
 	}
 	n := e.forks.Add(1)
 	// Each binary fork adds one path beyond the initial one.
 	if e.maxPaths > 0 && n+1 > e.maxPaths {
 		e.forks.Add(-1)
 		e.exhausted.Store(true)
-		return fmt.Errorf("path budget %d reached: %w", e.maxPaths, ErrBudget)
+		return fault.New(fault.PathBudget, "engine.fork",
+			fmt.Sprintf("max-paths=%d", e.maxPaths),
+			fmt.Errorf("path budget %d reached: %w", e.maxPaths, ErrBudget))
 	}
 	return nil
 }
 
 // fail records the first fatal error; later tasks observe it via bail
-// and unwind instead of continuing to explore.
+// and unwind instead of continuing to explore. Classified faults are
+// not fatal — they degrade locally and must not make unrelated sibling
+// paths abandon their (sound, partial) results — so they are never
+// recorded here.
 func (e *Engine) fail(err error) {
+	if fault.Degradable(err) {
+		return
+	}
 	e.failMu.Lock()
 	if e.failed == nil {
 		e.failed = err
@@ -220,22 +346,37 @@ func (e *Engine) bail() error {
 	return e.failed
 }
 
+// protect runs one task with a panic boundary: a panic becomes a
+// classified worker-panic fault instead of tearing down the process,
+// so sibling paths drain and their partial results still merge.
+func protect[T any](fn func() (T, error)) (v T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fault.FromPanic("engine.task", r)
+		}
+	}()
+	return fn()
+}
+
 // Fork2 runs left and right — the two branches of a conditional fork —
 // and returns both results in branch order. If a worker slot is free,
 // left is handed to it (a steal) while the caller runs right;
 // otherwise both run inline. Error handling is deterministic: left's
-// error wins over right's, as it would sequentially. The first error
-// also cancels the engine, making sibling tasks unwind early. A nil
-// engine runs left then right on the calling goroutine.
+// error wins over right's, as it would sequentially. A hard first
+// error also cancels the engine, making sibling tasks unwind early;
+// classified faults (budget, timeout, recovered panic) do not — they
+// degrade locally at the caller. Panics inside either branch are
+// recovered as worker-panic faults. A nil engine runs left then right
+// on the calling goroutine, with the same panic boundary.
 //
 // (A package-level generic function rather than a method, since Go
 // methods cannot introduce type parameters.)
 func Fork2[T any](e *Engine, left, right func() (T, error)) (lv, rv T, err error) {
 	if e == nil {
-		if lv, err = left(); err != nil {
+		if lv, err = protect(left); err != nil {
 			return
 		}
-		rv, err = right()
+		rv, err = protect(right)
 		return
 	}
 	if err = e.bail(); err != nil {
@@ -249,10 +390,10 @@ func Fork2[T any](e *Engine, left, right func() (T, error)) (lv, rv T, err error
 		go func() {
 			defer close(done)
 			defer func() { <-e.slots }()
-			lv, lerr = left()
+			lv, lerr = protect(left)
 		}()
 		var rerr error
-		rv, rerr = right()
+		rv, rerr = protect(right)
 		<-done
 		if lerr != nil {
 			err = lerr
@@ -260,8 +401,8 @@ func Fork2[T any](e *Engine, left, right func() (T, error)) (lv, rv T, err error
 			err = rerr
 		}
 	default:
-		if lv, err = left(); err == nil {
-			rv, err = right()
+		if lv, err = protect(left); err == nil {
+			rv, err = protect(right)
 		}
 	}
 	if err != nil {
@@ -270,9 +411,20 @@ func Fork2[T any](e *Engine, left, right func() (T, error)) (lv, rv T, err error
 	return
 }
 
+// protectIdx is protect for Map's indexed tasks.
+func protectIdx(fn func(i int) error, i int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fault.FromPanic("engine.task", r)
+		}
+	}()
+	return fn(i)
+}
+
 // Map runs fn(0), ..., fn(n-1) across the worker pool and returns the
 // error of the lowest failing index (matching what a sequential loop
-// would surface). All calls complete before Map returns; result
+// would surface); a panicking task is recovered as a worker-panic
+// fault for its index. All calls complete before Map returns; result
 // ordering is the caller's, via the index.
 func (e *Engine) Map(n int, fn func(i int) error) error {
 	if n <= 0 {
@@ -280,7 +432,7 @@ func (e *Engine) Map(n int, fn func(i int) error) error {
 	}
 	if e == nil || e.workers <= 1 || n == 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			if err := protectIdx(fn, i); err != nil {
 				return err
 			}
 		}
@@ -298,7 +450,7 @@ func (e *Engine) Map(n int, fn func(i int) error) error {
 			if i >= n {
 				return
 			}
-			if err := fn(i); err != nil {
+			if err := protectIdx(fn, i); err != nil {
 				mu.Lock()
 				if i < errIdx {
 					errIdx, firstErr = i, err
@@ -340,6 +492,7 @@ func (e *Engine) Snapshot() Stats {
 		Forks:     e.forks.Load(),
 		Steals:    e.steals.Load(),
 		Exhausted: e.exhausted.Load(),
+		Faults:    e.faults.Snapshot(),
 	}
 	e.pool.addTo(&s)
 	return s

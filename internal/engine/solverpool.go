@@ -2,11 +2,13 @@ package engine
 
 import (
 	"container/list"
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"mix/internal/fault"
 	"mix/internal/solver"
 )
 
@@ -39,6 +41,10 @@ const cexCacheSize = 64
 // with the new guard is ever solved fresh, usually straight from a
 // cached model. Construct via New; the zero value is not ready.
 type SolverPool struct {
+	// eng points back at the owning engine for the run context and the
+	// fault injector; nil only in direct-pool unit tests.
+	eng      *Engine
+	timeout  time.Duration // per-query solver timeout (0 = none)
 	solvers  sync.Pool
 	cons     consTable
 	memo     []memoShard // nil when memoization is disabled
@@ -75,12 +81,14 @@ type memoEntry struct {
 	err error
 }
 
-func newSolverPool(o Options) *SolverPool {
+func newSolverPool(e *Engine, o Options) *SolverPool {
 	factory := o.NewSolver
 	if factory == nil {
 		factory = solver.New
 	}
 	p := &SolverPool{
+		eng:     e,
+		timeout: o.SolverTimeout,
 		solvers: sync.Pool{New: func() any { return factory() }},
 		cons:    newConsTable(),
 		pcIDs:   map[*solver.PC]uint64{},
@@ -119,12 +127,22 @@ func (p *SolverPool) Valid(f solver.Formula) (bool, error) {
 // SatPC decides satisfiability of pc ∧ extras. "Unknown" answers
 // (solver resource exhaustion, wrapping solver.ErrLimit) are memoized
 // per component: they are deterministic for fixed solver bounds, and
-// re-running them would only rediscover the same exhaustion. Other
-// errors are returned unmemoized. A definite per-component UNSAT
-// beats an unknown from an earlier component, since either alone
-// refutes the conjunction.
+// re-running them would only rediscover the same exhaustion. Faults —
+// timeouts, cancellations, injected errors — are transient, so they
+// continue to the remaining components (a definite UNSAT from any
+// component still refutes the whole conjunction, which keeps verdicts
+// deterministic across worker counts) but are never memoized. Hard
+// errors are returned immediately, unmemoized.
 func (p *SolverPool) SatPC(pc *solver.PC, extras ...solver.Formula) (bool, error) {
 	p.queries.Add(1)
+	// The pre-solve injection point fires per query, before the quick
+	// paths: a planned fault must reach callers whose queries would
+	// otherwise be interval- or memo-decided.
+	if p.eng != nil {
+		if err := p.eng.Injector().At(fault.PreSolve); err != nil {
+			return false, err
+		}
+	}
 	if pc.Dead() {
 		p.quick.Add(1)
 		return false, nil
@@ -149,7 +167,7 @@ func (p *SolverPool) SatPC(pc *solver.PC, extras ...solver.Formula) (bool, error
 	var firstErr error
 	for _, comp := range components(cs) {
 		sat, err := p.decideComponent(cs, fs, comp)
-		if err != nil && !errors.Is(err, solver.ErrLimit) {
+		if err != nil && !errors.Is(err, solver.ErrLimit) && !fault.Degradable(err) {
 			return false, err
 		}
 		if err != nil {
@@ -234,7 +252,12 @@ func (p *SolverPool) decideComponent(cs []conjunct, fs []solver.Formula, comp []
 	}
 
 	sat, model, err := p.solve(conj, small && p.cex != nil)
-	if err == nil || errors.Is(err, solver.ErrLimit) {
+	// Memoize definite answers and plain resource exhaustion — both are
+	// deterministic for fixed bounds. Never memoize faults (timeouts,
+	// cancellations, injections): they depend on wall clock or the
+	// injection schedule, and caching one would turn a transient abort
+	// into a permanent wrong verdict.
+	if err == nil || (errors.Is(err, solver.ErrLimit) && fault.Of(err) == nil) {
 		p.memoStore(sh, key, sat, err)
 	}
 	if err == nil && sat && p.cex != nil {
@@ -279,9 +302,19 @@ func (p *SolverPool) memoStore(sh *memoShard, key uint64, sat bool, err error) {
 	sh.mu.Unlock()
 }
 
-// solve runs one query on a pooled per-worker solver instance.
+// solve runs one query on a pooled per-worker solver instance, wired
+// to the run context (plus the per-query timeout, if configured) and
+// the fault injector for the duration of the query.
 func (p *SolverPool) solve(f solver.Formula, wantModel bool) (bool, *solver.Model, error) {
 	s := p.solvers.Get().(*solver.Solver)
+	var cancel context.CancelFunc
+	if p.eng != nil {
+		ctx := p.eng.Context()
+		if p.timeout > 0 {
+			ctx, cancel = context.WithTimeout(ctx, p.timeout)
+		}
+		s.Ctx, s.Injector = ctx, p.eng.Injector()
+	}
 	t0 := time.Now()
 	var (
 		sat   bool
@@ -294,6 +327,12 @@ func (p *SolverPool) solve(f solver.Formula, wantModel bool) (bool, *solver.Mode
 		sat, err = s.Sat(f)
 	}
 	p.nanos.Add(int64(time.Since(t0)))
+	// Reset before Put: a pooled instance must never carry a stale
+	// context or injector into its next borrower.
+	s.Ctx, s.Injector = nil, nil
+	if cancel != nil {
+		cancel()
+	}
 	p.solvers.Put(s)
 	if err != nil && errors.Is(err, solver.ErrLimit) {
 		p.unknown.Add(1)

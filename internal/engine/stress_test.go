@@ -93,17 +93,26 @@ func TestLadderParallelMatchesSequential(t *testing.T) {
 	}
 }
 
-func TestCorePathBudgetFailsCheck(t *testing.T) {
+func TestCorePathBudgetDegradesCheck(t *testing.T) {
 	src, envPairs := corpus.Ladder(8) // 256 paths, budget 16
 	env := map[string]string{}
 	for _, p := range envPairs {
 		env[p[0]] = p[1]
 	}
 	res := mix.Check(src, mix.Config{Mode: mix.StartSymbolic, Env: env, Workers: 1, MaxPaths: 16})
-	if res.Err == nil {
-		t.Fatal("path budget must surface as a check error in the core system")
+	if res.Err != nil {
+		t.Fatalf("path budget must degrade, not reject: %v", res.Err)
 	}
-	if !strings.Contains(res.Err.Error(), "budget") {
-		t.Fatalf("err = %v, want a budget-exhausted error", res.Err)
+	if !res.Degraded {
+		t.Fatal("path budget must surface as a degraded (uncertified) result")
+	}
+	if res.Fault != "path-budget" {
+		t.Fatalf("fault class = %q, want path-budget", res.Fault)
+	}
+	if !strings.Contains(res.FaultDetail, "max-paths=16") {
+		t.Fatalf("diagnostic must name the tripped budget: %q", res.FaultDetail)
+	}
+	if res.Type != "" {
+		t.Fatalf("a degraded check must not certify a type, got %q", res.Type)
 	}
 }

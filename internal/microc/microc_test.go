@@ -6,7 +6,7 @@ import (
 )
 
 func TestParseMinimal(t *testing.T) {
-	prog := MustParse(`
+	prog := mustParse(`
 int main(void) {
   return 0;
 }
@@ -24,7 +24,7 @@ int main(void) {
 }
 
 func TestParseStructAndFields(t *testing.T) {
-	prog := MustParse(`
+	prog := mustParse(`
 struct sockaddr {
   int family;
   int *data;
@@ -45,7 +45,7 @@ int use(struct sockaddr *p) {
 }
 
 func TestQualifierAnnotations(t *testing.T) {
-	prog := MustParse(`
+	prog := mustParse(`
 void sysutil_free(void *nonnull p_ptr) MIX(typed) { return; }
 int *null maybe;
 `)
@@ -64,7 +64,7 @@ int *null maybe;
 }
 
 func TestMixAnnotations(t *testing.T) {
-	prog := MustParse(`
+	prog := mustParse(`
 void a(void) MIX(symbolic) { return; }
 void b(void) MIX(typed) { return; }
 void c(void) { return; }
@@ -86,7 +86,7 @@ void d(int x) MIX(symbolic);
 
 func TestCase1SourceParses(t *testing.T) {
 	// The paper's Case 1, transcribed.
-	prog := MustParse(`
+	prog := mustParse(`
 struct sockaddr { int family; };
 void sysutil_free(void *nonnull p_ptr) MIX(typed);
 void sockaddr_clear(struct sockaddr **p_sock) MIX(symbolic) {
@@ -107,7 +107,7 @@ void sockaddr_clear(struct sockaddr **p_sock) MIX(symbolic) {
 }
 
 func TestMallocAndCast(t *testing.T) {
-	prog := MustParse(`
+	prog := mustParse(`
 struct foo { int bar; };
 struct foo *mk(void) {
   struct foo *x = (struct foo *) malloc(sizeof(struct foo));
@@ -154,7 +154,7 @@ int *mkint(void) { return malloc(sizeof(int)); }
 }
 
 func TestFunctionPointers(t *testing.T) {
-	prog := MustParse(`
+	prog := mustParse(`
 fnptr s_exit_func;
 void handler(void) { return; }
 void install(void) { s_exit_func = handler; }
@@ -168,7 +168,7 @@ void fire(void) {
 }
 
 func TestControlFlowParses(t *testing.T) {
-	MustParse(`
+	mustParse(`
 int sum(int n) {
   int acc = 0;
   int i = 0;
@@ -215,7 +215,7 @@ func TestResolverErrors(t *testing.T) {
 }
 
 func TestShadowingInNestedBlocks(t *testing.T) {
-	prog := MustParse(`
+	prog := mustParse(`
 int f(int x) {
   int y = x;
   if (x > 0) {
@@ -232,7 +232,7 @@ int f(int x) {
 }
 
 func TestNullComparisons(t *testing.T) {
-	MustParse(`
+	mustParse(`
 struct s { int a; };
 int f(struct s *p, int *q) {
   if (p == NULL) return 0;
@@ -243,7 +243,7 @@ int f(struct s *p, int *q) {
 }
 
 func TestCommentsAndWhitespace(t *testing.T) {
-	MustParse(`
+	mustParse(`
 // line comment
 /* block
    comment */
@@ -255,7 +255,7 @@ int f(void) { return 0; } // trailing
 }
 
 func TestExprStringRoundTrip(t *testing.T) {
-	prog := MustParse(`
+	prog := mustParse(`
 struct s { int a; };
 int f(struct s *p, int x) {
   p->a = x + 1 - 2;
@@ -267,4 +267,14 @@ int f(struct s *p, int x) {
 	if got := es.X.String(); got != "p->a = ((x + 1) - 2)" {
 		t.Fatalf("got %q", got)
 	}
+}
+
+// mustParse parses a test fixture, panicking on error; Parse itself
+// reports errors through the normal return path.
+func mustParse(src string) *Program {
+	prog, err := Parse(src)
+	if err != nil {
+		panic("bad MicroC fixture: " + err.Error())
+	}
+	return prog
 }

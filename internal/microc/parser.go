@@ -22,15 +22,6 @@ func Parse(src string) (*Program, error) {
 	return prog, nil
 }
 
-// MustParse parses src and panics on error; for tests and the corpus.
-func MustParse(src string) *Program {
-	p, err := Parse(src)
-	if err != nil {
-		panic(err)
-	}
-	return p
-}
-
 type cparser struct {
 	toks       []tok
 	i          int

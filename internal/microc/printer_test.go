@@ -51,7 +51,7 @@ void clear(struct sockaddr **p_sock) MIX(symbolic) {
 int main(void) { return 0; }
 `)
 	// Annotations survive printing.
-	prog := MustParse(`void f(int *nonnull q) MIX(typed);`)
+	prog := mustParse(`void f(int *nonnull q) MIX(typed);`)
 	out := Print(prog)
 	if !strings.Contains(out, "*nonnull q") || !strings.Contains(out, "MIX(typed)") {
 		t.Fatalf("annotations lost: %s", out)
@@ -77,7 +77,7 @@ void fire(void) {
 
 func TestPrintBranchesBlockified(t *testing.T) {
 	// Brace-less branches print as blocks.
-	prog := MustParse(`
+	prog := mustParse(`
 int f(int n) {
   if (n > 0) return 1;
   else return 2;

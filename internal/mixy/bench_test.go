@@ -5,13 +5,12 @@ import (
 	"testing"
 
 	"mix/internal/corpus"
-	"mix/internal/microc"
 )
 
 func BenchmarkCases(b *testing.B) {
 	for _, c := range corpus.Cases {
 		c := c
-		prog := microc.MustParse(c.Source)
+		prog := mustParse(c.Source)
 		b.Run(c.Name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := Run(prog, Options{}); err != nil {
@@ -23,7 +22,7 @@ func BenchmarkCases(b *testing.B) {
 }
 
 func BenchmarkVsftpdMini(b *testing.B) {
-	prog := microc.MustParse(corpus.VsftpdMini.Source)
+	prog := mustParse(corpus.VsftpdMini.Source)
 	for _, pure := range []bool{true, false} {
 		pure := pure
 		name := "mixy"
@@ -43,7 +42,7 @@ func BenchmarkVsftpdMini(b *testing.B) {
 func BenchmarkSyntheticSweep(b *testing.B) {
 	for _, k := range []int{0, 1, 2} {
 		k := k
-		prog := microc.MustParse(corpus.SyntheticVsftpd(10, k))
+		prog := mustParse(corpus.SyntheticVsftpd(10, k))
 		b.Run(fmt.Sprintf("blocks=%d", k), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := Run(prog, Options{}); err != nil {
@@ -55,7 +54,7 @@ func BenchmarkSyntheticSweep(b *testing.B) {
 }
 
 func BenchmarkHavocAblation(b *testing.B) {
-	prog := microc.MustParse(corpus.SyntheticVsftpd(8, 2))
+	prog := mustParse(corpus.SyntheticVsftpd(8, 2))
 	for _, havoc := range []bool{true, false} {
 		havoc := havoc
 		name := "havoc=on"

@@ -7,7 +7,6 @@ import (
 
 	"mix/internal/corpus"
 	"mix/internal/engine"
-	"mix/internal/microc"
 )
 
 func warningStrings(a *Analysis) []string {
@@ -25,13 +24,13 @@ func warningStrings(a *Analysis) []string {
 func TestEngineMatchesNoEngine(t *testing.T) {
 	src := corpus.SyntheticVsftpd(12, 2)
 
-	base, err := Run(microc.MustParse(src), Options{})
+	base, err := Run(mustParse(src), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{1, 4} {
 		eng := engine.New(engine.Options{Workers: workers})
-		a, err := Run(microc.MustParse(src), Options{Engine: eng})
+		a, err := Run(mustParse(src), Options{Engine: eng})
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -64,7 +63,7 @@ func TestCachedContextsSortedAndStable(t *testing.T) {
 	src := corpus.SyntheticVsftpd(8, 2)
 	var first []string
 	for run := 0; run < 3; run++ {
-		a, err := Run(microc.MustParse(src), Options{})
+		a, err := Run(mustParse(src), Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -91,7 +90,7 @@ func TestFixpointItersReproducible(t *testing.T) {
 	src := corpus.SyntheticVsftpd(12, 3)
 	var iters, blocks int
 	for run := 0; run < 3; run++ {
-		a, err := Run(microc.MustParse(src), Options{})
+		a, err := Run(mustParse(src), Options{})
 		if err != nil {
 			t.Fatal(err)
 		}

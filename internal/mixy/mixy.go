@@ -23,6 +23,7 @@ import (
 	"sort"
 
 	"mix/internal/engine"
+	"mix/internal/fault"
 	"mix/internal/microc"
 	"mix/internal/pointer"
 	"mix/internal/qual"
@@ -59,7 +60,7 @@ type Options struct {
 
 // Warning is an analysis finding.
 type Warning struct {
-	Source string // "qual" or "symexec"
+	Source string // "qual", "symexec", or "mixy"
 	Msg    string
 }
 
@@ -73,6 +74,9 @@ type Stats struct {
 	CacheMisses    int
 	RecursionCuts  int
 	SolverQueries  int
+	// Faults counts classified aborts absorbed anywhere in the run
+	// (engine, solver pool, executor, fixed point); -stats reports it.
+	Faults fault.Snapshot
 }
 
 // Analysis is one MIXY run over a program.
@@ -86,6 +90,14 @@ type Analysis struct {
 	eng      *engine.Engine
 	Warnings []Warning
 	Stats    Stats
+
+	// degraded is the first run-stopping classified fault (expired
+	// deadline, cancellation, injected fault, recovered panic). Once
+	// set, the fixed point stops iterating and every frontier block is
+	// pessimized — its translatable qualifiers are constrained to null
+	// — so the truncated run stays a sound over-approximation.
+	degraded error
+	faults   fault.Counters
 
 	// frontier is the set of discovered MIX(symbolic) functions.
 	frontier []*microc.FuncDef
@@ -156,9 +168,19 @@ func Run(prog *microc.Program, opts Options) (*Analysis, error) {
 	}
 
 	// Global least fixed point (Section 4.1): analyze symbolic blocks,
-	// fold discovered nullness into the inference, repeat.
+	// fold discovered nullness into the inference, repeat. Each
+	// iteration polls the run deadline (and the fault injector's
+	// fixpoint-iteration point); a fault stops iterating and pessimizes
+	// the whole frontier rather than returning a half-converged —
+	// optimistic, hence unsound — solution.
 	for iter := 0; iter < m.opts.MaxFixpoint; iter++ {
 		m.Stats.FixpointIters++
+		if err := m.interrupted(); err != nil {
+			m.degrade(err, false)
+		}
+		if m.degraded != nil {
+			break
+		}
 		changed := false
 		// The frontier can grow while analyzing (typed regions found
 		// inside symbolic blocks can expose new symbolic functions).
@@ -166,13 +188,87 @@ func Run(prog *microc.Program, opts Options) (*Analysis, error) {
 			if m.analyzeSymBlock(m.frontier[i]) {
 				changed = true
 			}
+			if m.degraded != nil {
+				break
+			}
 		}
-		if !changed {
+		if m.degraded != nil || !changed {
 			break
 		}
 	}
+	if m.degraded != nil {
+		m.pessimizeFrontier()
+	}
 	m.collectWarnings()
 	return m, nil
+}
+
+// Degraded returns the first run-stopping classified fault, or nil if
+// the fixed point ran to completion.
+func (m *Analysis) Degraded() error { return m.degraded }
+
+// interrupted polls the run's deadline and the fixpoint-iteration
+// fault-injection point; both are inert without an engine.
+func (m *Analysis) interrupted() error {
+	if err := m.eng.Interrupted("mixy.fixpoint"); err != nil {
+		return err
+	}
+	return m.eng.Injector().At(fault.FixpointIter)
+}
+
+// degrade records the first run-stopping fault. counted says a lower
+// layer (the executor recording into the engine's counters) already
+// counted this fault, so it must not be counted twice.
+func (m *Analysis) degrade(err error, counted bool) {
+	if m.degraded != nil {
+		return
+	}
+	m.degraded = err
+	if !counted {
+		m.faults.RecordErr(err)
+	}
+}
+
+// pessimizeFrontier constrains to null every qualifier a symbolic
+// block could have constrained had it run to completion: returns and
+// parameters of all frontier functions, pointer globals, and pointer
+// struct fields. This over-approximates any fixed point the truncated
+// run could have reached, keeping degraded results sound.
+func (m *Analysis) pessimizeFrontier() {
+	for _, f := range m.frontier {
+		m.pessimizeBlock(f)
+	}
+}
+
+func (m *Analysis) pessimizeBlock(f *microc.FuncDef) bool {
+	reason := fmt.Sprintf("analysis of %s degraded (%s); assuming null", f.Name, fault.ClassOf(m.degraded))
+	changed := false
+	null := func(q *qual.QVar) {
+		if q != nil && m.Inf.ConstrainNull(q, reason) {
+			changed = true
+		}
+	}
+	if rq := m.Inf.RetQ(f); rq != nil {
+		null(rq.Ptr)
+	}
+	for _, p := range f.Params {
+		if _, isPtr := p.Type.(microc.PtrType); isPtr {
+			null(m.Inf.VarQ(p).Ptr)
+		}
+	}
+	for _, g := range m.Prog.Globals {
+		if _, isPtr := g.Type.(microc.PtrType); isPtr {
+			null(m.Inf.VarQ(g).Ptr)
+		}
+	}
+	for _, s := range m.Prog.Structs {
+		for _, fd := range s.Fields {
+			if _, isPtr := fd.Type.(microc.PtrType); isPtr {
+				null(m.Inf.VarQ(fd).Ptr)
+			}
+		}
+	}
+	return changed
 }
 
 // addTypedRegion adds f and everything reachable from it up to the
@@ -391,8 +487,23 @@ func (m *Analysis) analyzeSymBlock(f *microc.FuncDef) bool {
 	st := symexec.State{PC: solver.PCTrue, Mem: symexec.NewMemory()}
 	outs, err := m.Exec.RunFunc(f, st, nil)
 	if err != nil {
+		if fault.Degradable(err) {
+			// A classified abort escaped the executor: absorb it here
+			// and pessimize this block instead of trusting its (empty
+			// or partial) outcome set.
+			m.degrade(err, false)
+			return m.pessimizeBlock(f)
+		}
 		m.Warnings = append(m.Warnings, Warning{Source: "symexec", Msg: err.Error()})
 		return false
+	}
+	if d := m.Exec.Degraded(); d != nil {
+		// The executor stopped mid-exploration (deadline, cancellation,
+		// injected fault, recovered panic) and returned a partial
+		// outcome set. The executor already counted the fault in the
+		// engine's counters when it has one; count it here otherwise.
+		m.degrade(d, m.eng != nil)
+		return m.pessimizeBlock(f)
 	}
 	// Symbolic-to-typed translation (Section 4.1): for every named
 	// cell in every final memory, constrain the corresponding
@@ -434,14 +545,23 @@ func (m *Analysis) analyzeSymBlock(f *microc.FuncDef) bool {
 		}
 	}
 	m.Stats.SolverQueries += len(checks)
+	// mayNull starts all-true so a query that never completes — a
+	// worker panic or cancellation inside Map skips remaining indices —
+	// degrades to the pessimistic (sound) answer, not the optimistic
+	// one. A completed query overwrites its slot either way.
 	mayNull := make([]bool, len(checks))
+	for i := range mayNull {
+		mayNull[i] = true
+	}
 	query := func(i int) error {
 		sat, err := m.satPC(checks[i].pc, checks[i].f)
 		mayNull[i] = err != nil || sat
 		return nil
 	}
 	if m.eng != nil {
-		_ = m.eng.Map(len(checks), query)
+		if err := m.eng.Map(len(checks), query); err != nil && fault.Degradable(err) {
+			m.degrade(err, false)
+		}
 	} else {
 		for i := range checks {
 			_ = query(i)
@@ -461,7 +581,10 @@ func (m *Analysis) analyzeSymBlock(f *microc.FuncDef) bool {
 	// Restore aliasing relationships before handing results back to
 	// the typed world (Section 4.2).
 	m.restoreAliasing()
-	if !m.opts.NoCache {
+	// A degraded run must not cache: the constrained list reflects a
+	// truncated exploration, and replaying it from the cache would make
+	// the imprecision permanent across contexts that could re-explore.
+	if !m.opts.NoCache && m.degraded == nil {
 		m.cache[key] = constrained
 	}
 	return changed
@@ -677,9 +800,17 @@ func (m *Analysis) typedReturnValue(x *symexec.Executor, f *microc.FuncDef) syme
 	return x.HavocValue(rt, f.Name+"_typed")
 }
 
-// collectWarnings merges qualifier warnings and symbolic-execution
-// reports.
+// collectWarnings merges qualifier warnings, symbolic-execution
+// reports, and the degradation notice, and folds the run's fault
+// counters into Stats.
 func (m *Analysis) collectWarnings() {
+	if m.degraded != nil {
+		m.Warnings = append(m.Warnings, Warning{
+			Source: "mixy",
+			Msg: fmt.Sprintf("analysis degraded (%s): %v; frontier qualifiers pessimized to null",
+				fault.ClassOf(m.degraded), m.degraded),
+		})
+	}
 	for _, w := range m.Inf.Solve() {
 		m.Warnings = append(m.Warnings, Warning{Source: "qual", Msg: w.String()})
 	}
@@ -689,8 +820,11 @@ func (m *Analysis) collectWarnings() {
 			m.Warnings = append(m.Warnings, Warning{Source: "symexec", Msg: r.String()})
 		}
 	}
+	m.Stats.Faults = m.faults.Snapshot()
 	if m.eng != nil {
-		m.Stats.SolverQueries += int(m.eng.Snapshot().SolverQueries)
+		snap := m.eng.Snapshot()
+		m.Stats.SolverQueries += int(snap.SolverQueries)
+		m.Stats.Faults.Add(snap.Faults)
 	} else {
 		m.Stats.SolverQueries += m.Exec.Solv.Stats.SatQueries
 	}

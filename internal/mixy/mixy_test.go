@@ -11,7 +11,7 @@ import (
 // analyze runs MIXY on src.
 func analyze(t *testing.T, src string, opts Options) *Analysis {
 	t.Helper()
-	prog := microc.MustParse(src)
+	prog := mustParse(src)
 	a, err := Run(prog, opts)
 	if err != nil {
 		t.Fatalf("Run: %v", err)
@@ -316,7 +316,7 @@ func TestSolverQueriesGrowWithBlocks(t *testing.T) {
 }
 
 func TestEntryMissing(t *testing.T) {
-	prog := microc.MustParse("int f(void) { return 0; }")
+	prog := mustParse("int f(void) { return 0; }")
 	if _, err := Run(prog, Options{}); err == nil {
 		t.Fatal("missing main should error")
 	}
@@ -353,4 +353,15 @@ int main(void) MIX(symbolic) {
 	if got := nullWarnings(a); len(got) == 0 {
 		t.Fatalf("unguarded null argument must warn: %v", a.Warnings)
 	}
+}
+
+// mustParse parses a MicroC test fixture, panicking on error; the
+// library itself reports parse errors through the normal return path,
+// fixtures are expected to be valid.
+func mustParse(src string) *microc.Program {
+	prog, err := microc.Parse(src)
+	if err != nil {
+		panic("bad MicroC fixture: " + err.Error())
+	}
+	return prog
 }

@@ -15,7 +15,7 @@ func locNames(locs []Loc) map[string]bool {
 }
 
 func TestAddressOf(t *testing.T) {
-	prog := microc.MustParse(`
+	prog := mustParse(`
 int g;
 int *p;
 void f(void) { p = &g; }
@@ -29,7 +29,7 @@ void f(void) { p = &g; }
 }
 
 func TestCopyChains(t *testing.T) {
-	prog := microc.MustParse(`
+	prog := mustParse(`
 int g;
 int *p;
 int *q;
@@ -44,7 +44,7 @@ void f(void) { p = &g; q = p; r = q; }
 }
 
 func TestLoadStore(t *testing.T) {
-	prog := microc.MustParse(`
+	prog := mustParse(`
 int g;
 int h;
 int *a;
@@ -71,7 +71,7 @@ void f(void) {
 }
 
 func TestMallocSites(t *testing.T) {
-	prog := microc.MustParse(`
+	prog := mustParse(`
 int *p;
 int *q;
 void f(void) { p = malloc(sizeof(int)); q = malloc(sizeof(int)); }
@@ -90,7 +90,7 @@ void f(void) { p = malloc(sizeof(int)); q = malloc(sizeof(int)); }
 }
 
 func TestFieldBased(t *testing.T) {
-	prog := microc.MustParse(`
+	prog := mustParse(`
 struct s { int *f; };
 int g;
 int *out;
@@ -105,7 +105,7 @@ void loadf(struct s *y) { out = y->f; }
 }
 
 func TestCallBinding(t *testing.T) {
-	prog := microc.MustParse(`
+	prog := mustParse(`
 int g;
 int *id(int *x) { return x; }
 int *p;
@@ -121,7 +121,7 @@ void f(void) { p = id(&g); }
 func TestContextInsensitiveConflation(t *testing.T) {
 	// The paper's Section 4.6 complaint, reproduced: two calls to id
 	// conflate their arguments.
-	prog := microc.MustParse(`
+	prog := mustParse(`
 int g;
 int h;
 int *id(int *x) { return x; }
@@ -138,7 +138,7 @@ void f(void) { p = id(&g); q = id(&h); }
 }
 
 func TestFunctionPointerTargets(t *testing.T) {
-	prog := microc.MustParse(`
+	prog := mustParse(`
 fnptr cb;
 int fired;
 void handler(void) { fired = 1; }
@@ -156,7 +156,7 @@ void fire(void) { (*cb)(); }
 }
 
 func TestIndirectCallArgFlow(t *testing.T) {
-	prog := microc.MustParse(`
+	prog := mustParse(`
 fnptr cb;
 int g;
 int *captured;
@@ -172,7 +172,7 @@ void fire(void) { cb(&g); }
 }
 
 func TestMayAlias(t *testing.T) {
-	prog := microc.MustParse(`
+	prog := mustParse(`
 int g;
 int h;
 int *p;
@@ -208,7 +208,7 @@ void f(void) { p = &g; q = &g; r = &h; }
 }
 
 func TestLValueLocsDeref(t *testing.T) {
-	prog := microc.MustParse(`
+	prog := mustParse(`
 int g;
 int *p;
 void f(void) { p = &g; *p = 3; }
@@ -223,7 +223,7 @@ void f(void) { p = &g; *p = 3; }
 }
 
 func TestGlobalInitializerFlow(t *testing.T) {
-	prog := microc.MustParse(`
+	prog := mustParse(`
 int g;
 int *p = &g;
 int *q = p;
@@ -233,4 +233,15 @@ int *q = p;
 	if !locNames(a.PointsToVar(q))["g"] {
 		t.Fatal("global initializer flow lost")
 	}
+}
+
+// mustParse parses a MicroC test fixture, panicking on error; the
+// library itself reports parse errors through the normal return path,
+// fixtures are expected to be valid.
+func mustParse(src string) *microc.Program {
+	prog, err := microc.Parse(src)
+	if err != nil {
+		panic("bad MicroC fixture: " + err.Error())
+	}
+	return prog
 }

@@ -10,7 +10,7 @@ import (
 // inferAll builds an inference over all functions and solves.
 func inferAll(t *testing.T, src string) (*Inference, []Warning) {
 	t.Helper()
-	prog := microc.MustParse(src)
+	prog := mustParse(src)
 	inf := New(prog)
 	for _, f := range prog.Funcs {
 		inf.AddFunction(f)
@@ -163,7 +163,7 @@ void f(void) { sink(g); }
 }
 
 func TestQualOfOptimism(t *testing.T) {
-	prog := microc.MustParse(`
+	prog := mustParse(`
 int *a = NULL;
 int *b;
 `)
@@ -180,7 +180,7 @@ int *b;
 }
 
 func TestConstrainNullDrivesFixedPoint(t *testing.T) {
-	prog := microc.MustParse(`
+	prog := mustParse(`
 void sink(int *nonnull x);
 int *g;
 void f(void) { sink(g); }
@@ -205,7 +205,7 @@ void f(void) { sink(g); }
 }
 
 func TestUnifyPropagatesBothWays(t *testing.T) {
-	prog := microc.MustParse(`
+	prog := mustParse(`
 int *a = NULL;
 int *b;
 `)
@@ -219,7 +219,7 @@ int *b;
 }
 
 func TestAddFunctionIdempotent(t *testing.T) {
-	prog := microc.MustParse(`
+	prog := mustParse(`
 int *g = NULL;
 void f(void) { g = NULL; }
 `)
@@ -234,7 +234,7 @@ void f(void) { g = NULL; }
 }
 
 func TestMallocSiteSharing(t *testing.T) {
-	prog := microc.MustParse(`
+	prog := mustParse(`
 int **cell;
 void f(void) { cell = malloc(sizeof(int *)); }
 `)
@@ -244,4 +244,15 @@ void f(void) { cell = malloc(sizeof(int *)); }
 	if q1 != q2 {
 		t.Fatal("same site must share one qualified type")
 	}
+}
+
+// mustParse parses a MicroC test fixture, panicking on error; the
+// library itself reports parse errors through the normal return path,
+// fixtures are expected to be valid.
+func mustParse(src string) *microc.Program {
+	prog, err := microc.Parse(src)
+	if err != nil {
+		panic("bad MicroC fixture: " + err.Error())
+	}
+	return prog
 }

@@ -1,9 +1,12 @@
 package solver
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/big"
+
+	"mix/internal/fault"
 )
 
 func ratNegOne() *big.Rat { return big.NewRat(-1, 1) }
@@ -25,7 +28,15 @@ type Solver struct {
 	MaxAtoms int
 	// MaxDecisions bounds total DPLL decisions per query.
 	MaxDecisions int
-	Stats        Stats
+	// Ctx, when non-nil, is polled at query entry and about every 32
+	// DPLL decisions; expiry or cancellation aborts the query with a
+	// classified fault wrapping ctx.Err(), so a deadline cuts even a
+	// single runaway query short.
+	Ctx context.Context
+	// Injector, when non-nil, is visited at the fault.MidDPLL point on
+	// the same cadence as the ctx poll (chaos tests only).
+	Injector *fault.Injector
+	Stats    Stats
 }
 
 // New returns a Solver with default resource bounds.
@@ -49,6 +60,11 @@ func (e ErrResource) Error() string { return "solver: " + e.Msg }
 // Unwrap makes errors.Is(err, ErrLimit) hold for resource errors.
 func (e ErrResource) Unwrap() error { return ErrLimit }
 
+// FaultClass classifies resource exhaustion as a solver-limit fault
+// (fault.Classifier), so the degradation rule — unknown → keep path —
+// applies uniformly without string matching.
+func (e ErrResource) FaultClass() fault.Class { return fault.SolverLimit }
+
 // Sat reports whether f is satisfiable (over the rationals for the
 // arithmetic part; see the package comment for the conservativity
 // argument). Formulas are canonicalized by Simplify first, so
@@ -67,7 +83,32 @@ func (s *Solver) SatModel(f Formula) (bool, *Model, error) {
 	return s.sat(f, true)
 }
 
+// ctxErr reports a classified fault if the solver's context is done.
+func (s *Solver) ctxErr(op string) error {
+	if s.Ctx == nil {
+		return nil
+	}
+	select {
+	case <-s.Ctx.Done():
+		return fault.FromContext(op, "", s.Ctx.Err())
+	default:
+		return nil
+	}
+}
+
+// poll is the cooperative interruption point of the DPLL loop: it
+// checks the context and visits the mid-DPLL injection site.
+func (s *Solver) poll() error {
+	if err := s.ctxErr("solver.dpll"); err != nil {
+		return err
+	}
+	return s.Injector.At(fault.MidDPLL)
+}
+
 func (s *Solver) sat(f Formula, wantModel bool) (bool, *Model, error) {
+	if err := s.ctxErr("solver.sat"); err != nil {
+		return false, nil, err
+	}
 	s.Stats.SatQueries++
 	f = Simplify(f)
 	table := newAtomTable()
@@ -134,6 +175,11 @@ func (c *searchCtx) search(n node) (bool, error) {
 	}
 	c.budget--
 	c.solver.Stats.Decisions++
+	if c.solver.Stats.Decisions&31 == 0 {
+		if err := c.solver.poll(); err != nil {
+			return false, err
+		}
+	}
 	pick := firstLit(n)
 	for _, v := range [2]bool{true, false} {
 		c.assign[pick] = v

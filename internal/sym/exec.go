@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"mix/internal/engine"
+	"mix/internal/fault"
 	"mix/internal/lang"
 	"mix/internal/types"
 )
@@ -93,6 +94,21 @@ type Executor struct {
 	// solver-backed variant that decides address equality under the
 	// current path condition.
 	MemCheck func(st State) error
+
+	// stopped flips when a classified fault truncates exploration; the
+	// remaining work unwinds promptly (run returns empty result sets,
+	// not errors) so completed sibling paths keep their results.
+	stopped atomic.Bool
+	// imprecise counts degradation events absorbed during the current
+	// Run; the mix layer treats any increase as "this block's result
+	// set may be incomplete" and falls back to the typed
+	// over-approximation instead of trusting partial path coverage.
+	imprecise atomic.Int64
+
+	// degradedMu guards degraded, the first absorbed fault of the Run.
+	degradedMu sync.Mutex
+	degraded   error
+
 	// statsMu guards Stats when branches execute in parallel.
 	statsMu sync.Mutex
 	Stats   Stats
@@ -122,11 +138,18 @@ func (x *Executor) InitialState() State {
 // returns the results of every explored path. Paths whose guard
 // constant-folds to false are discarded (they are trivially
 // infeasible). A non-nil error indicates the program is outside the
-// language (unbound variable, unsupported block) or a resource bound
-// was hit — not a type error, which is reported per-path.
+// language (unbound variable, unsupported block) — not a type error,
+// which is reported per-path, and not a resource exhaustion: budget,
+// deadline, and panic aborts degrade instead, truncating the result
+// set and recording the fault (see Degraded/ImprecisionCount), so the
+// caller can fall back to the typed over-approximation.
 func (x *Executor) Run(env *Env, st State, e lang.Expr) ([]Result, error) {
 	x.steps.Store(int64(x.MaxSteps))
-	rs, err := x.run(env, st, e)
+	x.stopped.Store(false)
+	x.degradedMu.Lock()
+	x.degraded = nil
+	x.degradedMu.Unlock()
+	rs, err := x.protectedRun(env, st, e)
 	if err != nil {
 		return nil, err
 	}
@@ -143,6 +166,48 @@ func (x *Executor) Run(env *Env, st State, e lang.Expr) ([]Result, error) {
 	x.Engine.AddPaths(len(kept))
 	return kept, nil
 }
+
+// protectedRun is the Run root with a panic boundary: a panic anywhere
+// on the root path (stolen branches have their own boundary inside the
+// engine) becomes a worker-panic degradation, not a crash.
+func (x *Executor) protectedRun(env *Env, st State, e lang.Expr) (rs []Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			x.degrade(fault.FromPanic("sym.run", r))
+			rs, err = nil, nil
+		}
+	}()
+	return x.run(env, st, e)
+}
+
+// degrade absorbs a classified fault: record it, count the
+// imprecision, and stop further exploration so the run drains
+// promptly. Results completed before the stop remain valid (each is a
+// genuine explored path); the imprecision count tells the caller the
+// set may be incomplete.
+func (x *Executor) degrade(err error) {
+	x.degradedMu.Lock()
+	if x.degraded == nil {
+		x.degraded = err
+	}
+	x.degradedMu.Unlock()
+	x.imprecise.Add(1)
+	x.Engine.Faults().RecordErr(err)
+	x.stopped.Store(true)
+}
+
+// Degraded returns the first classified fault absorbed by the current
+// Run, or nil when exploration was exhaustive.
+func (x *Executor) Degraded() error {
+	x.degradedMu.Lock()
+	defer x.degradedMu.Unlock()
+	return x.degraded
+}
+
+// ImprecisionCount reports the cumulative number of degradation events
+// absorbed by this executor; callers snapshot it around a Run to
+// detect truncation.
+func (x *Executor) ImprecisionCount() int64 { return x.imprecise.Load() }
 
 // errResult builds a single-element error result list.
 func errResult(st State, pos lang.Pos, format string, args ...any) []Result {
@@ -168,7 +233,12 @@ func (x *Executor) seq(env *Env, st State, e lang.Expr, k func(State, Val) ([]Re
 		}
 		out = append(out, ks...)
 		if x.MaxPaths > 0 && len(out) > x.MaxPaths {
-			return nil, fmt.Errorf("sym: path budget exceeded (%d paths)", x.MaxPaths)
+			// Path-budget exhaustion degrades: truncate the result set
+			// and record the imprecision (matching symexec), instead of
+			// throwing away every path already explored.
+			x.degrade(fault.New(fault.PathBudget, "sym.seq",
+				fmt.Sprintf("max-paths=%d", x.MaxPaths), nil))
+			return out[:x.MaxPaths], nil
 		}
 	}
 	return out, nil
@@ -177,8 +247,21 @@ func (x *Executor) seq(env *Env, st State, e lang.Expr, k func(State, Val) ([]Re
 func one(st State, v Val) []Result { return []Result{{State: st, Val: v}} }
 
 func (x *Executor) run(env *Env, st State, e lang.Expr) ([]Result, error) {
-	if x.steps.Add(-1) < 0 {
-		return nil, fmt.Errorf("sym: step budget exceeded (possible divergence through stored closures)")
+	if x.stopped.Load() {
+		return nil, nil
+	}
+	if n := x.steps.Add(-1); n < 0 {
+		// Step-budget exhaustion (possible divergence through stored
+		// closures) degrades like the path budget: stop, record, keep
+		// what completed.
+		x.degrade(fault.New(fault.StepBudget, "sym.run",
+			fmt.Sprintf("max-steps=%d", x.MaxSteps), nil))
+		return nil, nil
+	} else if n&63 == 0 {
+		if err := x.Engine.Interrupted("sym.run"); err != nil {
+			x.degrade(err)
+			return nil, nil
+		}
 	}
 	switch e := e.(type) {
 	case lang.Var:
@@ -368,6 +451,12 @@ func (x *Executor) run(env *Env, st State, e lang.Expr) ([]Result, error) {
 		}
 		r, err := x.TypBlock(env, st, e.Body)
 		if err != nil {
+			if fault.Degradable(err) {
+				// A degraded nested analysis truncates this path; the
+				// surrounding exploration keeps its other paths.
+				x.degrade(err)
+				return nil, nil
+			}
 			return nil, err
 		}
 		return []Result{r}, nil
@@ -512,6 +601,10 @@ func (x *Executor) runIf(env *Env, st State, e lang.If) ([]Result, error) {
 			// then-results before else-results, reproducing the
 			// sequential result order exactly.
 			if err := x.Engine.Charge(s1.depth); err != nil {
+				if fault.Degradable(err) {
+					x.degrade(err)
+					return nil, nil
+				}
 				return nil, err
 			}
 			x.statsMu.Lock()
@@ -527,6 +620,13 @@ func (x *Executor) runIf(env *Env, st State, e lang.If) ([]Result, error) {
 				func() ([]Result, error) { return x.run(env, thenSt, e.Then) },
 				func() ([]Result, error) { return x.run(env, elseSt, e.Else) })
 			if err != nil {
+				if fault.Degradable(err) {
+					// A recovered branch panic (or other classified
+					// fault) loses that branch; the sibling's results
+					// survive, and the imprecision marks the hole.
+					x.degrade(err)
+					return append(thenRs, elseRs...), nil
+				}
 				return nil, err
 			}
 			return append(thenRs, elseRs...), nil
@@ -544,7 +644,11 @@ func (x *Executor) runIf(env *Env, st State, e lang.If) ([]Result, error) {
 				func() ([]Result, error) { return x.run(env, thenSt, e.Then) },
 				func() ([]Result, error) { return x.run(env, elseSt, e.Else) })
 			if err != nil {
-				return nil, err
+				if fault.Degradable(err) {
+					x.degrade(err)
+				} else {
+					return nil, err
+				}
 			}
 			var out []Result
 			var thenOK, elseOK []Result

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"mix/internal/fault"
 	"mix/internal/lang"
 	"mix/internal/types"
 )
@@ -125,7 +126,8 @@ func TestRefOfClosureUpdated(t *testing.T) {
 }
 
 func TestLandinKnotRunsOutOfFuel(t *testing.T) {
-	// Recursion through the store must hit the step budget, not hang.
+	// Recursion through the store must hit the step budget and degrade
+	// — truncate with a recorded step-budget fault — not hang or fail.
 	x := NewExecutor()
 	x.MaxSteps = 10000
 	src := `let r = ref (fun x -> x) in
@@ -133,8 +135,17 @@ func TestLandinKnotRunsOutOfFuel(t *testing.T) {
 		let _ = r := f in
 		f 0`
 	_, err := x.Run(EmptyEnv(), x.InitialState(), lang.MustParse(src))
-	if err == nil || !strings.Contains(err.Error(), "step budget") {
-		t.Fatalf("got %v", err)
+	if err != nil {
+		t.Fatalf("step exhaustion must degrade, not error: %v", err)
+	}
+	if x.ImprecisionCount() == 0 {
+		t.Fatal("truncation must be recorded as imprecision")
+	}
+	if d := x.Degraded(); fault.ClassOf(d) != fault.StepBudget {
+		t.Fatalf("degradation cause = %v, want step-budget", d)
+	}
+	if d := x.Degraded(); !strings.Contains(d.Error(), "max-steps=10000") {
+		t.Fatalf("diagnostic must name the tripped budget: %v", d)
 	}
 }
 

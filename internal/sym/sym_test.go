@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"mix/internal/fault"
 	"mix/internal/lang"
 	"mix/internal/solver"
 	"mix/internal/types"
@@ -284,6 +285,8 @@ func TestForkModeAllowsDifferentBranchTypes(t *testing.T) {
 }
 
 func TestMaxPathsBound(t *testing.T) {
+	// Exceeding MaxPaths degrades: the result set is truncated to the
+	// budget and the truncation is recorded, not turned into an error.
 	x := NewExecutor()
 	x.MaxPaths = 3
 	env := EmptyEnv().
@@ -291,9 +294,18 @@ func TestMaxPathsBound(t *testing.T) {
 		Extend("b", x.Fresh.Var(types.Bool, "b")).
 		Extend("c", x.Fresh.Var(types.Bool, "c"))
 	src := "let _ = (if a then 1 else 2) in let _ = (if b then 1 else 2) in if c then 1 else 2"
-	_, err := x.Run(env, x.InitialState(), lang.MustParse(src))
-	if err == nil || !strings.Contains(err.Error(), "path budget") {
-		t.Fatalf("got %v", err)
+	rs, err := x.Run(env, x.InitialState(), lang.MustParse(src))
+	if err != nil {
+		t.Fatalf("path exhaustion must degrade, not error: %v", err)
+	}
+	if len(rs) == 0 || len(rs) > 3 {
+		t.Fatalf("want 1..3 surviving paths after truncation, got %d", len(rs))
+	}
+	if x.ImprecisionCount() == 0 {
+		t.Fatal("truncation must be recorded as imprecision")
+	}
+	if d := x.Degraded(); fault.ClassOf(d) != fault.PathBudget || !strings.Contains(d.Error(), "max-paths=3") {
+		t.Fatalf("degradation cause = %v, want path-budget naming max-paths=3", d)
 	}
 }
 

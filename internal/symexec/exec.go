@@ -3,8 +3,10 @@ package symexec
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"mix/internal/engine"
+	"mix/internal/fault"
 	"mix/internal/microc"
 	"mix/internal/pointer"
 	"mix/internal/solver"
@@ -101,6 +103,15 @@ type Executor struct {
 	Reports []Report
 	Stats   Stats
 
+	// stopped flips on the first run-stopping fault (deadline,
+	// cancellation, recovered panic, injected abort); statement
+	// execution then unwinds promptly with empty flow sets, keeping
+	// every already-completed path and its reports.
+	stopped atomic.Bool
+	// degradedMu guards degraded, the first run-stopping fault.
+	degradedMu sync.Mutex
+	degraded   error
+
 	// mu guards the executor-global tables below (and Reports/Stats)
 	// when branches execute in parallel.
 	mu       sync.Mutex
@@ -114,6 +125,43 @@ type Executor struct {
 // parallel reports whether conditional forks may run concurrently.
 func (x *Executor) parallel() bool {
 	return x.Engine != nil && !x.SerialFork
+}
+
+// degrade absorbs a run-stopping classified fault: record it once (in
+// the run-wide counters and as an Imprecision report naming the fault
+// class), then stop further exploration.
+func (x *Executor) degrade(st State, err error, pos microc.Pos) {
+	if !x.stopped.CompareAndSwap(false, true) {
+		return
+	}
+	x.degradedMu.Lock()
+	if x.degraded == nil {
+		x.degraded = err
+	}
+	x.degradedMu.Unlock()
+	x.Engine.Faults().RecordErr(err)
+	x.report(st, Imprecision, pos, "exploration degraded (%s): %v", fault.ClassOf(err), err)
+}
+
+// Degraded returns the first run-stopping fault, or nil.
+func (x *Executor) Degraded() error {
+	x.degradedMu.Lock()
+	defer x.degradedMu.Unlock()
+	return x.degraded
+}
+
+// interrupted polls the stop flag and the run context at a statement
+// boundary; true means the caller should unwind with an empty flow
+// set (completed sibling paths keep their results).
+func (x *Executor) interrupted(st State, pos microc.Pos) bool {
+	if x.stopped.Load() {
+		return true
+	}
+	if err := x.Engine.Interrupted("symexec.exec"); err != nil {
+		x.degrade(st, err, pos)
+		return true
+	}
+	return false
 }
 
 // New returns an executor over prog with pointer analysis pa.

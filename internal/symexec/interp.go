@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"mix/internal/engine"
+	"mix/internal/fault"
 	"mix/internal/microc"
 	"mix/internal/solver"
 )
@@ -82,7 +83,7 @@ func (x *Executor) RunFunc(f *microc.FuncDef, st State, args []Value) ([]Outcome
 		root = &reportSink{}
 		st.rs = root
 	}
-	outs, err := x.callFunction(st, f, args, 0, f.Pos)
+	outs, err := x.protectedCall(st, f, args)
 	if root != nil {
 		x.flushSink(root)
 	}
@@ -99,6 +100,20 @@ func (x *Executor) RunFunc(f *microc.FuncDef, st State, args []Value) ([]Outcome
 	x.mu.Unlock()
 	x.Engine.AddPaths(len(result))
 	return result, nil
+}
+
+// protectedCall is the RunFunc root with a panic boundary: a panic on
+// the root path (stolen branches have their own boundary in the
+// engine) becomes a worker-panic degradation with an empty outcome
+// set, never a crash of the batch run.
+func (x *Executor) protectedCall(st State, f *microc.FuncDef, args []Value) (outs []evalOut, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			x.degrade(st, fault.FromPanic("symexec.run", r), f.Pos)
+			outs, err = nil, nil
+		}
+	}()
+	return x.callFunction(st, f, args, 0, f.Pos)
 }
 
 // clearFrame removes stale cells of f's parameters and locals (objects
@@ -164,6 +179,7 @@ func (x *Executor) callFunction(st State, f *microc.FuncDef, args []Value, depth
 		return []evalOut{{st: st, v: x.havocValue(f.Ret, f.Name)}}, nil
 	}
 	if depth > x.MaxDepth {
+		x.Engine.Faults().Record(fault.StepBudget)
 		x.report(st, Imprecision, pos, "call depth bound reached at %s", f.Name)
 		return []evalOut{{st: st, v: x.havocValue(f.Ret, f.Name)}}, nil
 	}
@@ -218,8 +234,13 @@ func (x *Executor) havocValue(t microc.Type, hint string) Value {
 	return VUnknown{Why: "extern " + hint}
 }
 
-// execStmt executes a statement, forking as needed.
+// execStmt executes a statement, forking as needed. Every statement
+// is a cooperative interruption point: once a run-stopping fault is
+// absorbed, execution unwinds with empty flow sets.
 func (x *Executor) execStmt(st State, s microc.Stmt, depth int) ([]flowOutcome, error) {
+	if x.interrupted(st, s.StmtPos()) {
+		return nil, nil
+	}
 	switch s := s.(type) {
 	case *microc.BlockStmt:
 		cur := []flowOutcome{{st: st}}
@@ -237,6 +258,7 @@ func (x *Executor) execStmt(st State, s microc.Stmt, depth int) ([]flowOutcome, 
 				next = append(next, outs...)
 			}
 			if len(next) > x.MaxPaths {
+				x.Engine.Faults().Record(fault.PathBudget)
 				x.report(st, Imprecision, s.StmtPos(), "path budget exceeded; truncating")
 				next = next[:x.MaxPaths]
 			}
@@ -348,6 +370,7 @@ func (x *Executor) execStmt(st State, s microc.Stmt, depth int) ([]flowOutcome, 
 					}
 					if !bodyOK {
 						if iter >= x.MaxUnroll && x.feasible(bodyPC) {
+							x.Engine.Faults().Record(fault.StepBudget)
 							x.report(c.st, LoopBound, s.StmtPos(), "loop unrolling bound (%d) reached", x.MaxUnroll)
 						}
 						continue
@@ -369,6 +392,7 @@ func (x *Executor) execStmt(st State, s microc.Stmt, depth int) ([]flowOutcome, 
 			}
 			live = next
 			if len(out)+len(live) > x.MaxPaths {
+				x.Engine.Faults().Record(fault.PathBudget)
 				x.report(st, Imprecision, s.StmtPos(), "path budget exceeded in loop; truncating")
 				live = nil
 			}
@@ -403,13 +427,21 @@ func (x *Executor) execStmt(st State, s microc.Stmt, depth int) ([]flowOutcome, 
 // contract as MaxPaths.
 func (x *Executor) forkIf(st State, s *microc.IfStmt, thenPC, elsePC *solver.PC, depth int) ([]flowOutcome, error) {
 	if err := x.Engine.Charge(st.forkDepth); err != nil {
-		if errors.Is(err, engine.ErrBudget) {
+		switch {
+		case errors.Is(err, engine.ErrBudget):
+			x.Engine.Faults().RecordErr(err)
 			x.report(st, Imprecision, s.StmtPos(), "engine path budget exhausted; truncating")
 			tst := st
 			tst.PC = thenPC
 			return x.execStmt(tst, s.Then, depth)
+		case fault.Degradable(err):
+			// Deadline, cancellation, or injected abort: stop the run,
+			// keeping every completed path.
+			x.degrade(st, err, s.StmtPos())
+			return nil, nil
+		default:
+			return nil, err
 		}
-		return nil, err
 	}
 	parent := st.rs
 	tst := st.Clone()
@@ -429,7 +461,13 @@ func (x *Executor) forkIf(st State, s *microc.IfStmt, thenPC, elsePC *solver.PC,
 			return []flowOutcome{{st: est}}, nil
 		})
 	if err != nil {
-		return nil, err
+		if !fault.Degradable(err) {
+			return nil, err
+		}
+		// A recovered branch panic (or other classified fault) loses
+		// that branch's flows; the sibling's survive, with the hole
+		// marked by the degradation report.
+		x.degrade(st, err, s.StmtPos())
 	}
 	// Ordered join: then-reports then else-reports into the parent
 	// sink; surviving flows hand their reports back to the parent.

@@ -6,7 +6,6 @@ import (
 	"testing"
 
 	"mix/internal/engine"
-	"mix/internal/microc"
 	"mix/internal/pointer"
 )
 
@@ -76,7 +75,7 @@ func TestParallelMatchesSequential(t *testing.T) {
 	const depth = 7 // 127 conditionals, 128 paths, 64 survive
 	src := nestedIfSrc(depth)
 
-	seq := New(microc.MustParse(src), pointer.Analyze(microc.MustParse(src)))
+	seq := New(mustParse(src), pointer.Analyze(mustParse(src)))
 	seqOuts, err := seq.Run("f")
 	if err != nil {
 		t.Fatalf("sequential: %v", err)
@@ -91,7 +90,7 @@ func TestParallelMatchesSequential(t *testing.T) {
 	}
 
 	for _, workers := range []int{1, 2, 8} {
-		par := New(microc.MustParse(src), pointer.Analyze(microc.MustParse(src)))
+		par := New(mustParse(src), pointer.Analyze(mustParse(src)))
 		par.Engine = engine.New(engine.Options{Workers: workers})
 		parOuts, err := par.Run("f")
 		if err != nil {
@@ -115,7 +114,7 @@ func TestParallelMatchesSequential(t *testing.T) {
 // branch with an Imprecision report instead of failing.
 func TestEnginePathBudgetTruncates(t *testing.T) {
 	src := nestedIfSrc(7)
-	x := New(microc.MustParse(src), pointer.Analyze(microc.MustParse(src)))
+	x := New(mustParse(src), pointer.Analyze(mustParse(src)))
 	x.Engine = engine.New(engine.Options{Workers: 1, MaxPaths: 32})
 	_, err := x.Run("f")
 	if err != nil {
@@ -143,7 +142,7 @@ func TestEnginePathBudgetTruncates(t *testing.T) {
 // past the bound each path degrades to its then branch.
 func TestEngineForkDepthBudget(t *testing.T) {
 	src := nestedIfSrc(6)
-	x := New(microc.MustParse(src), pointer.Analyze(microc.MustParse(src)))
+	x := New(mustParse(src), pointer.Analyze(mustParse(src)))
 	x.Engine = engine.New(engine.Options{Workers: 1, MaxForkDepth: 3})
 	outs, err := x.Run("f")
 	if err != nil {

@@ -11,7 +11,7 @@ import (
 // run executes entry in src and returns the executor.
 func run(t *testing.T, src, entry string) (*Executor, []Outcome) {
 	t.Helper()
-	prog := microc.MustParse(src)
+	prog := mustParse(src)
 	x := New(prog, pointer.Analyze(prog))
 	outs, err := x.Run(entry)
 	if err != nil {
@@ -369,4 +369,15 @@ int f(void) {
 	if outs[0].Ret.String() != "0" {
 		t.Fatalf("ret = %s", outs[0].Ret)
 	}
+}
+
+// mustParse parses a MicroC test fixture, panicking on error; the
+// library itself reports parse errors through the normal return path,
+// fixtures are expected to be valid.
+func mustParse(src string) *microc.Program {
+	prog, err := microc.Parse(src)
+	if err != nil {
+		panic("bad MicroC fixture: " + err.Error())
+	}
+	return prog
 }

@@ -19,12 +19,14 @@
 package mix
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
 
 	"mix/internal/core"
 	"mix/internal/engine"
+	"mix/internal/fault"
 	"mix/internal/lang"
 	"mix/internal/microc"
 	"mix/internal/mixy"
@@ -69,10 +71,24 @@ type Config struct {
 	// solver pool). 0 keeps the engine off entirely.
 	Workers int
 	// MaxPaths bounds the engine's total path budget (0 = unlimited);
-	// exceeding it fails the check with a budget-exhausted error.
+	// exceeding it degrades the check to an uncertified (Degraded)
+	// result.
 	MaxPaths int
 	// NoMemo disables the engine's solver memo table.
 	NoMemo bool
+	// Deadline bounds the whole check's wall-clock time (0 = none).
+	// An expired deadline degrades the result instead of hanging or
+	// failing: exploration stops cooperatively and the check reports
+	// Degraded with the fault class.
+	Deadline time.Duration
+	// SolverTimeout bounds each individual solver query (0 = none).
+	SolverTimeout time.Duration
+	// Context, when non-nil, is the parent context for the run;
+	// cancellation degrades the check the same way a deadline does.
+	Context context.Context
+	// FaultInjector arms deterministic fault injection at the engine's
+	// fixed injection points (chaos tests only; nil in production).
+	FaultInjector *fault.Injector
 }
 
 // Result is the outcome of a mixed check.
@@ -104,6 +120,20 @@ type Result struct {
 	Slices       int
 	MaxSlice     int
 	CexHits      int
+	// Degraded reports that exploration was truncated by a classified
+	// fault (deadline, cancellation, budget, solver limit, recovered
+	// panic). A degraded check certifies nothing — Type is empty — but
+	// it is not a rejection either: Err is nil, and Fault/FaultDetail
+	// name the class and the budget that tripped.
+	Degraded    bool
+	Fault       string
+	FaultDetail string
+	// Classified-fault counters for the run (zero without an engine):
+	// expired deadlines/cancellations, worker panics recovered, and
+	// paths truncated by path/step budgets.
+	Timeouts        int64
+	PanicsRecovered int64
+	PathsTruncated  int64
 }
 
 // Parse parses a core-language program.
@@ -133,12 +163,18 @@ func CheckExpr(e lang.Expr, cfg Config) Result {
 		opts.IfMode = sym.DeferIf
 	}
 	var eng *engine.Engine
-	if cfg.Workers > 0 || cfg.MaxPaths > 0 {
+	if cfg.Workers > 0 || cfg.MaxPaths > 0 || cfg.Deadline > 0 ||
+		cfg.SolverTimeout > 0 || cfg.Context != nil || cfg.FaultInjector != nil {
 		eng = engine.New(engine.Options{
-			Workers:  cfg.Workers,
-			MaxPaths: int64(cfg.MaxPaths),
-			NoMemo:   cfg.NoMemo,
+			Workers:       cfg.Workers,
+			MaxPaths:      int64(cfg.MaxPaths),
+			NoMemo:        cfg.NoMemo,
+			Context:       cfg.Context,
+			Deadline:      cfg.Deadline,
+			SolverTimeout: cfg.SolverTimeout,
+			FaultInjector: cfg.FaultInjector,
 		})
+		defer eng.Close()
 		opts.Engine = eng
 	}
 	checker := core.New(opts)
@@ -175,6 +211,16 @@ func CheckExpr(e lang.Expr, cfg Config) Result {
 		Paths:         checker.Executor().Stats.Paths,
 		SolverQueries: checker.Solver().Stats.SatQueries,
 	}
+	// The single degradation rule: a classified fault (deadline, budget,
+	// solver limit, recovered panic) is an explicit "cannot certify",
+	// not a rejection — the typed side's top. Genuine type errors and
+	// feasible-path findings keep their error.
+	if fault.Degradable(err) {
+		res.Degraded = true
+		res.Fault = fault.ClassOf(err).String()
+		res.FaultDetail = err.Error()
+		res.Err = nil
+	}
 	if eng != nil {
 		es := eng.Snapshot()
 		res.SolverQueries += int(es.SolverQueries)
@@ -187,6 +233,9 @@ func CheckExpr(e lang.Expr, cfg Config) Result {
 		res.Slices = int(es.Slices)
 		res.MaxSlice = int(es.MaxSlice)
 		res.CexHits = int(es.CexHits)
+		res.Timeouts = es.Faults.Of(fault.Timeout) + es.Faults.Of(fault.Canceled)
+		res.PanicsRecovered = es.Faults.Of(fault.WorkerPanic)
+		res.PathsTruncated = es.Faults.Truncations()
 	}
 	if ty != nil {
 		res.Type = ty.String()
@@ -216,6 +265,17 @@ type CConfig struct {
 	Workers int
 	// NoMemo disables the engine's solver memo table.
 	NoMemo bool
+	// Deadline bounds the analysis' wall-clock time (0 = none). An
+	// expired deadline stops the fixed point and pessimizes the
+	// frontier (sound over-approximation) instead of hanging.
+	Deadline time.Duration
+	// SolverTimeout bounds each individual solver query (0 = none).
+	SolverTimeout time.Duration
+	// Context, when non-nil, is the parent context for the run.
+	Context context.Context
+	// FaultInjector arms deterministic fault injection (chaos tests
+	// only; nil in production).
+	FaultInjector *fault.Injector
 }
 
 // CResult is the outcome of a MIXY analysis.
@@ -247,6 +307,19 @@ type CResult struct {
 	MemClones   int64
 	SharedCells int64
 	MemWrites   int64
+	// Degraded reports that the fixed point was truncated by a
+	// classified fault and the frontier's qualifiers were pessimized
+	// to null (a sound over-approximation); Fault names the class and
+	// FaultDetail the diagnostic.
+	Degraded    bool
+	Fault       string
+	FaultDetail string
+	// Classified-fault counters for the run: expired deadlines and
+	// cancellations, worker panics recovered, and paths truncated by
+	// path/step budgets.
+	Timeouts        int64
+	PanicsRecovered int64
+	PathsTruncated  int64
 }
 
 // ParseC parses a MicroC translation unit.
@@ -260,8 +333,17 @@ func AnalyzeC(src string, cfg CConfig) (CResult, error) {
 		return CResult{}, err
 	}
 	var eng *engine.Engine
-	if cfg.Workers > 0 {
-		eng = engine.New(engine.Options{Workers: cfg.Workers, NoMemo: cfg.NoMemo})
+	if cfg.Workers > 0 || cfg.Deadline > 0 || cfg.SolverTimeout > 0 ||
+		cfg.Context != nil || cfg.FaultInjector != nil {
+		eng = engine.New(engine.Options{
+			Workers:       cfg.Workers,
+			NoMemo:        cfg.NoMemo,
+			Context:       cfg.Context,
+			Deadline:      cfg.Deadline,
+			SolverTimeout: cfg.SolverTimeout,
+			FaultInjector: cfg.FaultInjector,
+		})
+		defer eng.Close()
 	}
 	symexec.ResetMemoryStats()
 	a, err := mixy.Run(prog, mixy.Options{
@@ -280,6 +362,14 @@ func AnalyzeC(src string, cfg CConfig) (CResult, error) {
 		FixpointIters:  a.Stats.FixpointIters,
 		SolverQueries:  a.Stats.SolverQueries,
 	}
+	if d := a.Degraded(); d != nil {
+		res.Degraded = true
+		res.Fault = fault.ClassOf(d).String()
+		res.FaultDetail = d.Error()
+	}
+	res.Timeouts = a.Stats.Faults.Of(fault.Timeout) + a.Stats.Faults.Of(fault.Canceled)
+	res.PanicsRecovered = a.Stats.Faults.Of(fault.WorkerPanic)
+	res.PathsTruncated = a.Stats.Faults.Truncations()
 	res.MemClones, res.SharedCells, res.MemWrites = symexec.MemoryStats()
 	if eng != nil {
 		es := eng.Snapshot()
