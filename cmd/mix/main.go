@@ -5,7 +5,9 @@
 //
 //	mix [-symbolic] [-unsound] [-defer] [-env name:type,...]
 //	    [-workers n] [-max-paths n] [-memo=false]
-//	    [-deadline d] [-solver-timeout d] file.mix
+//	    [-deadline d] [-solver-timeout d]
+//	    [-stats] [-metrics] [-trace file] [-trace-det] [-pprof addr]
+//	    file.mix
 //
 // The program is read from the file (or stdin when the argument is
 // "-"). Free variables are declared with -env, e.g.
@@ -22,6 +24,18 @@
 // either (or by -max-paths) degrades instead of failing: it prints an
 // imprecision report naming the fault class and exits 0, because a
 // truncated exploration certifies nothing and refutes nothing.
+//
+// Observability (see README "Stats and metrics schema" and DESIGN.md
+// section 11): -stats prints the run's metrics registry as sorted
+// "name value" lines — the same schema mixy -stats uses; -metrics
+// prints the registry as a JSON snapshot instead and moves the
+// human-readable verdict to stderr, leaving stdout pure JSON for
+// pipelines. -trace file writes
+// a JSONL event trace of the exploration (validate or convert it for
+// Perfetto with cmd/mixtrace); -trace-det makes the trace
+// deterministic — wall-clock-free and byte-comparable across runs and
+// worker counts. -pprof addr serves net/http/pprof for the duration
+// of the run.
 package main
 
 import (
@@ -32,6 +46,8 @@ import (
 	"strings"
 
 	"mix"
+	"mix/internal/obs"
+	"mix/internal/profiling"
 )
 
 func main() {
@@ -45,6 +61,11 @@ func main() {
 	memo := flag.Bool("memo", true, "memoize solver queries (engine only)")
 	deadline := flag.Duration("deadline", 0, "wall-clock deadline for the whole check (0 = none)")
 	solverTimeout := flag.Duration("solver-timeout", 0, "per-query solver timeout (0 = none)")
+	stats := flag.Bool("stats", false, "print run metrics as sorted 'name value' lines")
+	metricsJSON := flag.Bool("metrics", false, "print run metrics as a JSON snapshot")
+	traceFile := flag.String("trace", "", "write a JSONL event trace to this file")
+	traceDet := flag.Bool("trace-det", false, "deterministic trace (wall-clock-free, byte-comparable across worker counts)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -56,6 +77,15 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mix:", err)
 		os.Exit(2)
+	}
+
+	if *pprofAddr != "" {
+		addr, err := profiling.Serve(*pprofAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mix: pprof:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "mix: pprof serving on http://%s/debug/pprof/\n", addr)
 	}
 
 	cfg := mix.Config{
@@ -71,6 +101,12 @@ func main() {
 	if *symbolic {
 		cfg.Mode = mix.StartSymbolic
 	}
+	if *stats || *metricsJSON {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	if *traceFile != "" {
+		cfg.Tracer = obs.NewTracer(obs.TraceOptions{Deterministic: *traceDet})
+	}
 	if *envFlag != "" {
 		for _, pair := range strings.Split(*envFlag, ",") {
 			name, ty, ok := strings.Cut(strings.TrimSpace(pair), ":")
@@ -82,33 +118,69 @@ func main() {
 		}
 	}
 
+	// With -metrics, stdout carries exactly one JSON document; the
+	// human-readable verdict moves to stderr.
+	human := os.Stdout
+	if *metricsJSON {
+		human = os.Stderr
+	}
+
 	res := mix.Check(src, cfg)
+	if cfg.Tracer != nil {
+		if err := writeTrace(*traceFile, cfg.Tracer); err != nil {
+			fmt.Fprintln(os.Stderr, "mix: trace:", err)
+			os.Exit(2)
+		}
+	}
+	if *metricsJSON {
+		if err := cfg.Metrics.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "mix: metrics:", err)
+			os.Exit(2)
+		}
+	} else if *stats {
+		if err := cfg.Metrics.WriteStats(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "mix: stats:", err)
+			os.Exit(2)
+		}
+	}
 	if *verbose {
 		for _, r := range res.Reports {
-			fmt.Println(r)
+			fmt.Fprintln(human, r)
 		}
-		fmt.Printf("paths=%d solver-queries=%d\n", res.Paths, res.SolverQueries)
+		fmt.Fprintf(human, "paths=%d solver-queries=%d\n", res.Paths, res.SolverQueries)
 		if *workers > 0 || *maxPaths > 0 || *deadline > 0 || *solverTimeout > 0 {
-			fmt.Printf("engine: forks=%d steals=%d memo-hits=%d memo-misses=%d solver-time=%v\n",
+			fmt.Fprintf(human, "engine: forks=%d steals=%d memo-hits=%d memo-misses=%d solver-time=%v\n",
 				res.Forks, res.Steals, res.MemoHits, res.MemoMisses, res.SolverTime)
-			fmt.Printf("pipeline: quick-decided=%d slices=%d max-slice=%d cex-hits=%d\n",
+			fmt.Fprintf(human, "pipeline: quick-decided=%d slices=%d max-slice=%d cex-hits=%d\n",
 				res.QuickDecided, res.Slices, res.MaxSlice, res.CexHits)
-			fmt.Printf("faults: timeouts=%d panics-recovered=%d paths-truncated=%d\n",
+			fmt.Fprintf(human, "faults: timeouts=%d panics-recovered=%d paths-truncated=%d\n",
 				res.Timeouts, res.PanicsRecovered, res.PathsTruncated)
 		}
 	}
 	if res.Degraded {
 		// A degraded check is unknown, not rejected: report the
 		// imprecision and exit 0 so batch drivers keep going.
-		fmt.Printf("imprecision: analysis degraded (%s): %s\n", res.Fault, res.FaultDetail)
-		fmt.Println("type: unknown (exploration truncated; cannot certify)")
+		fmt.Fprintf(human, "imprecision: analysis degraded (%s): %s\n", res.Fault, res.FaultDetail)
+		fmt.Fprintln(human, "type: unknown (exploration truncated; cannot certify)")
 		return
 	}
 	if res.Err != nil {
 		fmt.Fprintln(os.Stderr, res.Err)
 		os.Exit(1)
 	}
-	fmt.Println("type:", res.Type)
+	fmt.Fprintln(human, "type:", res.Type)
+}
+
+func writeTrace(path string, tr *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func readInput(path string) (string, error) {

@@ -5,7 +5,17 @@
 //
 // Usage:
 //
-//	mixbench [-table E1..E8|X1..X6|all]
+//	mixbench [-table E1..E8|X1..X7|all] [-cpuprofile f] [-memprofile f]
+//
+// The X4..X7 tables also write machine-readable BENCH_*.json
+// artifacts, all sharing one envelope:
+// {"schema_version": 1, "cpus": N, "rows": [...]}.
+//
+// -cpuprofile/-memprofile capture pprof profiles of the selected
+// tables (view with `go tool pprof`). X7 compares tracing-disabled
+// time against the ladder-10 baseline recorded in BENCH_engine.json;
+// with MIXBENCH_ENFORCE=1 in the environment it exits 1 when that
+// overhead exceeds 5%.
 package main
 
 import (
@@ -30,7 +40,9 @@ import (
 	"mix/internal/langgen"
 	"mix/internal/microc"
 	"mix/internal/mixy"
+	"mix/internal/obs"
 	"mix/internal/pointer"
+	"mix/internal/profiling"
 	"mix/internal/signs"
 	"mix/internal/sym"
 	"mix/internal/symexec"
@@ -38,28 +50,67 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "experiment to run (E1..E8 or all)")
+	table := flag.String("table", "all", "experiment to run (E1..E8, X1..X7, or all)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected tables to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile taken after the run to this file")
 	flag.Parse()
 
+	if *cpuprofile != "" {
+		stop, err := profiling.StartCPUProfile(*cpuprofile)
+		must(err)
+		defer stop()
+	}
+	runTables(*table)
+	if *memprofile != "" {
+		must(profiling.WriteHeapProfile(*memprofile))
+	}
+}
+
+func runTables(table string) {
 	tables := map[string]func(){
 		"E1": tableE1, "E2": tableE2, "E3": tableE3, "E4": tableE4,
 		"E5": tableE5, "E6": tableE6, "E7": tableE7, "E8": tableE8,
 		"X1": tableX1, "X2": tableX2, "X3": tableX3, "X4": tableX4,
-		"X5": tableX5, "X6": tableX6,
+		"X5": tableX5, "X6": tableX6, "X7": tableX7,
 	}
-	if *table == "all" {
-		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "X1", "X2", "X3", "X4", "X5", "X6"} {
+	if table == "all" {
+		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "X1", "X2", "X3", "X4", "X5", "X6", "X7"} {
 			tables[id]()
 			fmt.Println()
 		}
 		return
 	}
-	run, ok := tables[*table]
+	run, ok := tables[table]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "mixbench: unknown table %s\n", *table)
+		fmt.Fprintf(os.Stderr, "mixbench: unknown table %s\n", table)
 		os.Exit(2)
 	}
 	run()
+}
+
+// benchSchemaVersion stamps every BENCH_*.json artifact. All four
+// files (engine, solver, faults, obs) share one envelope:
+// {"schema_version": 1, "cpus": N, "rows": [...]}.
+const benchSchemaVersion = 1
+
+// benchEnvelope is the common BENCH_*.json shape; Rows stays untyped
+// so each table keeps its own row schema.
+type benchEnvelope struct {
+	SchemaVersion int `json:"schema_version"`
+	CPUs          int `json:"cpus"`
+	Rows          any `json:"rows"`
+}
+
+// writeBench writes rows under the shared envelope.
+func writeBench(path string, rows any) {
+	out, err := json.MarshalIndent(benchEnvelope{
+		SchemaVersion: benchSchemaVersion,
+		CPUs:          runtime.NumCPU(),
+		Rows:          rows,
+	}, "", "  ")
+	must(err)
+	must(os.WriteFile(path, append(out, '\n'), 0o644))
+	fmt.Println("wrote", path)
 }
 
 func newTab() *tabwriter.Writer {
@@ -472,7 +523,6 @@ func tableX4() {
 	type row struct {
 		Bench         string `json:"bench"`
 		Workers       int    `json:"workers"`
-		CPUs          int    `json:"cpus"`
 		Memo          bool   `json:"memo"`
 		TimeNS        int64  `json:"time_ns"`
 		Paths         int    `json:"paths"`
@@ -486,7 +536,6 @@ func tableX4() {
 		CexHits       int    `json:"cex_hits"`
 	}
 	var rows []row
-	cpus := runtime.NumCPU()
 
 	w := newTab()
 	fmt.Fprintln(w, "bench\tworkers\tmemo\tpaths\tforks\tsteals\tmemo hits\tmemo misses\tsolver queries\ttime")
@@ -514,7 +563,7 @@ func tableX4() {
 			}
 		}
 		rows = append(rows, row{
-			Bench: "ladder-10", Workers: workers, CPUs: cpus, Memo: true,
+			Bench: "ladder-10", Workers: workers, Memo: true,
 			TimeNS: best.Nanoseconds(), Paths: res.Paths, Forks: res.Forks,
 			Steals: res.Steals, MemoHits: res.MemoHits, MemoMisses: res.MemoMisses,
 			SolverQueries: res.SolverQueries, QuickDecided: res.QuickDecided,
@@ -548,7 +597,7 @@ func tableX4() {
 			on = "on"
 		}
 		rows = append(rows, row{
-			Bench: "vsftpd-12x2", Workers: 1, CPUs: cpus, Memo: memo,
+			Bench: "vsftpd-12x2", Workers: 1, Memo: memo,
 			TimeNS: dur.Nanoseconds(), MemoHits: res.MemoHits,
 			MemoMisses: res.MemoMisses, SolverQueries: res.SolverQueries,
 			QuickDecided: res.QuickDecided, Slices: res.Slices, CexHits: res.CexHits,
@@ -558,10 +607,7 @@ func tableX4() {
 	}
 	w.Flush()
 
-	out, err := json.MarshalIndent(rows, "", "  ")
-	must(err)
-	must(os.WriteFile("BENCH_engine.json", append(out, '\n'), 0o644))
-	fmt.Println("wrote BENCH_engine.json")
+	writeBench("BENCH_engine.json", rows)
 }
 
 // tableX5 — persistent symbolic state and the incremental solver
@@ -576,7 +622,6 @@ func tableX5() {
 	type row struct {
 		Bench         string `json:"bench"`
 		Workers       int    `json:"workers"`
-		CPUs          int    `json:"cpus"`
 		TimeNS        int64  `json:"time_ns"`
 		Paths         int    `json:"paths"`
 		MemClones     int64  `json:"mem_clones"`
@@ -590,7 +635,6 @@ func tableX5() {
 		SolverQueries int64  `json:"solver_queries"`
 	}
 	var rows []row
-	cpus := runtime.NumCPU()
 
 	w := newTab()
 	fmt.Fprintln(w, "bench\tpaths\tclones\tshared cells\twrites\tquick\tslices\tmax slice\tcex hits\tmemo hits\tqueries\ttime")
@@ -608,19 +652,20 @@ func tableX5() {
 			}
 			eng := engine.New(engine.Options{Workers: 1})
 			x.Engine = eng
-			symexec.ResetMemoryStats()
+			c0, s0, wr0 := symexec.MemoryStats()
 			start := time.Now()
 			outs, err := x.Run("f")
 			dur := time.Since(start)
 			must(err)
-			c, s, wr := symexec.MemoryStats()
+			c1, s1, wr1 := symexec.MemoryStats()
+			c, s, wr := c1-c0, s1-s0, wr1-wr0
 			if rep == 0 || dur < best {
 				best, snap, paths = dur, eng.Snapshot(), len(outs)
 				clones, shared, writes = c, s, wr
 			}
 		}
 		rows = append(rows, row{
-			Bench: name, Workers: 1, CPUs: cpus, TimeNS: best.Nanoseconds(),
+			Bench: name, Workers: 1, TimeNS: best.Nanoseconds(),
 			Paths: paths, MemClones: clones, SharedCells: shared, MemWrites: writes,
 			QuickDecided: snap.QuickDecided, Slices: snap.Slices,
 			MaxSlice: snap.MaxSlice, CexHits: snap.CexHits,
@@ -655,10 +700,7 @@ func tableX5() {
 
 	w.Flush()
 
-	out, err := json.MarshalIndent(rows, "", "  ")
-	must(err)
-	must(os.WriteFile("BENCH_solver.json", append(out, '\n'), 0o644))
-	fmt.Println("wrote BENCH_solver.json")
+	writeBench("BENCH_solver.json", rows)
 }
 
 // wideMemSrc builds a symbolic function that initializes `width` global
@@ -796,8 +838,171 @@ func tableX6() {
 	}
 	w.Flush()
 
-	out, err := json.MarshalIndent(rows, "", "  ")
-	must(err)
-	must(os.WriteFile("BENCH_faults.json", append(out, '\n'), 0o644))
-	fmt.Println("wrote BENCH_faults.json")
+	writeBench("BENCH_faults.json", rows)
+}
+
+// tableX7 — the observability layer's own cost: ladder-10 explored
+// with tracing off / deterministic / timed, raw tracer throughput,
+// and registry snapshot cost. The off row compares against the
+// ladder-10 workers=1 time recorded in BENCH_engine.json (X4, same
+// host): instrumentation behind nil checks must stay in the noise.
+// With MIXBENCH_ENFORCE=1, an off-row overhead above 5% fails the
+// run.
+func tableX7() {
+	fmt.Println("X7 — observability: tracing overhead, event throughput, snapshot cost")
+	fmt.Println("claims: disabled instrumentation is nil checks only (<=5% on ladder-10); enabled tracing and metric snapshots stay cheap")
+
+	type row struct {
+		Bench        string  `json:"bench"`
+		Mode         string  `json:"mode,omitempty"` // off | det | timed
+		Workers      int     `json:"workers,omitempty"`
+		TimeNS       int64   `json:"time_ns"`
+		BaselineNS   int64   `json:"baseline_ns,omitempty"`
+		OverheadPct  float64 `json:"overhead_pct"`
+		Events       int     `json:"events,omitempty"`
+		EventsPerSec float64 `json:"events_per_sec,omitempty"`
+		NSPerOp      float64 `json:"ns_per_op,omitempty"`
+	}
+	var rows []row
+
+	w := newTab()
+	fmt.Fprintln(w, "bench\tmode\ttime\tvs baseline\tevents\tevents/sec")
+
+	// (a) End-to-end overhead on the X4 workload (ladder-10, workers=1,
+	// best of seven — the minimum is the only stable statistic on a
+	// noisy shared host, and the gate compares minima). The off mode
+	// exercises exactly the instrumented code paths with nil tracer
+	// and nil registry.
+	src, env := corpus.Ladder(10)
+	em := envMap(env)
+	baseline := ladder10Baseline()
+	for _, mode := range []string{"off", "det", "timed"} {
+		var best time.Duration
+		var events int
+		for rep := 0; rep < 7; rep++ {
+			cfg := mix.Config{Mode: mix.StartSymbolic, Env: em, Workers: 1}
+			switch mode {
+			case "det":
+				cfg.Tracer = obs.NewTracer(obs.TraceOptions{Deterministic: true})
+			case "timed":
+				cfg.Tracer = obs.NewTracer(obs.TraceOptions{})
+			}
+			start := time.Now()
+			res := mix.Check(src, cfg)
+			dur := time.Since(start)
+			must(res.Err)
+			if rep == 0 || dur < best {
+				best = dur
+				events = len(cfg.Tracer.Events())
+			}
+		}
+		r := row{Bench: "ladder-10", Mode: mode, Workers: 1, TimeNS: best.Nanoseconds()}
+		vsBase := "-"
+		if mode == "off" && baseline > 0 {
+			r.BaselineNS = baseline
+			r.OverheadPct = 100 * (float64(best.Nanoseconds()) - float64(baseline)) / float64(baseline)
+			vsBase = fmt.Sprintf("%+.1f%%", r.OverheadPct)
+		}
+		if events > 0 {
+			r.Events = events
+			r.EventsPerSec = float64(events) / best.Seconds()
+		}
+		rows = append(rows, r)
+		ev := "-"
+		if events > 0 {
+			ev = fmt.Sprintf("%d", events)
+		}
+		eps := "-"
+		if r.EventsPerSec > 0 {
+			eps = fmt.Sprintf("%.0f", r.EventsPerSec)
+		}
+		fmt.Fprintf(w, "ladder-10\t%s\t%v\t%s\t%s\t%s\n",
+			mode, best.Round(time.Microsecond), vsBase, ev, eps)
+
+		if mode == "off" && os.Getenv("MIXBENCH_ENFORCE") == "1" &&
+			baseline > 0 && r.OverheadPct > 5 {
+			w.Flush()
+			fmt.Fprintf(os.Stderr,
+				"mixbench: X7 disabled-tracing overhead %.1f%% exceeds 5%% gate (off=%v baseline=%v)\n",
+				r.OverheadPct, best, time.Duration(baseline))
+			os.Exit(1)
+		}
+	}
+
+	// (b) Raw tracer throughput: one million solve events through a
+	// span tree, timed mode (the most expensive: clock read + global
+	// seq per event).
+	{
+		const emits = 1 << 20
+		tr := obs.NewTracer(obs.TraceOptions{Cap: emits})
+		sp := tr.Root("bench")
+		start := time.Now()
+		for i := 0; i < emits; i++ {
+			sp.Solve("sat", 1)
+		}
+		dur := time.Since(start)
+		eps := float64(emits) / dur.Seconds()
+		rows = append(rows, row{
+			Bench: "tracer-emit", TimeNS: dur.Nanoseconds(),
+			Events: emits, EventsPerSec: eps,
+			NSPerOp: float64(dur.Nanoseconds()) / emits,
+		})
+		fmt.Fprintf(w, "tracer-emit\ttimed\t%v\t-\t%d\t%.0f\n",
+			dur.Round(time.Microsecond), emits, eps)
+	}
+
+	// (c) Registry snapshot cost at a realistic metric count (the
+	// unified mix/mixy registry registers a few dozen series).
+	{
+		reg := obs.NewRegistry()
+		for i := 0; i < 48; i++ {
+			reg.Counter(fmt.Sprintf("bench.counter.%02d", i)).Add(int64(i))
+			reg.Gauge(fmt.Sprintf("bench.gauge.%02d", i)).Set(int64(i))
+		}
+		for i := 0; i < 8; i++ {
+			reg.Histogram(fmt.Sprintf("bench.hist.%02d", i)).Observe(int64(i) << 10)
+		}
+		const snaps = 2048
+		start := time.Now()
+		for i := 0; i < snaps; i++ {
+			_ = reg.Snapshot()
+		}
+		dur := time.Since(start)
+		rows = append(rows, row{
+			Bench: "registry-snapshot", TimeNS: dur.Nanoseconds(),
+			NSPerOp: float64(dur.Nanoseconds()) / snaps,
+		})
+		fmt.Fprintf(w, "registry-snapshot\t-\t%v\t-\t%d ops\t%.0f ns/op\n",
+			dur.Round(time.Microsecond), snaps, float64(dur.Nanoseconds())/snaps)
+	}
+	w.Flush()
+
+	writeBench("BENCH_obs.json", rows)
+}
+
+// ladder10Baseline reads the ladder-10 workers=1 time from
+// BENCH_engine.json (written by X4, normally moments earlier on the
+// same host). 0 means no comparable baseline.
+func ladder10Baseline() int64 {
+	b, err := os.ReadFile("BENCH_engine.json")
+	if err != nil {
+		return 0
+	}
+	var env struct {
+		SchemaVersion int `json:"schema_version"`
+		Rows          []struct {
+			Bench   string `json:"bench"`
+			Workers int    `json:"workers"`
+			TimeNS  int64  `json:"time_ns"`
+		} `json:"rows"`
+	}
+	if json.Unmarshal(b, &env) != nil || env.SchemaVersion != benchSchemaVersion {
+		return 0
+	}
+	for _, r := range env.Rows {
+		if r.Bench == "ladder-10" && r.Workers == 1 {
+			return r.TimeNS
+		}
+	}
+	return 0
 }

@@ -5,7 +5,9 @@
 // Usage:
 //
 //	mixy [-pure] [-entry main] [-nocache] [-workers n] [-memo=false]
-//	     [-deadline d] [-solver-timeout d] file.mc
+//	     [-deadline d] [-solver-timeout d]
+//	     [-stats] [-metrics] [-trace file] [-trace-det] [-pprof addr]
+//	     file.mc
 //
 // -pure ignores the MIX annotations, giving the paper's baseline of
 // pure type qualifier inference. Exit status 1 means warnings were
@@ -14,14 +16,24 @@
 // -workers n routes solver queries through the engine's memoizing pool
 // and evaluates each block's translation queries on n workers (0, the
 // default, keeps the analysis engine-free); -memo=false disables the
-// memo table. -stats then also prints memo hit/miss counts.
+// memo table.
 //
 // -deadline bounds the whole analysis' wall-clock time and
 // -solver-timeout bounds each solver query. A run cut short by either
 // degrades soundly: the fixed point stops and the frontier's
 // qualifiers are pessimized to null, so warnings over-approximate
-// instead of silently missing. -stats reports the fault counters
-// (timeouts, panics recovered, paths truncated).
+// instead of silently missing.
+//
+// Observability (see README "Stats and metrics schema" and DESIGN.md
+// section 11): -stats prints the run's metrics registry as sorted
+// "name value" lines — the same schema mix -stats uses; -metrics
+// prints the registry as a JSON snapshot instead and moves warnings
+// to stderr, leaving stdout pure JSON for pipelines. -trace file
+// writes
+// a JSONL event trace of the fixpoint loop and the symbolic
+// executions inside it (validate or convert it for Perfetto with
+// cmd/mixtrace); -trace-det makes the trace deterministic. -pprof
+// addr serves net/http/pprof for the duration of the run.
 package main
 
 import (
@@ -31,17 +43,23 @@ import (
 	"os"
 
 	"mix"
+	"mix/internal/obs"
+	"mix/internal/profiling"
 )
 
 func main() {
 	pure := flag.Bool("pure", false, "ignore MIX annotations (pure qualifier inference)")
 	entry := flag.String("entry", "main", "entry function")
 	nocache := flag.Bool("nocache", false, "disable block caching")
-	stats := flag.Bool("stats", false, "print analysis statistics")
+	stats := flag.Bool("stats", false, "print run metrics as sorted 'name value' lines")
+	metricsJSON := flag.Bool("metrics", false, "print run metrics as a JSON snapshot")
 	workers := flag.Int("workers", 0, "engine workers for solver queries (0 = no engine)")
 	memo := flag.Bool("memo", true, "memoize solver queries (engine only)")
 	deadline := flag.Duration("deadline", 0, "wall-clock deadline for the whole analysis (0 = none)")
 	solverTimeout := flag.Duration("solver-timeout", 0, "per-query solver timeout (0 = none)")
+	traceFile := flag.String("trace", "", "write a JSONL event trace to this file")
+	traceDet := flag.Bool("trace-det", false, "deterministic trace (wall-clock-free, byte-comparable across worker counts)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -55,7 +73,16 @@ func main() {
 		os.Exit(2)
 	}
 
-	res, err := mix.AnalyzeC(src, mix.CConfig{
+	if *pprofAddr != "" {
+		addr, err := profiling.Serve(*pprofAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mixy: pprof:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "mixy: pprof serving on http://%s/debug/pprof/\n", addr)
+	}
+
+	cfg := mix.CConfig{
 		Entry:         *entry,
 		PureTypes:     *pure,
 		NoCache:       *nocache,
@@ -63,35 +90,64 @@ func main() {
 		NoMemo:        !*memo,
 		Deadline:      *deadline,
 		SolverTimeout: *solverTimeout,
-	})
+	}
+	if *stats || *metricsJSON {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	if *traceFile != "" {
+		cfg.Tracer = obs.NewTracer(obs.TraceOptions{Deterministic: *traceDet})
+	}
+
+	res, err := mix.AnalyzeC(src, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mixy:", err)
 		os.Exit(2)
 	}
+	if cfg.Tracer != nil {
+		if err := writeTrace(*traceFile, cfg.Tracer); err != nil {
+			fmt.Fprintln(os.Stderr, "mixy: trace:", err)
+			os.Exit(2)
+		}
+	}
+	// With -metrics, stdout carries exactly one JSON document; the
+	// human-readable report moves to stderr.
+	human := os.Stdout
+	if *metricsJSON {
+		human = os.Stderr
+	}
 	if res.Degraded {
-		fmt.Printf("imprecision: analysis degraded (%s): %s\n", res.Fault, res.FaultDetail)
+		fmt.Fprintf(human, "imprecision: analysis degraded (%s): %s\n", res.Fault, res.FaultDetail)
 	}
 	for _, w := range res.Warnings {
-		fmt.Println("warning:", w)
+		fmt.Fprintln(human, "warning:", w)
 	}
-	if *stats {
-		fmt.Printf("blocks=%d cache-hits=%d fixpoint-iters=%d solver-queries=%d\n",
-			res.BlocksAnalyzed, res.CacheHits, res.FixpointIters, res.SolverQueries)
-		fmt.Printf("memory: clones=%d shared-cells=%d writes=%d\n",
-			res.MemClones, res.SharedCells, res.MemWrites)
-		fmt.Printf("faults: timeouts=%d panics-recovered=%d paths-truncated=%d\n",
-			res.Timeouts, res.PanicsRecovered, res.PathsTruncated)
-		if *workers > 0 {
-			fmt.Printf("engine: memo-hits=%d memo-misses=%d solver-time=%v\n",
-				res.MemoHits, res.MemoMisses, res.SolverTime)
-			fmt.Printf("pipeline: quick-decided=%d slices=%d max-slice=%d cex-hits=%d\n",
-				res.QuickDecided, res.Slices, res.MaxSlice, res.CexHits)
+	if *metricsJSON {
+		if err := cfg.Metrics.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "mixy: metrics:", err)
+			os.Exit(2)
+		}
+	} else if *stats {
+		if err := cfg.Metrics.WriteStats(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "mixy: stats:", err)
+			os.Exit(2)
 		}
 	}
 	if len(res.Warnings) > 0 {
 		os.Exit(1)
 	}
-	fmt.Println("no warnings")
+	fmt.Fprintln(human, "no warnings")
+}
+
+func writeTrace(path string, tr *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func readInput(path string) (string, error) {

@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"mix/internal/fault"
+	"mix/internal/obs"
 	"mix/internal/solver"
 )
 
@@ -83,6 +84,15 @@ type Options struct {
 	// FaultInjector, when non-nil, arms the deterministic
 	// fault-injection points (chaos tests only).
 	FaultInjector *fault.Injector
+	// Tracer, when non-nil, records structured fork/join/solve/degrade
+	// events for the run (-trace). Nil keeps every instrumented site a
+	// single pointer test.
+	Tracer *obs.Tracer
+	// Metrics, when non-nil, is the run-scoped metrics registry
+	// (-metrics / -stats): the solver pipeline registers its stage
+	// histograms here, and PublishMetrics mirrors the engine's
+	// aggregate counters into it.
+	Metrics *obs.Registry
 }
 
 // Stats is an aggregated snapshot of engine work.
@@ -123,6 +133,8 @@ type Engine struct {
 	deadline string // budget label for timeout diagnostics, e.g. "deadline=50ms"
 	injector *fault.Injector
 	faults   fault.Counters
+	tracer   *obs.Tracer
+	metrics  *obs.Registry
 
 	// slots holds the worker tokens available for stolen branches; the
 	// forking goroutine itself is the remaining worker, so capacity is
@@ -151,6 +163,8 @@ func New(o Options) *Engine {
 		maxPaths: o.MaxPaths,
 		maxDepth: o.MaxForkDepth,
 		injector: o.FaultInjector,
+		tracer:   o.Tracer,
+		metrics:  o.Metrics,
 		slots:    make(chan struct{}, w-1),
 	}
 	ctx := o.Context
@@ -235,6 +249,61 @@ func (e *Engine) ctxErr(op string) error {
 	}
 }
 
+// Tracer exposes the run's event tracer (nil when tracing is off or
+// the engine is nil; a nil tracer and its nil spans are inert).
+func (e *Engine) Tracer() *obs.Tracer {
+	if e == nil {
+		return nil
+	}
+	return e.tracer
+}
+
+// Metrics exposes the run-scoped metrics registry (nil when metrics
+// are off or the engine is nil; a nil registry hands out inert
+// handles).
+func (e *Engine) Metrics() *obs.Registry {
+	if e == nil {
+		return nil
+	}
+	return e.metrics
+}
+
+// PublishMetrics mirrors the engine's aggregate counters — scheduler,
+// solver pipeline, fault taxonomy — into the run's metrics registry
+// under their canonical dotted names (DESIGN.md section 11). The live
+// instruments stay lock-free atomics on the hot path; the registry
+// gets a point-in-time copy, so calling this again refreshes the
+// published values. No-op without a registry.
+func (e *Engine) PublishMetrics() {
+	if e == nil || e.metrics == nil {
+		return
+	}
+	m := e.metrics
+	s := e.Snapshot()
+	m.Gauge("engine.workers").Set(int64(s.Workers))
+	m.Gauge("engine.paths").Set(s.Paths)
+	m.Gauge("engine.forks").Set(s.Forks)
+	m.Gauge("engine.steals").Set(s.Steals)
+	var ex int64
+	if s.Exhausted {
+		ex = 1
+	}
+	m.Gauge("engine.exhausted").Set(ex)
+	m.Gauge("solver.memo.hits").Set(s.MemoHits)
+	m.Gauge("solver.memo.misses").Set(s.MemoMisses)
+	m.Gauge("solver.queries").Set(s.SolverQueries)
+	m.Gauge("solver.unknown").Set(s.SolverUnknown)
+	m.Gauge("solver.time_ns").Set(int64(s.SolverTime))
+	m.Gauge("solver.quick").Set(s.QuickDecided)
+	m.Gauge("solver.slices").Set(s.Slices)
+	m.Gauge("solver.slice_conjuncts").Set(s.SliceConjuncts)
+	m.Gauge("solver.max_slice").Set(s.MaxSlice)
+	m.Gauge("solver.cex_hits").Set(s.CexHits)
+	for _, c := range fault.Classes() {
+		m.Gauge("fault." + c.String()).Set(s.Faults.Of(c))
+	}
+}
+
 // Workers reports the worker bound.
 func (e *Engine) Workers() int { return e.workers }
 
@@ -270,6 +339,16 @@ func (e *Engine) Feasible(f solver.Formula) bool {
 // guards (same unknown → keep-path policy).
 func (e *Engine) FeasiblePC(pc *solver.PC, extras ...solver.Formula) bool {
 	sat, err := e.pool.SatPC(pc, extras...)
+	if err != nil {
+		return true
+	}
+	return sat
+}
+
+// FeasiblePCSpan is FeasiblePC with the query's verdict and pipeline
+// stages recorded on sp (nil span → metrics only).
+func (e *Engine) FeasiblePCSpan(sp *obs.Span, pc *solver.PC, extras ...solver.Formula) bool {
+	sat, err := e.pool.SatPCSpan(sp, pc, extras...)
 	if err != nil {
 		return true
 	}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"mix/internal/fault"
+	"mix/internal/obs"
 	"mix/internal/solver"
 )
 
@@ -57,6 +58,12 @@ type SolverPool struct {
 	pcMu  sync.RWMutex
 	pcIDs map[*solver.PC]uint64
 
+	// queryHist/dpllHist are per-query and per-fresh-solve duration
+	// histograms in the run's metrics registry; nil (inert) when the
+	// run has no registry, so the disabled path costs one nil test.
+	queryHist *obs.Histogram
+	dpllHist  *obs.Histogram
+
 	queries   atomic.Int64
 	quick     atomic.Int64
 	slices    atomic.Int64
@@ -87,11 +94,13 @@ func newSolverPool(e *Engine, o Options) *SolverPool {
 		factory = solver.New
 	}
 	p := &SolverPool{
-		eng:     e,
-		timeout: o.SolverTimeout,
-		solvers: sync.Pool{New: func() any { return factory() }},
-		cons:    newConsTable(),
-		pcIDs:   map[*solver.PC]uint64{},
+		eng:       e,
+		timeout:   o.SolverTimeout,
+		solvers:   sync.Pool{New: func() any { return factory() }},
+		cons:      newConsTable(),
+		pcIDs:     map[*solver.PC]uint64{},
+		queryHist: o.Metrics.Histogram("solver.query.ns"),
+		dpllHist:  o.Metrics.Histogram("solver.dpll.ns"),
 	}
 	if !o.NoMemo {
 		size := o.MemoSize
@@ -134,6 +143,53 @@ func (p *SolverPool) Valid(f solver.Formula) (bool, error) {
 // deterministic across worker counts) but are never memoized. Hard
 // errors are returned immediately, unmemoized.
 func (p *SolverPool) SatPC(pc *solver.PC, extras ...solver.Formula) (bool, error) {
+	return p.SatPCSpan(nil, pc, extras...)
+}
+
+// verdictOf renders a pipeline outcome as the trace verdict
+// vocabulary: sat / unsat / unknown (resource bound) / error.
+func verdictOf(sat bool, err error) string {
+	switch {
+	case err == nil && sat:
+		return "sat"
+	case err == nil:
+		return "unsat"
+	case errors.Is(err, solver.ErrLimit):
+		return "unknown"
+	default:
+		return "error"
+	}
+}
+
+// SatPCSpan is SatPC with observability attached to sp: the query's
+// final verdict is recorded as a solve event (both trace modes — the
+// verdict is deterministic across worker counts), pipeline stages as
+// timing-mode stage/memo-hit/cex-hit events, and the per-query
+// duration in the solver.query.ns histogram. A nil span records
+// metrics only; a nil span and nil registry cost two nil tests.
+func (p *SolverPool) SatPCSpan(sp *obs.Span, pc *solver.PC, extras ...solver.Formula) (bool, error) {
+	var t0 time.Time
+	if p.queryHist != nil {
+		t0 = time.Now()
+	}
+	var tr *obs.Tracer
+	var ts int64
+	if sp != nil && p.eng != nil {
+		tr = p.eng.Tracer()
+		ts = tr.Now()
+	}
+	sat, err := p.satPC(sp, pc, extras)
+	if p.queryHist != nil {
+		p.queryHist.Observe(int64(time.Since(t0)))
+	}
+	if sp != nil {
+		sp.Solve(verdictOf(sat, err), tr.Now()-ts)
+	}
+	return sat, err
+}
+
+// satPC is the undecorated pipeline body behind SatPC/SatPCSpan.
+func (p *SolverPool) satPC(sp *obs.Span, pc *solver.PC, extras []solver.Formula) (bool, error) {
 	p.queries.Add(1)
 	// The pre-solve injection point fires per query, before the quick
 	// paths: a planned fault must reach callers whose queries would
@@ -145,15 +201,18 @@ func (p *SolverPool) SatPC(pc *solver.PC, extras ...solver.Formula) (bool, error
 	}
 	if pc.Dead() {
 		p.quick.Add(1)
+		sp.Stage("quick", "unsat", 0)
 		return false, nil
 	}
 	cs, ok := sliceConjuncts(pc, extras)
 	if !ok {
 		p.quick.Add(1)
+		sp.Stage("quick", "unsat", 0)
 		return false, nil
 	}
 	if len(cs) == 0 {
 		p.quick.Add(1)
+		sp.Stage("quick", "sat", 0)
 		return true, nil
 	}
 	fs := make([]solver.Formula, len(cs))
@@ -162,11 +221,12 @@ func (p *SolverPool) SatPC(pc *solver.PC, extras ...solver.Formula) (bool, error
 	}
 	if sat, decided := solver.QuickConj(fs); decided {
 		p.quick.Add(1)
+		sp.Stage("quick", verdictOf(sat, nil), 0)
 		return sat, nil
 	}
 	var firstErr error
 	for _, comp := range components(cs) {
-		sat, err := p.decideComponent(cs, fs, comp)
+		sat, err := p.decideComponent(sp, cs, fs, comp)
 		if err != nil && !errors.Is(err, solver.ErrLimit) && !fault.Degradable(err) {
 			return false, err
 		}
@@ -189,7 +249,7 @@ func (p *SolverPool) SatPC(pc *solver.PC, extras ...solver.Formula) (bool, error
 // decideComponent resolves one independence component: interval fast
 // path, then the memo table, then the counterexample cache, then a
 // fresh (small) DPLL solve.
-func (p *SolverPool) decideComponent(cs []conjunct, fs []solver.Formula, comp []int) (bool, error) {
+func (p *SolverPool) decideComponent(sp *obs.Span, cs []conjunct, fs []solver.Formula, comp []int) (bool, error) {
 	sub := make([]solver.Formula, len(comp))
 	tokens := 0
 	for i, idx := range comp {
@@ -202,6 +262,7 @@ func (p *SolverPool) decideComponent(cs []conjunct, fs []solver.Formula, comp []
 	if len(comp) < len(cs) {
 		if sat, decided := solver.QuickConj(sub); decided {
 			p.quick.Add(1)
+			sp.Stage("quick", verdictOf(sat, nil), 0)
 			return sat, nil
 		}
 	}
@@ -229,6 +290,7 @@ func (p *SolverPool) decideComponent(cs []conjunct, fs []solver.Formula, comp []
 			ent := el.Value.(*memoEntry)
 			sh.mu.Unlock()
 			p.hits.Add(1)
+			sp.MemoHit()
 			if ent.err != nil {
 				p.unknown.Add(1)
 			}
@@ -246,12 +308,22 @@ func (p *SolverPool) decideComponent(cs []conjunct, fs []solver.Formula, comp []
 	if small && p.cex != nil {
 		if m := p.cex.lookup(conj); m != nil {
 			p.cexHits.Add(1)
+			sp.CexHit()
 			p.memoStore(sh, key, true, nil)
 			return true, nil
 		}
 	}
 
+	var tr *obs.Tracer
+	var ts int64
+	if sp != nil && p.eng != nil {
+		tr = p.eng.Tracer()
+		ts = tr.Now()
+	}
 	sat, model, err := p.solve(conj, small && p.cex != nil)
+	if sp != nil {
+		sp.Stage("dpll", verdictOf(sat, err), tr.Now()-ts)
+	}
 	// Memoize definite answers and plain resource exhaustion — both are
 	// deterministic for fixed bounds. Never memoize faults (timeouts,
 	// cancellations, injections): they depend on wall clock or the
@@ -326,7 +398,9 @@ func (p *SolverPool) solve(f solver.Formula, wantModel bool) (bool, *solver.Mode
 	} else {
 		sat, err = s.Sat(f)
 	}
-	p.nanos.Add(int64(time.Since(t0)))
+	d := time.Since(t0)
+	p.nanos.Add(int64(d))
+	p.dpllHist.Observe(int64(d))
 	// Reset before Put: a pooled instance must never carry a stale
 	// context or injector into its next borrower.
 	s.Ctx, s.Injector = nil, nil

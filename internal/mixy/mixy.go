@@ -25,6 +25,7 @@ import (
 	"mix/internal/engine"
 	"mix/internal/fault"
 	"mix/internal/microc"
+	"mix/internal/obs"
 	"mix/internal/pointer"
 	"mix/internal/qual"
 	"mix/internal/solver"
@@ -56,6 +57,12 @@ type Options struct {
 	// hooks mutate the shared qualifier inference), so results are
 	// identical to a run without an engine.
 	Engine *engine.Engine
+	// Tracer records fixpoint-loop structure (per-iteration frontier
+	// sizes, block-cache hits and misses, analyzed blocks, degradation
+	// provenance) as trace events. When nil, the Engine's tracer is
+	// used, so a CLI -trace captures MIXY structure with no extra
+	// wiring; with neither, tracing is off.
+	Tracer *obs.Tracer
 }
 
 // Warning is an analysis finding.
@@ -88,6 +95,7 @@ type Analysis struct {
 
 	opts     Options
 	eng      *engine.Engine
+	span     *obs.Span // fixpoint-loop trace root; nil when tracing is off
 	Warnings []Warning
 	Stats    Stats
 
@@ -134,6 +142,14 @@ func Run(prog *microc.Program, opts Options) (*Analysis, error) {
 		m.Inf.AddImplicitNullGlobals()
 	}
 	m.eng = opts.Engine
+	tr := opts.Tracer
+	if tr == nil {
+		tr = m.eng.Tracer()
+	}
+	// The fixpoint loop itself is sequential, so one root span serves
+	// the whole run; executor roots (one per RunFunc) interleave with
+	// it in deterministic program order.
+	m.span = tr.Root("mixy.fixpoint")
 	m.Exec = symexec.New(prog, m.PA)
 	m.Exec.InitCell = m.initCell
 	m.Exec.TypedCall = m.typedCall
@@ -175,6 +191,9 @@ func Run(prog *microc.Program, opts Options) (*Analysis, error) {
 	// optimistic, hence unsound — solution.
 	for iter := 0; iter < m.opts.MaxFixpoint; iter++ {
 		m.Stats.FixpointIters++
+		// One iter event per fixpoint round, carrying the current
+		// frontier size (Section 4.5's "which blocks fired" question).
+		m.span.Emit(obs.Event{Kind: obs.KindIter, N: int64(len(m.frontier))})
 		if err := m.interrupted(); err != nil {
 			m.degrade(err, false)
 		}
@@ -224,6 +243,7 @@ func (m *Analysis) degrade(err error, counted bool) {
 		return
 	}
 	m.degraded = err
+	m.span.Degrade(fault.ClassOf(err).String(), "fixpoint stopped; frontier pessimized")
 	if !counted {
 		m.faults.RecordErr(err)
 	}
@@ -467,6 +487,7 @@ func (m *Analysis) analyzeSymBlock(f *microc.FuncDef) bool {
 	if !m.opts.NoCache {
 		if cached, ok := m.cache[key]; ok {
 			m.Stats.CacheHits++
+			m.span.Emit(obs.Event{Kind: obs.KindCacheHit, Detail: f.Name})
 			changed := false
 			for _, q := range cached {
 				if m.Inf.ConstrainNull(q, "cached result of "+f.Name) {
@@ -476,11 +497,13 @@ func (m *Analysis) analyzeSymBlock(f *microc.FuncDef) bool {
 			return changed
 		}
 		m.Stats.CacheMisses++
+		m.span.Emit(obs.Event{Kind: obs.KindCacheMiss, Detail: f.Name})
 	}
 	m.stack = append(m.stack, key)
 	defer func() { m.stack = m.stack[:len(m.stack)-1] }()
 
 	m.Stats.BlocksAnalyzed++
+	m.span.Emit(obs.Event{Kind: obs.KindBlock, Detail: f.Name})
 	// The symbolic block starts with a fresh memory (the formalism's
 	// fresh μ); cells are lazily initialized from the typed context
 	// through the InitCell hook.

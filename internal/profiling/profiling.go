@@ -1,0 +1,57 @@
+// Package profiling is the run-time profiling side of the
+// observability layer: a net/http/pprof debug server for the CLIs
+// (-pprof) and file-based CPU/heap capture for the benchmark driver
+// (-cpuprofile/-memprofile). It is a separate package from
+// internal/obs so that importing the metrics/tracing substrate does
+// not link net/http into every binary.
+package profiling
+
+import (
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on DefaultServeMux
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Serve starts the pprof debug server on addr (e.g. "localhost:6060")
+// in a background goroutine and returns the bound address, so addr
+// may use port 0. The server lives for the rest of the process.
+func Serve(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go func() { _ = http.Serve(ln, nil) }()
+	return ln.Addr().String(), nil
+}
+
+// StartCPUProfile begins a CPU profile into path; the returned stop
+// function flushes and closes it.
+func StartCPUProfile(path string) (stop func(), err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// WriteHeapProfile captures a heap profile into path after forcing a
+// GC, so the profile reflects live objects rather than garbage.
+func WriteHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC()
+	return pprof.WriteHeapProfile(f)
+}

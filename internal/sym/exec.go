@@ -8,6 +8,7 @@ import (
 	"mix/internal/engine"
 	"mix/internal/fault"
 	"mix/internal/lang"
+	"mix/internal/obs"
 	"mix/internal/types"
 )
 
@@ -144,6 +145,11 @@ func (x *Executor) InitialState() State {
 // set and recording the fault (see Degraded/ImprecisionCount), so the
 // caller can fall back to the typed over-approximation.
 func (x *Executor) Run(env *Env, st State, e lang.Expr) ([]Result, error) {
+	if st.span == nil {
+		// Each Run is one trace root; callers invoke Run in program
+		// order, so root IDs are deterministic.
+		st.span = x.Engine.Tracer().Root("sym.run")
+	}
 	x.steps.Store(int64(x.MaxSteps))
 	x.stopped.Store(false)
 	x.degradedMu.Lock()
@@ -173,7 +179,7 @@ func (x *Executor) Run(env *Env, st State, e lang.Expr) ([]Result, error) {
 func (x *Executor) protectedRun(env *Env, st State, e lang.Expr) (rs []Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			x.degrade(fault.FromPanic("sym.run", r))
+			x.degrade(st.span, fault.FromPanic("sym.run", r))
 			rs, err = nil, nil
 		}
 	}()
@@ -181,17 +187,18 @@ func (x *Executor) protectedRun(env *Env, st State, e lang.Expr) (rs []Result, e
 }
 
 // degrade absorbs a classified fault: record it, count the
-// imprecision, and stop further exploration so the run drains
-// promptly. Results completed before the stop remain valid (each is a
-// genuine explored path); the imprecision count tells the caller the
-// set may be incomplete.
-func (x *Executor) degrade(err error) {
+// imprecision, trace the provenance on the path that hit it, and stop
+// further exploration so the run drains promptly. Results completed
+// before the stop remain valid (each is a genuine explored path); the
+// imprecision count tells the caller the set may be incomplete.
+func (x *Executor) degrade(sp *obs.Span, err error) {
 	x.degradedMu.Lock()
 	if x.degraded == nil {
 		x.degraded = err
 	}
 	x.degradedMu.Unlock()
 	x.imprecise.Add(1)
+	sp.Degrade(fault.ClassOf(err).String(), "exploration truncated")
 	x.Engine.Faults().RecordErr(err)
 	x.stopped.Store(true)
 }
@@ -236,7 +243,7 @@ func (x *Executor) seq(env *Env, st State, e lang.Expr, k func(State, Val) ([]Re
 			// Path-budget exhaustion degrades: truncate the result set
 			// and record the imprecision (matching symexec), instead of
 			// throwing away every path already explored.
-			x.degrade(fault.New(fault.PathBudget, "sym.seq",
+			x.degrade(r.State.span, fault.New(fault.PathBudget, "sym.seq",
 				fmt.Sprintf("max-paths=%d", x.MaxPaths), nil))
 			return out[:x.MaxPaths], nil
 		}
@@ -254,12 +261,12 @@ func (x *Executor) run(env *Env, st State, e lang.Expr) ([]Result, error) {
 		// Step-budget exhaustion (possible divergence through stored
 		// closures) degrades like the path budget: stop, record, keep
 		// what completed.
-		x.degrade(fault.New(fault.StepBudget, "sym.run",
+		x.degrade(st.span, fault.New(fault.StepBudget, "sym.run",
 			fmt.Sprintf("max-steps=%d", x.MaxSteps), nil))
 		return nil, nil
 	} else if n&63 == 0 {
 		if err := x.Engine.Interrupted("sym.run"); err != nil {
-			x.degrade(err)
+			x.degrade(st.span, err)
 			return nil, nil
 		}
 	}
@@ -454,7 +461,7 @@ func (x *Executor) run(env *Env, st State, e lang.Expr) ([]Result, error) {
 			if fault.Degradable(err) {
 				// A degraded nested analysis truncates this path; the
 				// surrounding exploration keeps its other paths.
-				x.degrade(err)
+				x.degrade(st.span, err)
 				return nil, nil
 			}
 			return nil, err
@@ -602,7 +609,7 @@ func (x *Executor) runIf(env *Env, st State, e lang.If) ([]Result, error) {
 			// sequential result order exactly.
 			if err := x.Engine.Charge(s1.depth); err != nil {
 				if fault.Degradable(err) {
-					x.degrade(err)
+					x.degrade(s1.span, err)
 					return nil, nil
 				}
 				return nil, err
@@ -616,6 +623,11 @@ func (x *Executor) runIf(env *Env, st State, e lang.If) ([]Result, error) {
 			elseSt := s1
 			elseSt.Guard = MkAnd(s1.Guard, MkNot(g1))
 			elseSt.depth = s1.depth + 1
+			// Each branch owns a fresh child span: the two tasks may
+			// run on different workers and must never share a span.
+			s1.span.Fork(2)
+			thenSt.span = s1.span.Child()
+			elseSt.span = s1.span.Child()
 			thenRs, elseRs, err := engine.Fork2(x.Engine,
 				func() ([]Result, error) { return x.run(env, thenSt, e.Then) },
 				func() ([]Result, error) { return x.run(env, elseSt, e.Else) })
@@ -624,11 +636,12 @@ func (x *Executor) runIf(env *Env, st State, e lang.If) ([]Result, error) {
 					// A recovered branch panic (or other classified
 					// fault) loses that branch; the sibling's results
 					// survive, and the imprecision marks the hole.
-					x.degrade(err)
+					x.degrade(s1.span, err)
 					return append(thenRs, elseRs...), nil
 				}
 				return nil, err
 			}
+			s1.span.Join()
 			return append(thenRs, elseRs...), nil
 
 		case DeferIf:
@@ -640,15 +653,20 @@ func (x *Executor) runIf(env *Env, st State, e lang.If) ([]Result, error) {
 			thenSt.Guard = MkAnd(s1.Guard, g1)
 			elseSt := s1
 			elseSt.Guard = MkAnd(s1.Guard, MkNot(g1))
+			s1.span.Fork(2)
+			thenSt.span = s1.span.Child()
+			elseSt.span = s1.span.Child()
 			thenRs, elseRs, err := engine.Fork2(x.Engine,
 				func() ([]Result, error) { return x.run(env, thenSt, e.Then) },
 				func() ([]Result, error) { return x.run(env, elseSt, e.Else) })
 			if err != nil {
 				if fault.Degradable(err) {
-					x.degrade(err)
+					x.degrade(s1.span, err)
 				} else {
 					return nil, err
 				}
+			} else {
+				s1.span.Join()
 			}
 			var out []Result
 			var thenOK, elseOK []Result

@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"mix/internal/lang"
+	"mix/internal/obs"
 	"mix/internal/persist"
 	"mix/internal/types"
 )
@@ -174,6 +175,9 @@ type State struct {
 	// depth counts conditional forks taken along this path; the engine
 	// charges it against the fork-depth budget.
 	depth int
+	// span is this path's node in the trace tree (nil when tracing is
+	// off); fork sites hand each branch a child span.
+	span *obs.Span
 }
 
 func (s State) String() string {

@@ -206,7 +206,7 @@ func (x *Executor) evalCall(st State, e *microc.Call, depth int) ([]evalOut, err
 		for _, c := range cases {
 			if vf, ok := c.leaf.(VFunc); ok {
 				pc := fo.st.PC.And(c.g)
-				if !x.feasible(pc) {
+				if !x.feasible(fo.st, pc) {
 					continue
 				}
 				resolved = true
@@ -503,14 +503,14 @@ func (x *Executor) derefTargets(st State, v Value, pos microc.Pos, what string) 
 			x.report(st, Imprecision, pos, "dereference of unmodeled value %s", what)
 		}
 	}
-	if x.feasible(st.PC, nullG) {
+	if x.feasible(st, st.PC, nullG) {
 		x.report(st, NullDeref, pos, "dereference of possibly-null pointer %s", what)
 	}
 	var out []lvOut
 	survivors := 0
 	for _, c := range objCases {
 		pc := st.PC.And(c.g)
-		if !x.feasible(pc) {
+		if !x.feasible(st, pc) {
 			continue
 		}
 		survivors++

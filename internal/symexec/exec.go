@@ -140,6 +140,7 @@ func (x *Executor) degrade(st State, err error, pos microc.Pos) {
 	}
 	x.degradedMu.Unlock()
 	x.Engine.Faults().RecordErr(err)
+	st.span.Degrade(fault.ClassOf(err).String(), "exploration stopped")
 	x.report(st, Imprecision, pos, "exploration degraded (%s): %v", fault.ClassOf(err), err)
 }
 
@@ -247,9 +248,11 @@ func (x *Executor) FreshBool(hint string) solver.Formula {
 // (conservative: keeps reports). With an engine the query goes through
 // its sliced, memoizing, per-worker solver pipeline, which classifies
 // resource-exhausted queries the same way: unknown → keep the path.
-func (x *Executor) feasible(pc *solver.PC, extras ...solver.Formula) bool {
+// The querying path's span (nil when tracing is off) receives the
+// verdict as a solve event.
+func (x *Executor) feasible(st State, pc *solver.PC, extras ...solver.Formula) bool {
 	if x.Engine != nil {
-		return x.Engine.FeasiblePC(pc, extras...)
+		return x.Engine.FeasiblePCSpan(st.span, pc, extras...)
 	}
 	if pc.Dead() {
 		return false

@@ -74,6 +74,11 @@ func (x *Executor) InitGlobals(st State) (State, error) {
 // RunFunc executes f from state st with the given arguments (nil args
 // leave parameters to lazy initialization).
 func (x *Executor) RunFunc(f *microc.FuncDef, st State, args []Value) ([]Outcome, error) {
+	if st.span == nil {
+		// One trace root per analyzed function; callers create roots in
+		// deterministic (program) order, so root numbering is stable.
+		st.span = x.Engine.Tracer().Root(f.Name)
+	}
 	var root *reportSink
 	if x.parallel() && st.rs == nil {
 		// Reports from parallel branches are collected in task-local
@@ -158,7 +163,7 @@ func (x *Executor) callFunction(st State, f *microc.FuncDef, args []Value, depth
 			continue
 		}
 		ng := nullFormula(args[i])
-		if x.feasible(st.PC, ng) {
+		if x.feasible(st, st.PC, ng) {
 			x.report(st, NullArg, pos, "possibly-null argument for nonnull parameter %s of %s", p.Name, f.Name)
 		}
 		// Continue under the assumption the argument was not null.
@@ -180,6 +185,7 @@ func (x *Executor) callFunction(st State, f *microc.FuncDef, args []Value, depth
 	}
 	if depth > x.MaxDepth {
 		x.Engine.Faults().Record(fault.StepBudget)
+		st.span.Degrade(fault.StepBudget.String(), "call depth bound at "+f.Name)
 		x.report(st, Imprecision, pos, "call depth bound reached at %s", f.Name)
 		return []evalOut{{st: st, v: x.havocValue(f.Ret, f.Name)}}, nil
 	}
@@ -259,6 +265,7 @@ func (x *Executor) execStmt(st State, s microc.Stmt, depth int) ([]flowOutcome, 
 			}
 			if len(next) > x.MaxPaths {
 				x.Engine.Faults().Record(fault.PathBudget)
+				st.span.Degrade(fault.PathBudget.String(), "path budget exceeded")
 				x.report(st, Imprecision, s.StmtPos(), "path budget exceeded; truncating")
 				next = next[:x.MaxPaths]
 			}
@@ -302,8 +309,8 @@ func (x *Executor) execStmt(st State, s microc.Stmt, depth int) ([]flowOutcome, 
 		for _, c := range conds {
 			thenPC := c.st.PC.And(c.f)
 			elsePC := c.st.PC.And(solver.NewNot(c.f))
-			thenOK := x.feasible(thenPC)
-			elseOK := x.feasible(elsePC)
+			thenOK := x.feasible(c.st, thenPC)
+			elseOK := x.feasible(c.st, elsePC)
 			if thenOK && elseOK {
 				x.mu.Lock()
 				x.Stats.Forks++
@@ -320,7 +327,11 @@ func (x *Executor) execStmt(st State, s microc.Stmt, depth int) ([]flowOutcome, 
 			if thenOK {
 				tst := c.st
 				if elseOK {
+					// Sequential two-sided fork: same span tree shape as
+					// forkIf, so traces match across fork strategies.
+					c.st.span.Fork(2)
 					tst = c.st.Clone()
+					tst.span = c.st.span.Child()
 				}
 				tst.PC = thenPC
 				flows, err := x.execStmt(tst, s.Then, depth)
@@ -332,6 +343,9 @@ func (x *Executor) execStmt(st State, s microc.Stmt, depth int) ([]flowOutcome, 
 			if elseOK {
 				est := c.st
 				est.PC = elsePC
+				if thenOK {
+					est.span = c.st.span.Child()
+				}
 				if s.Else != nil {
 					flows, err := x.execStmt(est, s.Else, depth)
 					if err != nil {
@@ -341,6 +355,9 @@ func (x *Executor) execStmt(st State, s microc.Stmt, depth int) ([]flowOutcome, 
 				} else {
 					out = append(out, flowOutcome{st: est})
 				}
+			}
+			if thenOK && elseOK {
+				c.st.span.Join()
 			}
 		}
 		return out, nil
@@ -358,8 +375,8 @@ func (x *Executor) execStmt(st State, s microc.Stmt, depth int) ([]flowOutcome, 
 				for _, c := range conds {
 					exitPC := c.st.PC.And(solver.NewNot(c.f))
 					bodyPC := c.st.PC.And(c.f)
-					exitOK := x.feasible(exitPC)
-					bodyOK := iter < x.MaxUnroll && x.feasible(bodyPC)
+					exitOK := x.feasible(c.st, exitPC)
+					bodyOK := iter < x.MaxUnroll && x.feasible(c.st, bodyPC)
 					if exitOK {
 						est := c.st
 						if bodyOK {
@@ -369,8 +386,9 @@ func (x *Executor) execStmt(st State, s microc.Stmt, depth int) ([]flowOutcome, 
 						out = append(out, flowOutcome{st: est})
 					}
 					if !bodyOK {
-						if iter >= x.MaxUnroll && x.feasible(bodyPC) {
+						if iter >= x.MaxUnroll && x.feasible(c.st, bodyPC) {
 							x.Engine.Faults().Record(fault.StepBudget)
+							c.st.span.Degrade(fault.StepBudget.String(), "loop unrolling bound")
 							x.report(c.st, LoopBound, s.StmtPos(), "loop unrolling bound (%d) reached", x.MaxUnroll)
 						}
 						continue
@@ -393,6 +411,7 @@ func (x *Executor) execStmt(st State, s microc.Stmt, depth int) ([]flowOutcome, 
 			live = next
 			if len(out)+len(live) > x.MaxPaths {
 				x.Engine.Faults().Record(fault.PathBudget)
+				st.span.Degrade(fault.PathBudget.String(), "path budget exceeded in loop")
 				x.report(st, Imprecision, s.StmtPos(), "path budget exceeded in loop; truncating")
 				live = nil
 			}
@@ -430,6 +449,7 @@ func (x *Executor) forkIf(st State, s *microc.IfStmt, thenPC, elsePC *solver.PC,
 		switch {
 		case errors.Is(err, engine.ErrBudget):
 			x.Engine.Faults().RecordErr(err)
+			st.span.Degrade(fault.ClassOf(err).String(), "fork truncated to then-branch")
 			x.report(st, Imprecision, s.StmtPos(), "engine path budget exhausted; truncating")
 			tst := st
 			tst.PC = thenPC
@@ -444,14 +464,17 @@ func (x *Executor) forkIf(st State, s *microc.IfStmt, thenPC, elsePC *solver.PC,
 		}
 	}
 	parent := st.rs
+	st.span.Fork(2)
 	tst := st.Clone()
 	tst.PC = thenPC
 	tst.rs = &reportSink{}
 	tst.forkDepth++
+	tst.span = st.span.Child()
 	est := st
 	est.PC = elsePC
 	est.rs = &reportSink{}
 	est.forkDepth++
+	est.span = st.span.Child()
 	thenFlows, elseFlows, err := engine.Fork2(x.Engine,
 		func() ([]flowOutcome, error) { return x.execStmt(tst, s.Then, depth) },
 		func() ([]flowOutcome, error) {
@@ -478,6 +501,7 @@ func (x *Executor) forkIf(st State, s *microc.IfStmt, thenPC, elsePC *solver.PC,
 		x.flushSink(tst.rs)
 		x.flushSink(est.rs)
 	}
+	st.span.Join()
 	out := append(thenFlows, elseFlows...)
 	for i := range out {
 		out[i].st.rs = parent

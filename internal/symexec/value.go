@@ -14,9 +14,9 @@ package symexec
 
 import (
 	"fmt"
-	"sync/atomic"
 
 	"mix/internal/microc"
+	"mix/internal/obs"
 	"mix/internal/persist"
 	"mix/internal/pointer"
 	"mix/internal/solver"
@@ -137,20 +137,21 @@ type Memory struct {
 
 // memClones / memSharedCells / memWrites instrument fork cost for the
 // benchmarks: memSharedCells counts cells a clone shared structurally
-// — each one a cell the seed's eager copy would have duplicated.
-var memClones, memSharedCells, memWrites atomic.Int64
+// — each one a cell the seed's eager copy would have duplicated. They
+// live in the process-wide metrics registry (obs.Default) under
+// symexec.mem.*; being monotone, concurrent readers take before/after
+// deltas instead of resetting.
+var (
+	memClones      = obs.Default.Counter("symexec.mem.clones")
+	memSharedCells = obs.Default.Counter("symexec.mem.shared_cells")
+	memWrites      = obs.Default.Counter("symexec.mem.writes")
+)
 
-// MemoryStats reports (clones, cells shared across those clones,
-// writes) since the last reset.
+// MemoryStats reads the process-lifetime (clones, cells shared across
+// those clones, writes) totals. The counters are monotone: callers
+// measuring one run subtract a before-snapshot.
 func MemoryStats() (clones, sharedCells, writes int64) {
-	return memClones.Load(), memSharedCells.Load(), memWrites.Load()
-}
-
-// ResetMemoryStats zeroes the package-wide memory counters.
-func ResetMemoryStats() {
-	memClones.Store(0)
-	memSharedCells.Store(0)
-	memWrites.Store(0)
+	return memClones.Value(), memSharedCells.Value(), memWrites.Value()
 }
 
 // NewMemory returns an empty memory.
@@ -216,6 +217,10 @@ type State struct {
 	// forkDepth counts conditional forks along this path; the engine
 	// charges it against the fork-depth budget.
 	forkDepth int
+	// span is this path's node in the trace tree (nil when tracing is
+	// off). Forks hand each branch a child span; Clone shares the
+	// parent's span until the fork site reassigns it.
+	span *obs.Span
 }
 
 // Clone forks the state.

@@ -30,6 +30,7 @@ import (
 	"mix/internal/lang"
 	"mix/internal/microc"
 	"mix/internal/mixy"
+	"mix/internal/obs"
 	"mix/internal/sym"
 	"mix/internal/symexec"
 	"mix/internal/types"
@@ -89,6 +90,14 @@ type Config struct {
 	// FaultInjector arms deterministic fault injection at the engine's
 	// fixed injection points (chaos tests only; nil in production).
 	FaultInjector *fault.Injector
+	// Tracer, when non-nil, records structured path-exploration events
+	// (fork/join/solve/degrade) for the run; flush it with WriteJSONL
+	// or WriteChromeTrace after the check returns.
+	Tracer *obs.Tracer
+	// Metrics, when non-nil, receives the run's metrics under their
+	// canonical dotted names once the check completes (plus live solver
+	// pipeline histograms during it).
+	Metrics *obs.Registry
 }
 
 // Result is the outcome of a mixed check.
@@ -164,7 +173,8 @@ func CheckExpr(e lang.Expr, cfg Config) Result {
 	}
 	var eng *engine.Engine
 	if cfg.Workers > 0 || cfg.MaxPaths > 0 || cfg.Deadline > 0 ||
-		cfg.SolverTimeout > 0 || cfg.Context != nil || cfg.FaultInjector != nil {
+		cfg.SolverTimeout > 0 || cfg.Context != nil || cfg.FaultInjector != nil ||
+		cfg.Tracer != nil || cfg.Metrics != nil {
 		eng = engine.New(engine.Options{
 			Workers:       cfg.Workers,
 			MaxPaths:      int64(cfg.MaxPaths),
@@ -173,6 +183,8 @@ func CheckExpr(e lang.Expr, cfg Config) Result {
 			Deadline:      cfg.Deadline,
 			SolverTimeout: cfg.SolverTimeout,
 			FaultInjector: cfg.FaultInjector,
+			Tracer:        cfg.Tracer,
+			Metrics:       cfg.Metrics,
 		})
 		defer eng.Close()
 		opts.Engine = eng
@@ -220,6 +232,13 @@ func CheckExpr(e lang.Expr, cfg Config) Result {
 		res.Fault = fault.ClassOf(err).String()
 		res.FaultDetail = err.Error()
 		res.Err = nil
+		// Faults absorbed after exploration (a solver limit during the
+		// feasibility or exhaustiveness checks of TSYMBLOCK) never pass
+		// through an executor span, so the trace would otherwise show a
+		// degraded verdict with no provenance; a check-level degrade
+		// event closes that gap. Emitted only on degraded runs, so
+		// fault-free traces stay byte-comparable.
+		cfg.Tracer.Root("mix.check").Degrade(res.Fault, "verdict degraded to unknown")
 	}
 	if eng != nil {
 		es := eng.Snapshot()
@@ -242,6 +261,16 @@ func CheckExpr(e lang.Expr, cfg Config) Result {
 	}
 	for _, r := range checker.Reports {
 		res.Reports = append(res.Reports, r.String())
+	}
+	if m := cfg.Metrics; m != nil {
+		eng.PublishMetrics()
+		m.Gauge("mix.paths").Set(int64(res.Paths))
+		m.Gauge("mix.reports").Set(int64(len(res.Reports)))
+		var deg int64
+		if res.Degraded {
+			deg = 1
+		}
+		m.Gauge("mix.degraded").Set(deg)
 	}
 	return res
 }
@@ -276,6 +305,12 @@ type CConfig struct {
 	// FaultInjector arms deterministic fault injection (chaos tests
 	// only; nil in production).
 	FaultInjector *fault.Injector
+	// Tracer, when non-nil, records structured events for the run:
+	// per-block path trees plus the MIXY fixpoint timeline.
+	Tracer *obs.Tracer
+	// Metrics, when non-nil, receives the run's metrics once the
+	// analysis completes.
+	Metrics *obs.Registry
 }
 
 // CResult is the outcome of a MIXY analysis.
@@ -334,7 +369,8 @@ func AnalyzeC(src string, cfg CConfig) (CResult, error) {
 	}
 	var eng *engine.Engine
 	if cfg.Workers > 0 || cfg.Deadline > 0 || cfg.SolverTimeout > 0 ||
-		cfg.Context != nil || cfg.FaultInjector != nil {
+		cfg.Context != nil || cfg.FaultInjector != nil ||
+		cfg.Tracer != nil || cfg.Metrics != nil {
 		eng = engine.New(engine.Options{
 			Workers:       cfg.Workers,
 			NoMemo:        cfg.NoMemo,
@@ -342,16 +378,21 @@ func AnalyzeC(src string, cfg CConfig) (CResult, error) {
 			Deadline:      cfg.Deadline,
 			SolverTimeout: cfg.SolverTimeout,
 			FaultInjector: cfg.FaultInjector,
+			Tracer:        cfg.Tracer,
+			Metrics:       cfg.Metrics,
 		})
 		defer eng.Close()
 	}
-	symexec.ResetMemoryStats()
+	// The memory counters are process-wide and monotone; this run's
+	// contribution is the before/after delta.
+	clones0, shared0, writes0 := symexec.MemoryStats()
 	a, err := mixy.Run(prog, mixy.Options{
 		Entry:             cfg.Entry,
 		IgnoreAnnotations: cfg.PureTypes,
 		NoCache:           cfg.NoCache,
 		StrictInit:        cfg.StrictInit,
 		Engine:            eng,
+		Tracer:            cfg.Tracer,
 	})
 	if err != nil {
 		return CResult{}, err
@@ -370,7 +411,8 @@ func AnalyzeC(src string, cfg CConfig) (CResult, error) {
 	res.Timeouts = a.Stats.Faults.Of(fault.Timeout) + a.Stats.Faults.Of(fault.Canceled)
 	res.PanicsRecovered = a.Stats.Faults.Of(fault.WorkerPanic)
 	res.PathsTruncated = a.Stats.Faults.Truncations()
-	res.MemClones, res.SharedCells, res.MemWrites = symexec.MemoryStats()
+	clones1, shared1, writes1 := symexec.MemoryStats()
+	res.MemClones, res.SharedCells, res.MemWrites = clones1-clones0, shared1-shared0, writes1-writes0
 	if eng != nil {
 		es := eng.Snapshot()
 		res.MemoHits = int(es.MemoHits)
@@ -383,6 +425,21 @@ func AnalyzeC(src string, cfg CConfig) (CResult, error) {
 	}
 	for _, w := range a.Warnings {
 		res.Warnings = append(res.Warnings, w.String())
+	}
+	if m := cfg.Metrics; m != nil {
+		eng.PublishMetrics()
+		m.Gauge("mixy.blocks_analyzed").Set(int64(res.BlocksAnalyzed))
+		m.Gauge("mixy.cache_hits").Set(int64(res.CacheHits))
+		m.Gauge("mixy.fixpoint_iters").Set(int64(res.FixpointIters))
+		m.Gauge("mixy.warnings").Set(int64(len(res.Warnings)))
+		m.Gauge("symexec.mem.clones").Set(res.MemClones)
+		m.Gauge("symexec.mem.shared_cells").Set(res.SharedCells)
+		m.Gauge("symexec.mem.writes").Set(res.MemWrites)
+		var deg int64
+		if res.Degraded {
+			deg = 1
+		}
+		m.Gauge("mixy.degraded").Set(deg)
 	}
 	return res, nil
 }
