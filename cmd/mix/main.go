@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	mix [-symbolic] [-unsound] [-defer] [-env name:type,...]
+//	mix [-symbolic] [-unsound] [-defer] [-merge mode]
+//	    [-env name:type,...]
 //	    [-workers n] [-max-paths n] [-memo=false]
 //	    [-deadline d] [-solver-timeout d]
 //	    [-stats] [-metrics] [-trace file] [-trace-det] [-pprof addr]
@@ -18,6 +19,13 @@
 // the engine's total path budget; -memo=false disables the engine's
 // solver memo table. With -v the engine's fork/steal/memo statistics
 // are printed alongside path and query counts.
+//
+// -merge selects veritesting-style state merging at conditional join
+// points (DESIGN.md section 12): "joins" (the default) folds the two
+// arms of a forked conditional back into one guarded state when both
+// reach the join alive, "aggressive" additionally folds multi-path
+// arms, and "off" restores pure forking (2^k paths on k sequential
+// diamonds).
 //
 // -deadline bounds the whole check's wall-clock time and
 // -solver-timeout bounds each solver query. A check cut short by
@@ -54,6 +62,7 @@ func main() {
 	symbolic := flag.Bool("symbolic", false, "treat the outermost scope as a symbolic block")
 	unsound := flag.Bool("unsound", false, "skip the exhaustive() check (bug-finding mode)")
 	deferIf := flag.Bool("defer", false, "use SEIF-DEFER instead of forking at conditionals")
+	merge := flag.String("merge", "joins", "state merging at conditional joins: off, joins, or aggressive")
 	envFlag := flag.String("env", "", "free variables as name:type pairs, comma separated (types: int, bool, int ref, bool ref)")
 	verbose := flag.Bool("v", false, "print discarded reports and statistics")
 	workers := flag.Int("workers", 0, "parallel engine workers (0 = sequential, no engine)")
@@ -91,6 +100,7 @@ func main() {
 	cfg := mix.Config{
 		Unsound:           *unsound,
 		DeferConditionals: *deferIf,
+		Merge:             *merge,
 		Env:               map[string]string{},
 		Workers:           *workers,
 		MaxPaths:          *maxPaths,

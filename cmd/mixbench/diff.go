@@ -1,0 +1,170 @@
+package main
+
+// BENCH_*.json comparison: the shared envelope loader and the -diff
+// mode. Every artifact shares the {"schema_version",cpus,rows} shape
+// but each table keeps its own row schema, so rows load untyped and
+// are joined by a generic name: the concatenation of their identity
+// fields (every string-valued field, plus workers), which uniquely
+// keys every table's rows. Metric fields (time_ns and friends) never
+// enter the key.
+//
+// Two comparisons run per joined row. Count fields that are
+// schedule-independent (paths explored, states merged) must match
+// exactly — a drift there is a semantic change, not noise — unless
+// the row carries a deadline or fault field, in which case truncation
+// makes the counts legitimately run-dependent. Wall-clock (time_ns)
+// is gated by -diff-max-regress (default 5%), which CI loosens:
+// same-host back-to-back runs routinely wobble 10-15%.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+// benchRow is one untyped row of a BENCH_*.json artifact.
+type benchRow map[string]any
+
+// loadBenchRows reads a BENCH_*.json envelope, checking the schema
+// version.
+func loadBenchRows(path string) ([]benchRow, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var env struct {
+		SchemaVersion int        `json:"schema_version"`
+		CPUs          int        `json:"cpus"`
+		Rows          []benchRow `json:"rows"`
+	}
+	if err := json.Unmarshal(b, &env); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if env.SchemaVersion != benchSchemaVersion {
+		return nil, fmt.Errorf("%s: schema_version %d, want %d", path, env.SchemaVersion, benchSchemaVersion)
+	}
+	return env.Rows, nil
+}
+
+// rowKey builds the join name of a row: its string-valued fields in
+// sorted field order, plus the worker count when present.
+func rowKey(r benchRow) string {
+	var parts []string
+	names := make([]string, 0, len(r))
+	for name := range r {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		switch v := r[name].(type) {
+		case string:
+			parts = append(parts, name+"="+v)
+		case float64:
+			if name == "workers" {
+				parts = append(parts, fmt.Sprintf("workers=%d", int64(v)))
+			}
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+// rowTimeNS extracts the row's wall-clock metric, if it has one.
+func rowTimeNS(r benchRow) (int64, bool) {
+	v, ok := r["time_ns"].(float64)
+	if !ok || v <= 0 {
+		return 0, false
+	}
+	return int64(v), true
+}
+
+// deterministicFields are count metrics that do not depend on
+// scheduling: the set of explored paths and the set of join-point
+// merges are properties of the program, so two runs of the same table
+// must agree on them exactly. Deliberately short — fields like
+// memo_hits, steals, or cex_hits vary with worker interleaving and
+// must never be exact-compared.
+var deterministicFields = []string{"paths", "merges"}
+
+// exactComparable reports whether a row's deterministic count fields
+// are trustworthy: a deadline or an armed fault truncates exploration
+// at a wall-clock- or schedule-dependent point, so those rows only
+// get the timing comparison.
+func exactComparable(r benchRow) bool {
+	_, deadline := r["deadline"]
+	_, fault := r["fault"]
+	return !deadline && !fault
+}
+
+// runDiff implements mixbench -diff old.json new.json: join the two
+// artifacts' rows by name, require the deterministic count fields to
+// match exactly, and print the per-row speedup (old/new; >1 is an
+// improvement). Exits 1 on a count mismatch or when any joined row's
+// wall clock regressed by more than maxRegress (a fraction; 0.05
+// means 5%).
+func runDiff(oldPath, newPath string, maxRegress float64) {
+	oldRows, err := loadBenchRows(oldPath)
+	must(err)
+	newRows, err := loadBenchRows(newPath)
+	must(err)
+	oldByKey := map[string]benchRow{}
+	for _, r := range oldRows {
+		oldByKey[rowKey(r)] = r
+	}
+	w := newTab()
+	fmt.Fprintln(w, "row\told\tnew\tspeedup")
+	var regressions, mismatches []string
+	joined := 0
+	for _, nr := range newRows {
+		key := rowKey(nr)
+		or, ok := oldByKey[key]
+		if !ok {
+			continue
+		}
+		if exactComparable(or) && exactComparable(nr) {
+			for _, f := range deterministicFields {
+				ov, okO := or[f].(float64)
+				nv, okN := nr[f].(float64)
+				if okO && okN && ov != nv {
+					mismatches = append(mismatches,
+						fmt.Sprintf("%s: %s %v -> %v", key, f, int64(ov), int64(nv)))
+				}
+			}
+		}
+		oldNS, okOld := rowTimeNS(or)
+		newNS, okNew := rowTimeNS(nr)
+		if !okOld || !okNew {
+			continue
+		}
+		joined++
+		speedup := float64(oldNS) / float64(newNS)
+		fmt.Fprintf(w, "%s\t%v\t%v\t%.2fx\n", key,
+			time.Duration(oldNS).Round(time.Microsecond),
+			time.Duration(newNS).Round(time.Microsecond), speedup)
+		if float64(newNS) > float64(oldNS)*(1+maxRegress) {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %v -> %v (%+.1f%%)", key,
+					time.Duration(oldNS).Round(time.Microsecond),
+					time.Duration(newNS).Round(time.Microsecond),
+					100*(float64(newNS)-float64(oldNS))/float64(oldNS)))
+		}
+	}
+	w.Flush()
+	if joined == 0 {
+		fmt.Fprintln(os.Stderr, "mixbench: -diff found no joinable rows")
+		os.Exit(2)
+	}
+	fmt.Printf("%d rows compared, %d regressed, %d count mismatches\n",
+		joined, len(regressions), len(mismatches))
+	for _, m := range mismatches {
+		fmt.Fprintln(os.Stderr, "mixbench: determinism mismatch:", m)
+	}
+	for _, r := range regressions {
+		fmt.Fprintln(os.Stderr, "mixbench: regression:", r)
+	}
+	if len(regressions)+len(mismatches) > 0 {
+		os.Exit(1)
+	}
+}

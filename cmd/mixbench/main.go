@@ -5,9 +5,10 @@
 //
 // Usage:
 //
-//	mixbench [-table E1..E8|X1..X7|all] [-cpuprofile f] [-memprofile f]
+//	mixbench [-table E1..E8|X1..X8|all] [-cpuprofile f] [-memprofile f]
+//	mixbench -diff old.json new.json
 //
-// The X4..X7 tables also write machine-readable BENCH_*.json
+// The X4..X8 tables also write machine-readable BENCH_*.json
 // artifacts, all sharing one envelope:
 // {"schema_version": 1, "cpus": N, "rows": [...]}.
 //
@@ -15,7 +16,17 @@
 // tables (view with `go tool pprof`). X7 compares tracing-disabled
 // time against the ladder-10 baseline recorded in BENCH_engine.json;
 // with MIXBENCH_ENFORCE=1 in the environment it exits 1 when that
-// overhead exceeds 5%.
+// overhead exceeds 5%. X8 measures state merging (-merge off vs
+// joins); under MIXBENCH_ENFORCE=1 it exits 1 if joins is slower than
+// off on the ladder family or more than 5% slower on the branch-light
+// vsftpd workload.
+//
+// -diff old.json new.json joins two BENCH_*.json artifacts by row
+// name and prints per-row speedups. It exits 1 when a deterministic
+// count field (paths, merges) changed on a row without a deadline or
+// fault, or when any row's wall clock regressed by more than
+// -diff-max-regress (default 0.05, i.e. 5%; CI uses a looser value
+// because same-host back-to-back runs wobble well past 5%).
 package main
 
 import (
@@ -50,10 +61,21 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "experiment to run (E1..E8, X1..X7, or all)")
+	table := flag.String("table", "all", "experiment to run (E1..E8, X1..X8, or all)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected tables to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken after the run to this file")
+	diff := flag.Bool("diff", false, "compare two BENCH_*.json artifacts: mixbench -diff old.json new.json")
+	diffMax := flag.Float64("diff-max-regress", 0.05, "-diff: fail on wall-clock regressions beyond this fraction")
 	flag.Parse()
+
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: mixbench -diff [-diff-max-regress f] old.json new.json")
+			os.Exit(2)
+		}
+		runDiff(flag.Arg(0), flag.Arg(1), *diffMax)
+		return
+	}
 
 	if *cpuprofile != "" {
 		stop, err := profiling.StartCPUProfile(*cpuprofile)
@@ -71,10 +93,10 @@ func runTables(table string) {
 		"E1": tableE1, "E2": tableE2, "E3": tableE3, "E4": tableE4,
 		"E5": tableE5, "E6": tableE6, "E7": tableE7, "E8": tableE8,
 		"X1": tableX1, "X2": tableX2, "X3": tableX3, "X4": tableX4,
-		"X5": tableX5, "X6": tableX6, "X7": tableX7,
+		"X5": tableX5, "X6": tableX6, "X7": tableX7, "X8": tableX8,
 	}
 	if table == "all" {
-		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "X1", "X2", "X3", "X4", "X5", "X6", "X7"} {
+		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "X1", "X2", "X3", "X4", "X5", "X6", "X7", "X8"} {
 			tables[id]()
 			fmt.Println()
 		}
@@ -982,27 +1004,123 @@ func tableX7() {
 
 // ladder10Baseline reads the ladder-10 workers=1 time from
 // BENCH_engine.json (written by X4, normally moments earlier on the
-// same host). 0 means no comparable baseline.
+// same host) via the shared envelope loader that also backs -diff.
+// 0 means no comparable baseline.
 func ladder10Baseline() int64 {
-	b, err := os.ReadFile("BENCH_engine.json")
+	rows, err := loadBenchRows("BENCH_engine.json")
 	if err != nil {
 		return 0
 	}
-	var env struct {
-		SchemaVersion int `json:"schema_version"`
-		Rows          []struct {
-			Bench   string `json:"bench"`
-			Workers int    `json:"workers"`
-			TimeNS  int64  `json:"time_ns"`
-		} `json:"rows"`
-	}
-	if json.Unmarshal(b, &env) != nil || env.SchemaVersion != benchSchemaVersion {
-		return 0
-	}
-	for _, r := range env.Rows {
-		if r.Bench == "ladder-10" && r.Workers == 1 {
-			return r.TimeNS
+	for _, r := range rows {
+		if r["bench"] == "ladder-10" && r["workers"] == float64(1) {
+			if ns, ok := rowTimeNS(r); ok {
+				return ns
+			}
 		}
 	}
 	return 0
+}
+
+// tableX8 — veritesting-style state merging (DESIGN.md section 12):
+// path counts and wall-clock with -merge off vs joins at workers=1,
+// best of seven. The ladder family is the worst case merging targets
+// (2^k forked paths collapse to one merged state per rung); the
+// synthetic vsftpd MIXY workload is branch-light, so merging must not
+// slow it down. With MIXBENCH_ENFORCE=1 the run exits 1 if joins is
+// slower than off on a ladder, or more than 5% slower on vsftpd-12x2.
+func tableX8() {
+	fmt.Println("X8 — state merging: -merge off vs joins (workers=1, best of 7)")
+	fmt.Println("claims: guarded joins collapse ladder-k from 2^k paths to O(1) with large speedups; branch-light code is unaffected (<=5%)")
+
+	type row struct {
+		Bench   string  `json:"bench"`
+		Merge   string  `json:"merge"`
+		Workers int     `json:"workers"`
+		Paths   int     `json:"paths,omitempty"`
+		Merges  int     `json:"merges"`
+		TimeNS  int64   `json:"time_ns"`
+		Speedup float64 `json:"speedup,omitempty"` // off time / this time, same bench
+	}
+	var rows []row
+	w := newTab()
+	fmt.Fprintln(w, "bench\tmerge\tpaths\tmerges\ttime\tvs off")
+
+	const reps = 7
+	enforce := os.Getenv("MIXBENCH_ENFORCE") == "1"
+	fail := func(format string, args ...any) {
+		w.Flush()
+		fmt.Fprintf(os.Stderr, format, args...)
+		os.Exit(1)
+	}
+
+	for _, n := range []int{10, 14} {
+		src, env := corpus.Ladder(n)
+		em := envMap(env)
+		name := fmt.Sprintf("ladder-%d", n)
+		var offBest time.Duration
+		for _, mode := range []string{"off", "joins"} {
+			var best time.Duration
+			var paths, merges int
+			for rep := 0; rep < reps; rep++ {
+				cfg := mix.Config{Mode: mix.StartSymbolic, Env: em, Workers: 1, Merge: mode}
+				start := time.Now()
+				res := mix.Check(src, cfg)
+				dur := time.Since(start)
+				must(res.Err)
+				if rep == 0 || dur < best {
+					best, paths, merges = dur, res.Paths, res.Merges
+				}
+			}
+			r := row{Bench: name, Merge: mode, Workers: 1, Paths: paths, Merges: merges, TimeNS: best.Nanoseconds()}
+			vs := "-"
+			if mode == "off" {
+				offBest = best
+			} else {
+				r.Speedup = float64(offBest) / float64(best)
+				vs = fmt.Sprintf("%.1fx", r.Speedup)
+			}
+			rows = append(rows, r)
+			fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%v\t%s\n",
+				name, mode, paths, merges, best.Round(time.Microsecond), vs)
+			if enforce && mode == "joins" && best > offBest {
+				fail("mixbench: X8 %s joins (%v) slower than off (%v)\n", name, best, offBest)
+			}
+		}
+	}
+
+	// Branch-light control: merging fires rarely, so its bookkeeping
+	// must stay in the noise.
+	{
+		src := corpus.SyntheticVsftpd(12, 2)
+		var offBest time.Duration
+		for _, mode := range []string{"off", "joins"} {
+			var best time.Duration
+			var merges int
+			for rep := 0; rep < reps; rep++ {
+				start := time.Now()
+				res, err := mix.AnalyzeC(src, mix.CConfig{Merge: mode})
+				dur := time.Since(start)
+				must(err)
+				if rep == 0 || dur < best {
+					best, merges = dur, res.Merges
+				}
+			}
+			r := row{Bench: "vsftpd-12x2", Merge: mode, Workers: 1, Merges: merges, TimeNS: best.Nanoseconds()}
+			vs := "-"
+			if mode == "off" {
+				offBest = best
+			} else {
+				r.Speedup = float64(offBest) / float64(best)
+				vs = fmt.Sprintf("%.2fx", r.Speedup)
+			}
+			rows = append(rows, r)
+			fmt.Fprintf(w, "vsftpd-12x2\t%s\t-\t%d\t%v\t%s\n",
+				mode, merges, best.Round(time.Microsecond), vs)
+			if enforce && mode == "joins" && float64(best) > float64(offBest)*1.05 {
+				fail("mixbench: X8 vsftpd-12x2 joins (%v) more than 5%% slower than off (%v)\n", best, offBest)
+			}
+		}
+	}
+	w.Flush()
+	writeBench("BENCH_merge.json", rows)
 }

@@ -9,8 +9,9 @@
 // validate checks every line against the checked-in JSON schema
 // (field types, kind/verdict/class enums, path-ID pattern) plus the
 // structural invariants a schema cannot express: strictly increasing
-// seq, parent IDs that are strict prefixes of their child paths, and
-// parent-less roots. Exit status 1 means the trace is invalid.
+// seq, parent IDs that are strict prefixes of their child paths,
+// parent-less roots, and merge events whose path IDs extend a live
+// (already-declared) root. Exit status 1 means the trace is invalid.
 //
 // chrome converts a trace to Chrome trace_event JSON on stdout, ready
 // to load in Perfetto (https://ui.perfetto.dev) or chrome://tracing.
@@ -167,6 +168,7 @@ func runValidate(args []string) {
 		nerrs, events int
 		kinds         = map[string]int{}
 		lastSeq       = int64(-1)
+		roots         = map[string]bool{}
 	)
 	report := func(line int, msg string) {
 		nerrs++
@@ -206,6 +208,17 @@ func runValidate(args []string) {
 			kinds[kind]++
 			if kind == obs.KindRoot && hasParent {
 				report(line, "root event has a parent")
+			}
+			if kind == obs.KindRoot {
+				roots[path] = true
+			}
+			// A merge event happens on a live path: its path ID must
+			// extend a root already declared in the trace.
+			if kind == obs.KindMerge {
+				root, _, _ := strings.Cut(path, ".")
+				if !roots[root] {
+					report(line, fmt.Sprintf("merge event path %q is not under a live root", path))
+				}
 			}
 		}
 	}

@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	mixy [-pure] [-entry main] [-nocache] [-workers n] [-memo=false]
+//	mixy [-pure] [-entry main] [-nocache] [-merge mode] [-merge-cap n]
+//	     [-workers n] [-memo=false]
 //	     [-deadline d] [-solver-timeout d]
 //	     [-stats] [-metrics] [-trace file] [-trace-det] [-pprof addr]
 //	     file.mc
@@ -17,6 +18,13 @@
 // and evaluates each block's translation queries on n workers (0, the
 // default, keeps the analysis engine-free); -memo=false disables the
 // memo table.
+//
+// -merge selects veritesting-style state merging in the per-block
+// symbolic executor (DESIGN.md section 12): "joins" (the default)
+// folds the two arms of a forked conditional into one state with
+// guarded ite cells when both reach the join alive and at most
+// -merge-cap cells diverge, "aggressive" also folds multi-path arms
+// and loop frontiers with no cap, and "off" restores pure forking.
 //
 // -deadline bounds the whole analysis' wall-clock time and
 // -solver-timeout bounds each solver query. A run cut short by either
@@ -51,6 +59,8 @@ func main() {
 	pure := flag.Bool("pure", false, "ignore MIX annotations (pure qualifier inference)")
 	entry := flag.String("entry", "main", "entry function")
 	nocache := flag.Bool("nocache", false, "disable block caching")
+	merge := flag.String("merge", "joins", "state merging at conditional joins: off, joins, or aggressive")
+	mergeCap := flag.Int("merge-cap", 8, "max diverging cells per joins-mode merge")
 	stats := flag.Bool("stats", false, "print run metrics as sorted 'name value' lines")
 	metricsJSON := flag.Bool("metrics", false, "print run metrics as a JSON snapshot")
 	workers := flag.Int("workers", 0, "engine workers for solver queries (0 = no engine)")
@@ -86,6 +96,8 @@ func main() {
 		Entry:         *entry,
 		PureTypes:     *pure,
 		NoCache:       *nocache,
+		Merge:         *merge,
+		MergeCap:      *mergeCap,
 		Workers:       *workers,
 		NoMemo:        !*memo,
 		Deadline:      *deadline,

@@ -41,6 +41,9 @@ type Options struct {
 	// IfMode selects forking (SEIF-TRUE/FALSE) or deferring
 	// (SEIF-DEFER) at conditionals.
 	IfMode sym.IfMode
+	// Merge enables veritesting-style join-point state merging in
+	// ForkIf mode (DESIGN.md section 12).
+	Merge engine.MergeMode
 	// NoConcreteFold disables the SEPLUS-CONC style partial-evaluation
 	// rules.
 	NoConcreteFold bool
@@ -105,6 +108,7 @@ func New(opts Options) *Checker {
 	c.typs = &types.Checker{SymBlock: c.tSymBlock}
 	c.exec = sym.NewExecutor()
 	c.exec.Mode = opts.IfMode
+	c.exec.MergeMode = opts.Merge
 	c.exec.ConcreteFold = !opts.NoConcreteFold
 	c.exec.Concolic = opts.Concolic
 	if opts.MaxPaths > 0 {

@@ -130,6 +130,17 @@ func (t *consTable) term(x solver.Term) uint64 {
 			id = t.get(consKey{tag: 'A', a: id, b: t.term(a)})
 		}
 		return id
+	case solver.Ite:
+		// Canonicalize polarity: ite(¬g, a, b) and ite(g, b, a) denote
+		// the same function, so they must intern to one id or merged
+		// runs silently halve their memo hit rate. NewIte already
+		// normalizes at construction; this guards terms built by hand.
+		g, a, b := x.G, x.X, x.Y
+		if n, ok := g.(solver.Not); ok {
+			g, a, b = n.X, b, a
+		}
+		arms := t.get(consKey{tag: 'i', a: t.term(a), b: t.term(b)})
+		return t.get(consKey{tag: 'I', a: t.formula(g), b: arms})
 	}
 	return t.get(consKey{tag: '?', s: "t " + x.String()})
 }

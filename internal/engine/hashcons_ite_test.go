@@ -1,0 +1,38 @@
+package engine
+
+import (
+	"testing"
+
+	"mix/internal/solver"
+)
+
+// TestHashconsIteCanonicalization pins the memo-key property for
+// merged-state queries: the two polarity spellings of one ite — built
+// by hand, bypassing solver.NewIte's normalization — must intern to
+// the same id, and distinct ites must not collide.
+func TestHashconsIteCanonicalization(t *testing.T) {
+	g := solver.BoolVar{Name: "g"}
+	a, b := solver.IntVar{Name: "a"}, solver.IntVar{Name: "b"}
+
+	tab := newConsTable()
+	pos := tab.term(solver.Ite{G: g, X: a, Y: b})
+	neg := tab.term(solver.Ite{G: solver.Not{X: g}, X: b, Y: a})
+	if pos != neg {
+		t.Fatalf("ite(g, a, b) interned as %d but ite(!g, b, a) as %d; merged runs would halve their memo hit rate", pos, neg)
+	}
+	if again := tab.term(solver.Ite{G: g, X: a, Y: b}); again != pos {
+		t.Fatalf("re-interning the same ite gave %d, want %d", again, pos)
+	}
+	if swapped := tab.term(solver.Ite{G: g, X: b, Y: a}); swapped == pos {
+		t.Fatal("ite(g, a, b) and ite(g, b, a) are different functions but interned to one id")
+	}
+	if other := tab.term(solver.Ite{G: solver.BoolVar{Name: "h"}, X: a, Y: b}); other == pos {
+		t.Fatal("ites under different guards interned to one id")
+	}
+	// An ite-bearing atom keys differently from its ite-free shadow.
+	withIte := tab.formula(solver.Eq{X: solver.Ite{G: g, X: a, Y: b}, Y: a})
+	plain := tab.formula(solver.Eq{X: a, Y: a})
+	if withIte == plain {
+		t.Fatal("ite-bearing and plain atoms interned to one id")
+	}
+}

@@ -50,6 +50,12 @@ type Options struct {
 	StrictInit bool
 	// MaxFixpoint bounds global fixed-point iterations.
 	MaxFixpoint int
+	// Merge enables veritesting-style join-point state merging in the
+	// per-block executor (DESIGN.md section 12): MIX(symbolic) blocks
+	// with internal branching stop exploding the fixpoint. MergeCap is
+	// the joins-mode divergence cap (0 = executor default).
+	Merge    engine.MergeMode
+	MergeCap int
 	// Engine, when non-nil, routes all solver queries through the
 	// engine's memoizing pool and evaluates the symbolic-to-typed
 	// translation queries of each block in parallel across its
@@ -153,6 +159,8 @@ func Run(prog *microc.Program, opts Options) (*Analysis, error) {
 	m.Exec = symexec.New(prog, m.PA)
 	m.Exec.InitCell = m.initCell
 	m.Exec.TypedCall = m.typedCall
+	m.Exec.MergeMode = opts.Merge
+	m.Exec.MergeCap = opts.MergeCap
 	if m.eng != nil {
 		// The solver pool is shared; forking stays serial because the
 		// InitCell/TypedCall hooks mutate the inference.

@@ -38,6 +38,7 @@ type Event struct {
 	Class   string `json:"class,omitempty"`
 	Detail  string `json:"detail,omitempty"`
 	N       int64  `json:"n,omitempty"`
+	N2      int64  `json:"n2,omitempty"`
 	TNs     int64  `json:"t_ns,omitempty"`
 	DurNs   int64  `json:"dur_ns,omitempty"`
 }
@@ -55,6 +56,7 @@ const (
 	KindMemoHit   = "memo-hit"   // (timing-only) sharded-LRU memo hit
 	KindCexHit    = "cex-hit"    // (timing-only) counterexample-cache hit
 	KindDegrade   = "degrade"    // fault absorbed into imprecision; class = fault class
+	KindMerge     = "merge"      // join-point state merge; detail = join site, n = cells merged, n2 = collapsed-to-equal
 	KindIter      = "iter"       // MIXY fixpoint iteration; n = qualifier-frontier size
 	KindCacheHit  = "cache-hit"  // MIXY block-summary cache hit; detail = block key
 	KindCacheMiss = "cache-miss" // MIXY block-summary cache miss; detail = block key
@@ -284,6 +286,20 @@ func (s *Span) CexHit() {
 		return
 	}
 	s.emit(Event{Kind: KindCexHit})
+}
+
+// Merge records a join-point state merge: both arms of a conditional
+// reached the join alive and were folded into one guarded
+// continuation. site names the join point, cells is the number of
+// diverging cells merged into guarded values, eq the number that
+// collapsed back to plain values because both arms agreed. Merge
+// decisions are pure functions of (program, merge mode) — feasibility
+// verdicts are schedule-independent — so merge events appear in both
+// trace modes.
+func (s *Span) Merge(site string, cells, eq int64) {
+	if s != nil {
+		s.emit(Event{Kind: KindMerge, Detail: site, N: cells, N2: eq})
+	}
 }
 
 // Degrade records a fault being absorbed into explicit imprecision.

@@ -1,0 +1,154 @@
+package solver
+
+import (
+	"strconv"
+	"strings"
+)
+
+// elimIte removes every Ite term from f by definitional extension:
+// each distinct ite(G, X, Y) becomes a fresh variable t constrained by
+//
+//	(¬G ∨ t = X) ∧ (G ∨ t = Y)
+//
+// conjoined onto the lowered formula. The two clauses pin t to exactly
+// one arm under every valuation of G, so the extension is
+// equisatisfiable with the original regardless of the polarity the ite
+// occurred under, and the result is in the solver's core language
+// (linear atoms over plain terms). Identical ites (by canonical key)
+// share one definition, so a merged cell read k times costs one fresh
+// variable, not k.
+//
+// Formulas without ites are returned unchanged (pointer-identical):
+// the scan that decides this allocates nothing, so the lowering is
+// free for the overwhelming majority of queries.
+func elimIte(f Formula) Formula {
+	if !formulaHasIte(f) {
+		return f
+	}
+	lw := &iteLower{vars: map[string]IntVar{}}
+	g := lw.formula(f)
+	all := make([]Formula, 0, len(lw.defs)+1)
+	all = append(all, g)
+	all = append(all, lw.defs...)
+	return Conj(all...)
+}
+
+func formulaHasIte(f Formula) bool {
+	switch f := f.(type) {
+	case Not:
+		return formulaHasIte(f.X)
+	case And:
+		return formulaHasIte(f.X) || formulaHasIte(f.Y)
+	case Or:
+		return formulaHasIte(f.X) || formulaHasIte(f.Y)
+	case Iff:
+		return formulaHasIte(f.X) || formulaHasIte(f.Y)
+	case Eq:
+		return termHasIte(f.X) || termHasIte(f.Y)
+	case Le:
+		return termHasIte(f.X) || termHasIte(f.Y)
+	case Lt:
+		return termHasIte(f.X) || termHasIte(f.Y)
+	}
+	return false
+}
+
+func termHasIte(t Term) bool {
+	switch t := t.(type) {
+	case Add:
+		return termHasIte(t.X) || termHasIte(t.Y)
+	case Neg:
+		return termHasIte(t.X)
+	case Mul:
+		return termHasIte(t.X)
+	case App:
+		for _, a := range t.Args {
+			if termHasIte(a) {
+				return true
+			}
+		}
+		return false
+	case Ite:
+		return true
+	}
+	return false
+}
+
+// iteLower is the state of one lowering pass: a fresh-variable counter,
+// the accumulated defining clauses, and the key→variable table that
+// shares definitions between identical ites.
+type iteLower struct {
+	n    int
+	defs []Formula
+	vars map[string]IntVar
+}
+
+func (lw *iteLower) formula(f Formula) Formula {
+	switch f := f.(type) {
+	case Not:
+		return NewNot(lw.formula(f.X))
+	case And:
+		return And{lw.formula(f.X), lw.formula(f.Y)}
+	case Or:
+		return Or{lw.formula(f.X), lw.formula(f.Y)}
+	case Iff:
+		return Iff{lw.formula(f.X), lw.formula(f.Y)}
+	case Eq:
+		return Eq{lw.term(f.X), lw.term(f.Y)}
+	case Le:
+		return Le{lw.term(f.X), lw.term(f.Y)}
+	case Lt:
+		return Lt{lw.term(f.X), lw.term(f.Y)}
+	}
+	return f
+}
+
+func (lw *iteLower) term(t Term) Term {
+	switch t := t.(type) {
+	case Add:
+		return Add{lw.term(t.X), lw.term(t.Y)}
+	case Neg:
+		return Neg{lw.term(t.X)}
+	case Mul:
+		return Mul{K: t.K, X: lw.term(t.X)}
+	case App:
+		args := make([]Term, len(t.Args))
+		for i, a := range t.Args {
+			args[i] = lw.term(a)
+		}
+		return App{Fn: t.Fn, Args: args}
+	case Ite:
+		// Lower children first: the guard may contain ites inside its
+		// atoms and the arms may nest further ites.
+		g := lw.formula(t.G)
+		x := lw.term(t.X)
+		y := lw.term(t.Y)
+		// Re-fold: lowering nested ites can expose a trivial shape that
+		// NewIte would have collapsed.
+		if c, ok := g.(BoolConst); ok {
+			if c.Val {
+				return x
+			}
+			return y
+		}
+		if termEq(x, y) {
+			return x
+		}
+		var sb strings.Builder
+		termKey(Ite{G: g, X: x, Y: y}, &sb)
+		key := sb.String()
+		if v, ok := lw.vars[key]; ok {
+			return v
+		}
+		// "$ite<n>" cannot collide with client variables: the executors
+		// and the translator never emit '$'.
+		v := IntVar{Name: "$ite" + strconv.Itoa(lw.n)}
+		lw.n++
+		lw.vars[key] = v
+		lw.defs = append(lw.defs,
+			Or{NewNot(g), Eq{v, x}},
+			Or{g, Eq{v, y}})
+		return v
+	}
+	return t
+}

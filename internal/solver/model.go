@@ -69,13 +69,76 @@ func (m *Model) Eval(f Formula) (bool, error) {
 	return false, fmt.Errorf("solver: unknown formula %T", f)
 }
 
-// cmpSign returns sign(x - y) under the model.
+// cmpSign returns sign(x - y) under the model. Guarded (Ite) terms are
+// resolved first by evaluating their guards — the model decides which
+// arm each ite denotes — so cached counterexamples stay usable against
+// merged-state queries.
 func (m *Model) cmpSign(x, y Term) (int, error) {
+	var err error
+	if termHasIte(x) {
+		if x, err = m.resolveTerm(x); err != nil {
+			return 0, err
+		}
+	}
+	if termHasIte(y) {
+		if y, err = m.resolveTerm(y); err != nil {
+			return 0, err
+		}
+	}
 	l, err := linSub(x, y)
 	if err != nil {
 		return 0, err
 	}
 	return m.evalLin(l).Sign(), nil
+}
+
+// resolveTerm rewrites t with every Ite replaced by the arm its guard
+// selects under the model.
+func (m *Model) resolveTerm(t Term) (Term, error) {
+	switch t := t.(type) {
+	case Add:
+		x, err := m.resolveTerm(t.X)
+		if err != nil {
+			return nil, err
+		}
+		y, err := m.resolveTerm(t.Y)
+		if err != nil {
+			return nil, err
+		}
+		return Add{x, y}, nil
+	case Neg:
+		x, err := m.resolveTerm(t.X)
+		if err != nil {
+			return nil, err
+		}
+		return Neg{x}, nil
+	case Mul:
+		x, err := m.resolveTerm(t.X)
+		if err != nil {
+			return nil, err
+		}
+		return Mul{K: t.K, X: x}, nil
+	case App:
+		args := make([]Term, len(t.Args))
+		for i, a := range t.Args {
+			r, err := m.resolveTerm(a)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = r
+		}
+		return App{Fn: t.Fn, Args: args}, nil
+	case Ite:
+		g, err := m.Eval(t.G)
+		if err != nil {
+			return nil, err
+		}
+		if g {
+			return m.resolveTerm(t.X)
+		}
+		return m.resolveTerm(t.Y)
+	}
+	return t, nil
 }
 
 func (m *Model) evalLin(l *lin) *big.Rat {

@@ -67,6 +67,25 @@ func (p *PC) and(f Formula) *PC {
 // Head returns the newest conjunct and its cached support tokens.
 func (p *PC) Head() (Formula, []string) { return p.f, p.support }
 
+// Suffix returns the conjuncts added to p after base, oldest-first,
+// and whether base is a prefix of p (by node identity — extension
+// never copies nodes, so ancestry is pointer equality). State merging
+// uses it to rebuild each arm's branch guard relative to the fork
+// point.
+func (p *PC) Suffix(base *PC) ([]Formula, bool) {
+	var rev []Formula
+	for q := p; q != base; q = q.parent {
+		if q == nil {
+			return nil, false
+		}
+		rev = append(rev, q.f)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, true
+}
+
 // Parent returns the path condition without its newest conjunct.
 func (p *PC) Parent() *PC { return p.parent }
 

@@ -460,6 +460,12 @@ func SimplifyTerm(t Term) Term {
 			args[i] = SimplifyTerm(a)
 		}
 		return App{Fn: t.Fn, Args: args}
+	case Ite:
+		// NewIte re-folds after the children simplify: a guard that
+		// folded to a constant selects its arm, and arms that became
+		// syntactically equal collapse — this is what turns a
+		// merged-but-equal cell back into a plain value.
+		return NewIte(Simplify(t.G), SimplifyTerm(t.X), SimplifyTerm(t.Y))
 	}
 	return t
 }
@@ -484,6 +490,13 @@ func mulInt64(a, b int64) (int64, bool) {
 	}
 	return p, true
 }
+
+// TermEq reports syntactic equality of terms. Exported for clients
+// that collapse merged-but-equal state cells back to plain values.
+func TermEq(a, b Term) bool { return termEq(a, b) }
+
+// FormulaEq reports syntactic equality of formulas.
+func FormulaEq(a, b Formula) bool { return formulaEq(a, b) }
 
 // termEq is syntactic equality of terms. (Plain == is unusable: App
 // holds a slice, and comparing interfaces that contain it panics.)
@@ -515,6 +528,9 @@ func termEq(a, b Term) bool {
 			}
 		}
 		return true
+	case Ite:
+		bb, ok := b.(Ite)
+		return ok && formulaEq(a.G, bb.G) && termEq(a.X, bb.X) && termEq(a.Y, bb.Y)
 	}
 	return false
 }
@@ -656,6 +672,14 @@ func termKey(t Term, sb *strings.Builder) {
 			termKey(a, sb)
 		}
 		sb.WriteString(")")
+	case Ite:
+		sb.WriteString("I(")
+		formulaKey(t.G, sb)
+		sb.WriteString(",")
+		termKey(t.X, sb)
+		sb.WriteString(",")
+		termKey(t.Y, sb)
+		sb.WriteString(")")
 	default:
 		fmt.Fprintf(sb, "?%T", t)
 	}
@@ -721,5 +745,9 @@ func supportTerm(t Term, set map[string]bool) {
 		for _, a := range t.Args {
 			supportTerm(a, set)
 		}
+	case Ite:
+		supportFormula(t.G, set)
+		supportTerm(t.X, set)
+		supportTerm(t.Y, set)
 	}
 }

@@ -111,6 +111,9 @@ func (s *Solver) sat(f Formula, wantModel bool) (bool, *Model, error) {
 	}
 	s.Stats.SatQueries++
 	f = Simplify(f)
+	// Lower guarded (Ite) terms to fresh variables with defining
+	// clauses; after this point the formula is in the core language.
+	f = elimIte(f)
 	table := newAtomTable()
 	n, err := toNNF(f, true, table)
 	if err != nil {

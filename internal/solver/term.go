@@ -58,12 +58,24 @@ type App struct {
 	Args []Term
 }
 
+// Ite is a guarded term: the value of X when G holds, of Y otherwise.
+// It is what state merging produces for a memory cell that diverges
+// across the two arms of a conditional. The DPLL core never sees an
+// Ite: Sat lowers each one to a fresh variable with two guarded
+// defining clauses (see elimIte), which keeps the theory core linear.
+// Construct with NewIte so trivial guards fold away at build time.
+type Ite struct {
+	G    Formula
+	X, Y Term
+}
+
 func (IntConst) isTerm() {}
 func (IntVar) isTerm()   {}
 func (Add) isTerm()      {}
 func (Neg) isTerm()      {}
 func (Mul) isTerm()      {}
 func (App) isTerm()      {}
+func (Ite) isTerm()      {}
 
 func (t IntConst) String() string { return fmt.Sprintf("%d", t.Val) }
 func (t IntVar) String() string   { return t.Name }
@@ -77,6 +89,31 @@ func (t App) String() string {
 		args[i] = a.String()
 	}
 	return t.Fn + "(" + strings.Join(args, ", ") + ")"
+}
+
+func (t Ite) String() string {
+	return "(" + t.G.String() + " ? " + t.X.String() + " : " + t.Y.String() + ")"
+}
+
+// NewIte builds ite(g, x, y) with the trivial cases folded: a constant
+// guard selects its arm, equal arms collapse to one, and a negated
+// guard swaps the arms so ite(¬g, a, b) and ite(g, b, a) are one
+// canonical structure (the memo-key property the engine's hash-consing
+// relies on).
+func NewIte(g Formula, x, y Term) Term {
+	if c, ok := g.(BoolConst); ok {
+		if c.Val {
+			return x
+		}
+		return y
+	}
+	if termEq(x, y) {
+		return x
+	}
+	if n, ok := g.(Not); ok {
+		return NewIte(n.X, y, x)
+	}
+	return Ite{G: g, X: x, Y: y}
 }
 
 // Sum builds a (possibly empty) sum of terms; the empty sum is 0.

@@ -51,7 +51,7 @@ type Result struct {
 type Stats struct {
 	Paths  int // completed paths (results produced)
 	Forks  int // conditional forks taken
-	Merges int // SEIF-DEFER merges performed
+	Merges int // SEIF-DEFER and join-point merges performed
 }
 
 // Executor is the symbolic execution engine. The zero value is not
@@ -74,6 +74,13 @@ type Executor struct {
 	// ConcolicInt is the concrete integer SEVAR picks (booleans pick
 	// true).
 	ConcolicInt int64
+	// MergeMode enables veritesting-style state merging in ForkIf mode
+	// (DESIGN.md section 12): when both arms of a fork complete with
+	// type-compatible values, their results fold back into one guarded
+	// state in the SEIF-DEFER shape instead of continuing as separate
+	// paths. The zero value is off. DeferIf mode ignores it (deferral
+	// already merges at every conditional).
+	MergeMode engine.MergeMode
 	// MaxPaths bounds the number of symbolic paths per Run.
 	MaxPaths int
 	// MaxSteps bounds evaluation steps per Run; closures stored in
@@ -642,6 +649,11 @@ func (x *Executor) runIf(env *Env, st State, e lang.If) ([]Result, error) {
 				return nil, err
 			}
 			s1.span.Join()
+			if x.MergeMode != engine.MergeOff {
+				if merged, ok := x.mergeResults(s1, g1, e.Pos(), thenRs, elseRs); ok {
+					return merged, nil
+				}
+			}
 			return append(thenRs, elseRs...), nil
 
 		case DeferIf:

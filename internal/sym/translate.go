@@ -8,15 +8,17 @@ import (
 )
 
 // Translator lowers typed symbolic expressions into solver formulas
-// and terms. Conditional expressions and reads from write logs are
-// flattened into fresh variables constrained by side formulas, so a
-// query about a value v is posed to the solver as
+// and terms. Conditional expressions and ambiguous reads from write
+// logs lower to guarded solver.Ite terms — structural, hence canonical
+// across repeated translations of one value — which the solver itself
+// flattens to fresh variables ahead of DPLL. Queries about a value v
+// are still posed as
 //
 //	query(v) ∧ Sides()
 //
-// Side constraints define their fresh variables totally (every model
-// extends to satisfy them), so conjoining them preserves
-// satisfiability with respect to the original variables.
+// for any residual side constraints a lowering may accumulate; the
+// conjunction preserves satisfiability with respect to the original
+// variables.
 //
 // Pointers are modeled as integers. Distinct allocation sites yield
 // distinct symbolic variables; the translator resolves reads against
@@ -24,7 +26,6 @@ import (
 // alloc-freshness to skip one, and an ITE split when neither applies.
 type Translator struct {
 	sides    []solver.Formula
-	fresh    int
 	allocIDs map[int]bool
 }
 
@@ -38,16 +39,6 @@ func NewTranslator() *Translator {
 // Sides returns the conjunction of accumulated side constraints.
 func (t *Translator) Sides() solver.Formula {
 	return solver.Conj(t.sides...)
-}
-
-func (t *Translator) freshTerm() solver.Term {
-	t.fresh++
-	return solver.IntVar{Name: fmt.Sprintf("t%d", t.fresh)}
-}
-
-func (t *Translator) freshFormula() solver.Formula {
-	t.fresh++
-	return solver.BoolVar{Name: fmt.Sprintf("u%d", t.fresh)}
 }
 
 // Formula lowers a bool-typed value to a solver formula.
@@ -170,14 +161,14 @@ func (t *Translator) Term(v Val) (solver.Term, error) {
 	return nil, fmt.Errorf("sym: cannot translate %s to a term", v)
 }
 
-// ite introduces a fresh variable r with side (g ∧ r=x) ∨ (¬g ∧ r=y).
+// ite builds a guarded term directly. The solver lowers any surviving
+// Ite to a fresh variable with defining clauses itself (see
+// solver.elimIte); emitting the structural term instead of a
+// translator-local fresh variable keeps queries canonical — two
+// translations of the same value produce the same formula — so the
+// engine's memo table and counterexample cache fire across them.
 func (t *Translator) ite(g solver.Formula, x, y solver.Term) solver.Term {
-	r := t.freshTerm()
-	t.sides = append(t.sides, solver.NewOr(
-		solver.NewAnd(g, solver.Eq{X: r, Y: x}),
-		solver.NewAnd(solver.NewNot(g), solver.Eq{X: r, Y: y}),
-	))
-	return r
+	return solver.NewIte(g, x, y)
 }
 
 // collectAllocs records the allocation addresses of a memory log so

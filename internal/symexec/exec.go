@@ -64,6 +64,12 @@ type Outcome struct {
 type Stats struct {
 	Paths int
 	Forks int
+	// Merges counts join-point state merges; MergedCells the cells
+	// folded into guarded ite values across them; CollapsedCells the
+	// cells the arms turned out to agree on (no ite needed).
+	Merges         int
+	MergedCells    int
+	CollapsedCells int
 }
 
 // Executor executes MicroC functions symbolically.
@@ -78,6 +84,18 @@ type Executor struct {
 	MaxDepth int
 	// MaxPaths bounds live paths per Run.
 	MaxPaths int
+
+	// MergeMode enables veritesting-style state merging at conditional
+	// join points (DESIGN.md section 12): when both arms reach the join
+	// alive, their states fold into one with guarded ite cells instead
+	// of continuing as separate paths. The zero value is off — the
+	// classic fork-per-conditional discipline.
+	MergeMode engine.MergeMode
+	// MergeCap bounds the diverging cells a joins-mode merge may
+	// introduce ite values for (0 means the default, 8); a merge that
+	// would exceed it falls back to forking. Aggressive mode ignores
+	// the cap.
+	MergeCap int
 
 	// InitCell, when non-nil, provides the initial value of an
 	// uninitialized cell (MIXY installs the typed-to-symbolic

@@ -315,6 +315,17 @@ func (x *Executor) execStmt(st State, s microc.Stmt, depth int) ([]flowOutcome, 
 				x.mu.Lock()
 				x.Stats.Forks++
 				x.mu.Unlock()
+				if x.MergeMode != engine.MergeOff {
+					// Join-point merging runs both arms on this task and
+					// folds them into one continuation; the fork never
+					// becomes two scheduler tasks.
+					flows, err := x.mergeIf(c.st, s, thenPC, elsePC, depth)
+					if err != nil {
+						return nil, err
+					}
+					out = append(out, flows...)
+					continue
+				}
 				if x.parallel() {
 					flows, err := x.forkIf(c.st, s, thenPC, elsePC, depth)
 					if err != nil {
@@ -409,6 +420,14 @@ func (x *Executor) execStmt(st State, s microc.Stmt, depth int) ([]flowOutcome, 
 				}
 			}
 			live = next
+			if x.MergeMode == engine.MergeAggressive && len(live) > 1 {
+				// Fold the whole live set carried into the next
+				// iteration, so unrolling explores one merged state per
+				// iteration instead of a frontier.
+				if merged, ok := x.mergeStates(st.span, s.StmtPos().String(), st.PC, live, 0); ok {
+					live = []State{merged}
+				}
+			}
 			if len(out)+len(live) > x.MaxPaths {
 				x.Engine.Faults().Record(fault.PathBudget)
 				st.span.Degrade(fault.PathBudget.String(), "path budget exceeded in loop")

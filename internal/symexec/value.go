@@ -317,6 +317,48 @@ func eqFormula(a, b Value) solver.Formula {
 	return solver.False
 }
 
+// valueEq reports structural equality of two values. State merging
+// uses it to collapse cells the arms agree on back to a plain value
+// instead of a degenerate ite.
+func valueEq(a, b Value) bool {
+	switch a := a.(type) {
+	case VInt:
+		b, ok := b.(VInt)
+		return ok && solver.TermEq(a.T, b.T)
+	case VNull:
+		_, ok := b.(VNull)
+		return ok
+	case VVoid:
+		_, ok := b.(VVoid)
+		return ok
+	case VObj:
+		b, ok := b.(VObj)
+		return ok && a.Obj == b.Obj && a.Field == b.Field
+	case VFunc:
+		b, ok := b.(VFunc)
+		return ok && a.F == b.F
+	case VUnknown:
+		b, ok := b.(VUnknown)
+		return ok && a.Why == b.Why
+	case VITE:
+		b, ok := b.(VITE)
+		return ok && solver.FormulaEq(a.G, b.G) && valueEq(a.X, b.X) && valueEq(a.Y, b.Y)
+	case VStruct:
+		b, ok := b.(VStruct)
+		if !ok || a.Name != b.Name || len(a.Fields) != len(b.Fields) {
+			return false
+		}
+		for k, v := range a.Fields {
+			bv, ok := b.Fields[k]
+			if !ok || !valueEq(v, bv) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
 // mkITE builds a conditional value with constant folding.
 func mkITE(g solver.Formula, x, y Value) Value {
 	if c, ok := g.(solver.BoolConst); ok {

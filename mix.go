@@ -64,6 +64,11 @@ type Config struct {
 	// syntactic effect analysis proves write-free (the paper's
 	// Section 3.2 type-and-effect refinement).
 	EffectAware bool
+	// Merge selects the veritesting-style state-merging mode for
+	// forked conditionals: "off", "joins", or "aggressive" (DESIGN.md
+	// section 12). The empty string keeps merging off — the library
+	// default; the CLIs default to "joins".
+	Merge string
 	// Env declares free variables of the program as name -> type
 	// syntax, e.g. "int", "bool", "int ref", "int -> int".
 	Env map[string]string
@@ -111,6 +116,9 @@ type Result struct {
 	Reports []string
 	// Paths is the number of symbolic paths explored.
 	Paths int
+	// Merges is the number of join-point state merges performed (only
+	// nonzero with Config.Merge enabled or DeferConditionals).
+	Merges int
 	// SolverQueries counts SMT queries issued.
 	SolverQueries int
 	// Engine statistics (zero without Workers): conditional forks,
@@ -171,6 +179,13 @@ func CheckExpr(e lang.Expr, cfg Config) Result {
 	if cfg.DeferConditionals {
 		opts.IfMode = sym.DeferIf
 	}
+	if cfg.Merge != "" {
+		mm, err := engine.ParseMergeMode(cfg.Merge)
+		if err != nil {
+			return Result{Err: err}
+		}
+		opts.Merge = mm
+	}
 	var eng *engine.Engine
 	if cfg.Workers > 0 || cfg.MaxPaths > 0 || cfg.Deadline > 0 ||
 		cfg.SolverTimeout > 0 || cfg.Context != nil || cfg.FaultInjector != nil ||
@@ -221,6 +236,7 @@ func CheckExpr(e lang.Expr, cfg Config) Result {
 	res := Result{
 		Err:           err,
 		Paths:         checker.Executor().Stats.Paths,
+		Merges:        checker.Executor().Stats.Merges,
 		SolverQueries: checker.Solver().Stats.SatQueries,
 	}
 	// The single degradation rule: a classified fault (deadline, budget,
@@ -288,6 +304,12 @@ type CConfig struct {
 	// initialization); the paper's MIXY tracks only explicit NULL
 	// uses.
 	StrictInit bool
+	// Merge selects the state-merging mode ("off", "joins",
+	// "aggressive"; empty = off) for the per-block symbolic executor,
+	// and MergeCap the joins-mode divergence cap (0 = default, 8). See
+	// DESIGN.md section 12.
+	Merge    string
+	MergeCap int
 	// Workers > 0 enables the engine: solver queries go through a
 	// memoizing pool and the symbolic-to-typed translation queries of
 	// each block evaluate in parallel across that many workers.
@@ -319,6 +341,9 @@ type CResult struct {
 	// nonnull position ...", null dereferences, unsupported function
 	// pointers).
 	Warnings []string
+	// Merges is the number of join-point state merges performed by the
+	// per-block executor (nonzero only with CConfig.Merge enabled).
+	Merges int
 	// BlocksAnalyzed, CacheHits, FixpointIters and SolverQueries
 	// describe the work done.
 	BlocksAnalyzed int
@@ -383,6 +408,13 @@ func AnalyzeC(src string, cfg CConfig) (CResult, error) {
 		})
 		defer eng.Close()
 	}
+	var mergeMode engine.MergeMode
+	if cfg.Merge != "" {
+		mergeMode, err = engine.ParseMergeMode(cfg.Merge)
+		if err != nil {
+			return CResult{}, err
+		}
+	}
 	// The memory counters are process-wide and monotone; this run's
 	// contribution is the before/after delta.
 	clones0, shared0, writes0 := symexec.MemoryStats()
@@ -391,6 +423,8 @@ func AnalyzeC(src string, cfg CConfig) (CResult, error) {
 		IgnoreAnnotations: cfg.PureTypes,
 		NoCache:           cfg.NoCache,
 		StrictInit:        cfg.StrictInit,
+		Merge:             mergeMode,
+		MergeCap:          cfg.MergeCap,
 		Engine:            eng,
 		Tracer:            cfg.Tracer,
 	})
@@ -398,6 +432,7 @@ func AnalyzeC(src string, cfg CConfig) (CResult, error) {
 		return CResult{}, err
 	}
 	res := CResult{
+		Merges:         a.Exec.Stats.Merges,
 		BlocksAnalyzed: a.Stats.BlocksAnalyzed,
 		CacheHits:      a.Stats.CacheHits,
 		FixpointIters:  a.Stats.FixpointIters,
