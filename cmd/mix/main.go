@@ -14,11 +14,13 @@
 // "-"). Free variables are declared with -env, e.g.
 // -env b:bool,x:int. Exit status 1 means the program was rejected.
 //
-// -workers n runs the parallel path-exploration engine with n workers
-// (0, the default, keeps exploration sequential); -max-paths bounds
-// the engine's total path budget; -memo=false disables the engine's
-// solver memo table. With -v the engine's fork/steal/memo statistics
-// are printed alongside path and query counts.
+// The analysis flags are shared with mixy and with the mixd request
+// schema (see internal/cliflags): -workers n runs the parallel
+// path-exploration engine with n workers (0, the default, keeps
+// exploration sequential); -max-paths bounds the engine's total path
+// budget; -memo=false disables the engine's solver memo table. With -v
+// the engine's fork/steal/memo statistics are printed alongside path
+// and query counts.
 //
 // -merge selects veritesting-style state merging at conditional join
 // points (DESIGN.md section 12): "joins" (the default) folds the two
@@ -49,32 +51,20 @@ package main
 import (
 	"flag"
 	"fmt"
-	"io"
 	"os"
-	"strings"
 
 	"mix"
+	"mix/internal/cliflags"
 	"mix/internal/obs"
 	"mix/internal/profiling"
 )
 
 func main() {
-	symbolic := flag.Bool("symbolic", false, "treat the outermost scope as a symbolic block")
-	unsound := flag.Bool("unsound", false, "skip the exhaustive() check (bug-finding mode)")
-	deferIf := flag.Bool("defer", false, "use SEIF-DEFER instead of forking at conditionals")
-	merge := flag.String("merge", "joins", "state merging at conditional joins: off, joins, or aggressive")
-	envFlag := flag.String("env", "", "free variables as name:type pairs, comma separated (types: int, bool, int ref, bool ref)")
+	var a cliflags.Analysis
+	var o cliflags.Obs
+	a.Register(flag.CommandLine, cliflags.Core)
+	o.Register(flag.CommandLine)
 	verbose := flag.Bool("v", false, "print discarded reports and statistics")
-	workers := flag.Int("workers", 0, "parallel engine workers (0 = sequential, no engine)")
-	maxPaths := flag.Int("max-paths", 0, "engine path budget (0 = unlimited)")
-	memo := flag.Bool("memo", true, "memoize solver queries (engine only)")
-	deadline := flag.Duration("deadline", 0, "wall-clock deadline for the whole check (0 = none)")
-	solverTimeout := flag.Duration("solver-timeout", 0, "per-query solver timeout (0 = none)")
-	stats := flag.Bool("stats", false, "print run metrics as sorted 'name value' lines")
-	metricsJSON := flag.Bool("metrics", false, "print run metrics as a JSON snapshot")
-	traceFile := flag.String("trace", "", "write a JSONL event trace to this file")
-	traceDet := flag.Bool("trace-det", false, "deterministic trace (wall-clock-free, byte-comparable across worker counts)")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -82,14 +72,14 @@ func main() {
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	src, err := readInput(flag.Arg(0))
+	src, err := cliflags.ReadInput(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mix:", err)
 		os.Exit(2)
 	}
 
-	if *pprofAddr != "" {
-		addr, err := profiling.Serve(*pprofAddr)
+	if o.PprofAddr != "" {
+		addr, err := profiling.Serve(o.PprofAddr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "mix: pprof:", err)
 			os.Exit(2)
@@ -97,57 +87,41 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mix: pprof serving on http://%s/debug/pprof/\n", addr)
 	}
 
-	cfg := mix.Config{
-		Unsound:           *unsound,
-		DeferConditionals: *deferIf,
-		Merge:             *merge,
-		Env:               map[string]string{},
-		Workers:           *workers,
-		MaxPaths:          *maxPaths,
-		NoMemo:            !*memo,
-		Deadline:          *deadline,
-		SolverTimeout:     *solverTimeout,
+	cfg := a.MixConfig()
+	if cfg.Env == nil {
+		cfg.Env = map[string]string{}
 	}
-	if *symbolic {
-		cfg.Mode = mix.StartSymbolic
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err) // Validate errors carry the package prefix
+		os.Exit(2)
 	}
-	if *stats || *metricsJSON {
+	if o.Stats || o.MetricsJSON {
 		cfg.Metrics = obs.NewRegistry()
 	}
-	if *traceFile != "" {
-		cfg.Tracer = obs.NewTracer(obs.TraceOptions{Deterministic: *traceDet})
-	}
-	if *envFlag != "" {
-		for _, pair := range strings.Split(*envFlag, ",") {
-			name, ty, ok := strings.Cut(strings.TrimSpace(pair), ":")
-			if !ok {
-				fmt.Fprintf(os.Stderr, "mix: bad -env entry %q\n", pair)
-				os.Exit(2)
-			}
-			cfg.Env[name] = strings.ReplaceAll(ty, "_", " ")
-		}
+	if o.TraceFile != "" {
+		cfg.Tracer = obs.NewTracer(obs.TraceOptions{Deterministic: o.TraceDet})
 	}
 
 	// With -metrics, stdout carries exactly one JSON document; the
 	// human-readable verdict moves to stderr.
 	human := os.Stdout
-	if *metricsJSON {
+	if o.MetricsJSON {
 		human = os.Stderr
 	}
 
 	res := mix.Check(src, cfg)
 	if cfg.Tracer != nil {
-		if err := writeTrace(*traceFile, cfg.Tracer); err != nil {
+		if err := cliflags.WriteTrace(o.TraceFile, cfg.Tracer); err != nil {
 			fmt.Fprintln(os.Stderr, "mix: trace:", err)
 			os.Exit(2)
 		}
 	}
-	if *metricsJSON {
+	if o.MetricsJSON {
 		if err := cfg.Metrics.WriteJSON(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "mix: metrics:", err)
 			os.Exit(2)
 		}
-	} else if *stats {
+	} else if o.Stats {
 		if err := cfg.Metrics.WriteStats(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "mix: stats:", err)
 			os.Exit(2)
@@ -158,7 +132,7 @@ func main() {
 			fmt.Fprintln(human, r)
 		}
 		fmt.Fprintf(human, "paths=%d solver-queries=%d\n", res.Paths, res.SolverQueries)
-		if *workers > 0 || *maxPaths > 0 || *deadline > 0 || *solverTimeout > 0 {
+		if cfg.Workers > 0 || cfg.MaxPaths > 0 || cfg.Deadline > 0 || cfg.SolverTimeout > 0 {
 			fmt.Fprintf(human, "engine: forks=%d steals=%d memo-hits=%d memo-misses=%d solver-time=%v\n",
 				res.Forks, res.Steals, res.MemoHits, res.MemoMisses, res.SolverTime)
 			fmt.Fprintf(human, "pipeline: quick-decided=%d slices=%d max-slice=%d cex-hits=%d\n",
@@ -179,25 +153,4 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintln(human, "type:", res.Type)
-}
-
-func writeTrace(path string, tr *obs.Tracer) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := tr.WriteJSONL(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
-}
-
-func readInput(path string) (string, error) {
-	if path == "-" {
-		b, err := io.ReadAll(os.Stdin)
-		return string(b), err
-	}
-	b, err := os.ReadFile(path)
-	return string(b), err
 }

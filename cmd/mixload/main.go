@@ -1,0 +1,475 @@
+// mixload drives a running mixd with a mixed corpus (core-language
+// ladders, synthetic vsftpd MicroC, and cgen-generated null-idiom
+// programs) at configurable concurrency, and reports serving latency.
+//
+//	mixload -addr http://localhost:7090 [-clients n] [-requests n]
+//	        [-benches a,b,c] [-out BENCH_serve.json]
+//	mixload -addr ... -smoke [-expect-429]
+//	mixload -addr ... -slow
+//
+// Bench mode measures every bench twice: cold (POST /flush before
+// each request, so both the solver cache and the verdict cache start
+// empty every time) and warm (one untimed priming pass, then the
+// timed measurement against fully warm caches). Rows carry p50/p99
+// for both phases, warm throughput, and the warm cache hit rate, in
+// the standard {"schema_version", "cpus", "rows"} envelope.
+//
+// With MIXBENCH_ENFORCE=1 the run exits 1 unless the ladder-10 row
+// shows warm p50 at least 2x better than cold p50 — the serving
+// layer's reason to exist, enforced the same way mixbench gates its
+// claims.
+//
+// Smoke mode (-smoke) probes the serving contract quickly: a basic
+// request on each endpoint, a deadline-expiry request that must come
+// back as a degraded 200 (never an error), and — with -expect-429,
+// against a rate-limited daemon — a burst that must see 429 with
+// Retry-After. Slow mode (-slow) issues one long-running request and
+// exits 0 iff it completes undegraded; CI points SIGTERM at mixd
+// while one is in flight to prove drain drops nothing.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"mix/internal/cgen"
+	"mix/internal/cliflags"
+	"mix/internal/corpus"
+)
+
+// request mirrors the serve.Request JSON shape (mixload talks to the
+// daemon over the wire like any other client — no shared state).
+type request struct {
+	cliflags.Analysis
+	Source string `json:"source"`
+	Tenant string `json:"tenant,omitempty"`
+}
+
+// response mirrors the fields of serve.Response that mixload reads.
+type response struct {
+	Kind    string `json:"kind"`
+	Cached  bool   `json:"cached"`
+	Check   *struct {
+		Type     string `json:"type"`
+		Degraded bool   `json:"degraded"`
+		Fault    string `json:"fault"`
+		Paths    int    `json:"paths"`
+	} `json:"check"`
+	Analyze *struct {
+		Warnings []string `json:"warnings"`
+		Degraded bool     `json:"degraded"`
+		Fault    string   `json:"fault"`
+	} `json:"analyze"`
+	Retryable bool  `json:"retryable"`
+	LatencyNS int64 `json:"latency_ns"`
+}
+
+// item is one (endpoint, request) pair of a bench's corpus.
+type item struct {
+	path string
+	req  request
+}
+
+// bench is one BENCH_serve.json row's workload: a named corpus slice.
+type bench struct {
+	name  string
+	items []item
+}
+
+// row is one emitted BENCH_serve.json row.
+type row struct {
+	Bench             string  `json:"bench"`
+	Clients           int     `json:"clients"`
+	Requests          int     `json:"requests"`
+	ColdP50NS         int64   `json:"cold_p50_ns"`
+	ColdP99NS         int64   `json:"cold_p99_ns"`
+	WarmP50NS         int64   `json:"warm_p50_ns"`
+	WarmP99NS         int64   `json:"warm_p99_ns"`
+	WarmThroughputRPS float64 `json:"warm_throughput_rps"`
+	WarmHitRate       float64 `json:"warm_hit_rate"`
+	SpeedupP50        float64 `json:"speedup_p50"`
+}
+
+type envelope struct {
+	SchemaVersion int   `json:"schema_version"`
+	CPUs          int   `json:"cpus"`
+	Rows          []row `json:"rows"`
+}
+
+func ladderItem(n int, merge string) item {
+	src, envPairs := corpus.Ladder(n)
+	env := map[string]string{}
+	for _, p := range envPairs {
+		env[p[0]] = p[1]
+	}
+	var r request
+	r.Source = src
+	r.Symbolic = true
+	r.Env = env
+	r.Workers = 2
+	r.Merge = merge
+	return item{path: "/check", req: r}
+}
+
+func microcItem(source, entry string) item {
+	var r request
+	r.Source = source
+	r.Entry = entry
+	r.Workers = 2
+	r.Merge = "joins"
+	r.MergeCap = 8
+	return item{path: "/analyze", req: r}
+}
+
+// benches is the corpus mix. ladder-10 is the gated row: merge off, so
+// the cold run really explores 2^10 paths and warmth has something to
+// beat.
+func benches() []bench {
+	var cgenItems []item
+	gen := cgen.New(20100605, cgen.DefaultConfig())
+	for i := 0; i < 4; i++ {
+		cgenItems = append(cgenItems, microcItem(gen.Program(), "main"))
+	}
+	return []bench{
+		{name: "ladder-10", items: []item{ladderItem(10, "off")}},
+		{name: "vsftpd-mini", items: []item{microcItem(corpus.VsftpdMini.Source, corpus.VsftpdMini.Entry)}},
+		{name: "vsftpd-12x3", items: []item{microcItem(corpus.SyntheticVsftpd(12, 3), "main")}},
+		{name: "cgen-4", items: cgenItems},
+	}
+}
+
+func main() {
+	var (
+		addr      = flag.String("addr", "http://localhost:7090", "mixd base URL")
+		clients   = flag.Int("clients", 4, "concurrent clients in the warm phase")
+		requests  = flag.Int("requests", 24, "measured requests per bench per phase")
+		benchList = flag.String("benches", "", "comma-separated bench names (default all)")
+		out       = flag.String("out", "BENCH_serve.json", "output path")
+		smoke     = flag.Bool("smoke", false, "run the serving-contract smoke probes and exit")
+		expect429 = flag.Bool("expect-429", false, "with -smoke: require the burst probe to see 429 (daemon must be rate-limited)")
+		slow      = flag.Bool("slow", false, "issue one long-running request and exit (drain smoke)")
+	)
+	flag.Parse()
+
+	if *smoke {
+		os.Exit(runSmoke(*addr, *expect429))
+	}
+	if *slow {
+		os.Exit(runSlow(*addr))
+	}
+
+	selected := benches()
+	if *benchList != "" {
+		want := map[string]bool{}
+		for _, n := range strings.Split(*benchList, ",") {
+			want[strings.TrimSpace(n)] = true
+		}
+		var keep []bench
+		for _, b := range selected {
+			if want[b.name] {
+				keep = append(keep, b)
+			}
+		}
+		if len(keep) == 0 {
+			fatalf("no benches match %q", *benchList)
+		}
+		selected = keep
+	}
+
+	var rows []row
+	for _, b := range selected {
+		r := runBench(*addr, b, *clients, *requests)
+		rows = append(rows, r)
+		fmt.Printf("%-12s cold p50 %8s p99 %8s | warm p50 %8s p99 %8s | %6.1f req/s | hit %4.0f%% | p50 speedup %.1fx\n",
+			r.Bench, time.Duration(r.ColdP50NS), time.Duration(r.ColdP99NS),
+			time.Duration(r.WarmP50NS), time.Duration(r.WarmP99NS),
+			r.WarmThroughputRPS, 100*r.WarmHitRate, r.SpeedupP50)
+	}
+
+	buf, err := json.MarshalIndent(envelope{SchemaVersion: 1, CPUs: runtime.NumCPU(), Rows: rows}, "", "  ")
+	if err != nil {
+		fatalf("marshal: %v", err)
+	}
+	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+		fatalf("write %s: %v", *out, err)
+	}
+	fmt.Printf("wrote %s (%d rows)\n", *out, len(rows))
+
+	if os.Getenv("MIXBENCH_ENFORCE") == "1" {
+		enforced := false
+		for _, r := range rows {
+			if r.Bench != "ladder-10" {
+				continue
+			}
+			enforced = true
+			if r.SpeedupP50 < 2 {
+				fatalf("MIXBENCH_ENFORCE: ladder-10 warm p50 speedup %.2fx < 2x (cold %v, warm %v)",
+					r.SpeedupP50, time.Duration(r.ColdP50NS), time.Duration(r.WarmP50NS))
+			}
+			fmt.Printf("MIXBENCH_ENFORCE: ladder-10 warm p50 speedup %.1fx >= 2x: ok\n", r.SpeedupP50)
+		}
+		if !enforced {
+			fatalf("MIXBENCH_ENFORCE: ladder-10 row missing from this run")
+		}
+	}
+}
+
+// runBench measures one bench cold then warm and returns its row.
+func runBench(addr string, b bench, clients, requests int) row {
+	// Cold: flush both server caches before every request, serially —
+	// interleaved flushes from concurrent clients would make "cold"
+	// mean "partially warm".
+	var cold []time.Duration
+	for i := 0; i < requests; i++ {
+		if err := flush(addr); err != nil {
+			fatalf("%s: flush: %v", b.name, err)
+		}
+		it := b.items[i%len(b.items)]
+		t0 := time.Now()
+		resp, err := do(addr, it)
+		if err != nil {
+			fatalf("%s: cold request: %v", b.name, err)
+		}
+		cold = append(cold, time.Since(t0))
+		if resp.Cached {
+			fatalf("%s: cold request answered from cache after flush", b.name)
+		}
+	}
+
+	// Warm: prime every distinct item once (untimed), then measure at
+	// the requested concurrency against stable caches.
+	for _, it := range b.items {
+		if _, err := do(addr, it); err != nil {
+			fatalf("%s: priming: %v", b.name, err)
+		}
+	}
+	var (
+		mu     sync.Mutex
+		warm   []time.Duration
+		hits   int
+		next   int
+		wg     sync.WaitGroup
+		failed error
+	)
+	t0 := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if failed != nil || next >= requests {
+					mu.Unlock()
+					return
+				}
+				i := next
+				next++
+				mu.Unlock()
+				it := b.items[i%len(b.items)]
+				s := time.Now()
+				resp, err := do(addr, it)
+				d := time.Since(s)
+				mu.Lock()
+				if err != nil && failed == nil {
+					failed = err
+				} else {
+					warm = append(warm, d)
+					if resp.Cached {
+						hits++
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+	if failed != nil {
+		fatalf("%s: warm request: %v", b.name, failed)
+	}
+
+	coldP50, coldP99 := percentiles(cold)
+	warmP50, warmP99 := percentiles(warm)
+	speedup := math.Inf(1)
+	if warmP50 > 0 {
+		speedup = float64(coldP50) / float64(warmP50)
+	}
+	return row{
+		Bench:             b.name,
+		Clients:           clients,
+		Requests:          requests,
+		ColdP50NS:         int64(coldP50),
+		ColdP99NS:         int64(coldP99),
+		WarmP50NS:         int64(warmP50),
+		WarmP99NS:         int64(warmP99),
+		WarmThroughputRPS: float64(len(warm)) / elapsed.Seconds(),
+		WarmHitRate:       float64(hits) / float64(len(warm)),
+		SpeedupP50:        speedup,
+	}
+}
+
+// runSmoke probes the serving contract; returns the process exit code.
+func runSmoke(addr string, expect429 bool) int {
+	// Basic request on each endpoint. Each probe runs as its own
+	// tenant so the smoke also works against a rate-limited daemon —
+	// per-tenant fairness is exactly what keeps them independent.
+	core := ladderItem(4, "joins")
+	core.req.Tenant = "smoke-check"
+	if resp, err := do(addr, core); err != nil || resp.Check == nil || resp.Check.Degraded {
+		fmt.Fprintf(os.Stderr, "mixload: smoke /check failed: %v %+v\n", err, resp)
+		return 1
+	}
+	mc := microcItem(corpus.VsftpdMini.Source, corpus.VsftpdMini.Entry)
+	mc.req.Tenant = "smoke-analyze"
+	if resp, err := do(addr, mc); err != nil || resp.Analyze == nil || resp.Analyze.Degraded {
+		fmt.Fprintf(os.Stderr, "mixload: smoke /analyze failed: %v %+v\n", err, resp)
+		return 1
+	}
+	fmt.Println("smoke: basic /check and /analyze ok")
+
+	// Deadline expiry must be a degraded 200 with a retryable hint —
+	// never a transport error.
+	heavy := ladderItem(14, "off")
+	heavy.req.Tenant = "smoke-deadline"
+	heavy.req.Deadline = cliflags.Duration(2 * time.Millisecond)
+	resp, err := do(addr, heavy)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mixload: smoke deadline probe errored (want degraded 200): %v\n", err)
+		return 1
+	}
+	if resp.Check == nil || !resp.Check.Degraded || !resp.Retryable {
+		fmt.Fprintf(os.Stderr, "mixload: smoke deadline probe not degraded+retryable: %+v\n", resp)
+		return 1
+	}
+	fmt.Printf("smoke: deadline expiry degraded 200 (fault %q, retryable) ok\n", resp.Check.Fault)
+
+	// Burst probe: only meaningful against a rate-limited daemon.
+	if expect429 {
+		saw429 := false
+		for i := 0; i < 10; i++ {
+			it := ladderItem(2, "joins")
+			it.req.Tenant = "smoke-burst"
+			code, retryAfter, err := doRaw(addr, it)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mixload: smoke burst: %v\n", err)
+				return 1
+			}
+			if code == http.StatusTooManyRequests {
+				if retryAfter == "" {
+					fmt.Fprintln(os.Stderr, "mixload: smoke burst: 429 without Retry-After")
+					return 1
+				}
+				saw429 = true
+				break
+			}
+		}
+		if !saw429 {
+			fmt.Fprintln(os.Stderr, "mixload: smoke burst: no 429 in 10 requests (daemon not rate-limited?)")
+			return 1
+		}
+		fmt.Println("smoke: burst saw 429 with Retry-After ok")
+	}
+	return 0
+}
+
+// runSlow issues one long-running request (drain smoke payload).
+func runSlow(addr string) int {
+	it := ladderItem(14, "off") // ~1s of path exploration
+	it.req.Deadline = cliflags.Duration(2 * time.Minute)
+	resp, err := do(addr, it)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mixload: slow request failed: %v\n", err)
+		return 1
+	}
+	if resp.Check == nil || resp.Check.Degraded {
+		fmt.Fprintf(os.Stderr, "mixload: slow request degraded or empty: %+v\n", resp)
+		return 1
+	}
+	fmt.Printf("slow request completed undegraded (%d paths, %v)\n",
+		resp.Check.Paths, time.Duration(resp.LatencyNS))
+	return 0
+}
+
+func flush(addr string) error {
+	resp, err := http.Post(addr+"/flush", "application/json", nil)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/flush: status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// do posts one request and decodes the 200 response.
+func do(addr string, it item) (*response, error) {
+	body, err := json.Marshal(it.req)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.Post(addr+it.path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return nil, fmt.Errorf("%s: status %d: %s", it.path, resp.StatusCode, strings.TrimSpace(buf.String()))
+	}
+	var r response
+	if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// doRaw posts one request and returns only the status code and
+// Retry-After header (for probes that expect rejections).
+func doRaw(addr string, it item) (int, string, error) {
+	body, err := json.Marshal(it.req)
+	if err != nil {
+		return 0, "", err
+	}
+	resp, err := http.Post(addr+it.path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, "", err
+	}
+	resp.Body.Close()
+	return resp.StatusCode, resp.Header.Get("Retry-After"), nil
+}
+
+func percentiles(ds []time.Duration) (p50, p99 time.Duration) {
+	if len(ds) == 0 {
+		return 0, 0
+	}
+	s := append([]time.Duration(nil), ds...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := func(p float64) time.Duration {
+		i := int(math.Ceil(p*float64(len(s)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(s) {
+			i = len(s) - 1
+		}
+		return s[i]
+	}
+	return idx(0.50), idx(0.99)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mixload: "+format+"\n", args...)
+	os.Exit(1)
+}

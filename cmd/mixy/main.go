@@ -14,10 +14,11 @@
 // pure type qualifier inference. Exit status 1 means warnings were
 // reported.
 //
-// -workers n routes solver queries through the engine's memoizing pool
-// and evaluates each block's translation queries on n workers (0, the
-// default, keeps the analysis engine-free); -memo=false disables the
-// memo table.
+// The analysis flags are shared with mix and with the mixd request
+// schema (see internal/cliflags): -workers n routes solver queries
+// through the engine's memoizing pool and evaluates each block's
+// translation queries on n workers (0, the default, keeps the analysis
+// engine-free); -memo=false disables the memo table.
 //
 // -merge selects veritesting-style state merging in the per-block
 // symbolic executor (DESIGN.md section 12): "joins" (the default)
@@ -47,29 +48,19 @@ package main
 import (
 	"flag"
 	"fmt"
-	"io"
 	"os"
 
 	"mix"
+	"mix/internal/cliflags"
 	"mix/internal/obs"
 	"mix/internal/profiling"
 )
 
 func main() {
-	pure := flag.Bool("pure", false, "ignore MIX annotations (pure qualifier inference)")
-	entry := flag.String("entry", "main", "entry function")
-	nocache := flag.Bool("nocache", false, "disable block caching")
-	merge := flag.String("merge", "joins", "state merging at conditional joins: off, joins, or aggressive")
-	mergeCap := flag.Int("merge-cap", 8, "max diverging cells per joins-mode merge")
-	stats := flag.Bool("stats", false, "print run metrics as sorted 'name value' lines")
-	metricsJSON := flag.Bool("metrics", false, "print run metrics as a JSON snapshot")
-	workers := flag.Int("workers", 0, "engine workers for solver queries (0 = no engine)")
-	memo := flag.Bool("memo", true, "memoize solver queries (engine only)")
-	deadline := flag.Duration("deadline", 0, "wall-clock deadline for the whole analysis (0 = none)")
-	solverTimeout := flag.Duration("solver-timeout", 0, "per-query solver timeout (0 = none)")
-	traceFile := flag.String("trace", "", "write a JSONL event trace to this file")
-	traceDet := flag.Bool("trace-det", false, "deterministic trace (wall-clock-free, byte-comparable across worker counts)")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	var a cliflags.Analysis
+	var o cliflags.Obs
+	a.Register(flag.CommandLine, cliflags.MicroC)
+	o.Register(flag.CommandLine)
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -77,14 +68,14 @@ func main() {
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	src, err := readInput(flag.Arg(0))
+	src, err := cliflags.ReadInput(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mixy:", err)
 		os.Exit(2)
 	}
 
-	if *pprofAddr != "" {
-		addr, err := profiling.Serve(*pprofAddr)
+	if o.PprofAddr != "" {
+		addr, err := profiling.Serve(o.PprofAddr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "mixy: pprof:", err)
 			os.Exit(2)
@@ -92,22 +83,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mixy: pprof serving on http://%s/debug/pprof/\n", addr)
 	}
 
-	cfg := mix.CConfig{
-		Entry:         *entry,
-		PureTypes:     *pure,
-		NoCache:       *nocache,
-		Merge:         *merge,
-		MergeCap:      *mergeCap,
-		Workers:       *workers,
-		NoMemo:        !*memo,
-		Deadline:      *deadline,
-		SolverTimeout: *solverTimeout,
+	cfg := a.CConfig()
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err) // Validate errors carry the package prefix
+		os.Exit(2)
 	}
-	if *stats || *metricsJSON {
+	if o.Stats || o.MetricsJSON {
 		cfg.Metrics = obs.NewRegistry()
 	}
-	if *traceFile != "" {
-		cfg.Tracer = obs.NewTracer(obs.TraceOptions{Deterministic: *traceDet})
+	if o.TraceFile != "" {
+		cfg.Tracer = obs.NewTracer(obs.TraceOptions{Deterministic: o.TraceDet})
 	}
 
 	res, err := mix.AnalyzeC(src, cfg)
@@ -116,7 +101,7 @@ func main() {
 		os.Exit(2)
 	}
 	if cfg.Tracer != nil {
-		if err := writeTrace(*traceFile, cfg.Tracer); err != nil {
+		if err := cliflags.WriteTrace(o.TraceFile, cfg.Tracer); err != nil {
 			fmt.Fprintln(os.Stderr, "mixy: trace:", err)
 			os.Exit(2)
 		}
@@ -124,7 +109,7 @@ func main() {
 	// With -metrics, stdout carries exactly one JSON document; the
 	// human-readable report moves to stderr.
 	human := os.Stdout
-	if *metricsJSON {
+	if o.MetricsJSON {
 		human = os.Stderr
 	}
 	if res.Degraded {
@@ -133,12 +118,12 @@ func main() {
 	for _, w := range res.Warnings {
 		fmt.Fprintln(human, "warning:", w)
 	}
-	if *metricsJSON {
+	if o.MetricsJSON {
 		if err := cfg.Metrics.WriteJSON(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "mixy: metrics:", err)
 			os.Exit(2)
 		}
-	} else if *stats {
+	} else if o.Stats {
 		if err := cfg.Metrics.WriteStats(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "mixy: stats:", err)
 			os.Exit(2)
@@ -148,25 +133,4 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintln(human, "no warnings")
-}
-
-func writeTrace(path string, tr *obs.Tracer) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := tr.WriteJSONL(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
-}
-
-func readInput(path string) (string, error) {
-	if path == "-" {
-		b, err := io.ReadAll(os.Stdin)
-		return string(b), err
-	}
-	b, err := os.ReadFile(path)
-	return string(b), err
 }

@@ -66,8 +66,15 @@ type Options struct {
 	// (0 = default).
 	MemoSize int
 	// NoMemo disables the Sat/Valid memo table (per-worker solver
-	// instances and stats aggregation remain).
+	// instances and stats aggregation remain). NoMemo wins over Cache.
 	NoMemo bool
+	// Cache, when non-nil, is a shared cross-run solver cache (see
+	// Cache): this run reads and extends it instead of building a
+	// private one, so back-to-back runs skip re-proving formulas an
+	// earlier run already decided. The Cache outlives the engine —
+	// Close does not touch it. MemoSize is ignored when set (the
+	// cache was sized at NewCache).
+	Cache *Cache
 	// NewSolver builds the per-worker solver instances; nil means
 	// solver.New. Use it to propagate non-default resource bounds.
 	NewSolver func() *solver.Solver

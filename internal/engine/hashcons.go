@@ -69,6 +69,14 @@ func (t *consTable) conjID(ids []uint64) uint64 {
 	return acc
 }
 
+// size reports the number of interned nodes — the Cache's eviction
+// trigger, since the table is the pipeline's only grow-only structure.
+func (t *consTable) size() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.ids)
+}
+
 func (t *consTable) get(k consKey) uint64 {
 	if id, ok := t.ids[k]; ok {
 		return id

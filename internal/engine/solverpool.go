@@ -40,23 +40,22 @@ const cexCacheSize = 64
 // independent components: the long shared prefix of a path condition
 // memo-hits component-by-component and only the component entangled
 // with the new guard is ever solved fresh, usually straight from a
-// cached model. Construct via New; the zero value is not ready.
+// cached model.
+//
+// The cached half of the pipeline (intern table, memo, model ring) now
+// lives in a Cache, which may be private to this pool (the default) or
+// shared across runs via Options.Cache — the serving daemon's warm
+// path. Construct via New; the zero value is not ready.
 type SolverPool struct {
 	// eng points back at the owning engine for the run context and the
 	// fault injector; nil only in direct-pool unit tests.
-	eng      *Engine
-	timeout  time.Duration // per-query solver timeout (0 = none)
-	solvers  sync.Pool
-	cons     consTable
-	memo     []memoShard // nil when memoization is disabled
-	shardCap int
-	cex      *cexCache // nil when memoization is disabled
-
-	// pcIDs caches the hash-cons id of each PC node's conjunct, keyed
-	// by node identity (nodes are immutable). Bounded by the number of
-	// PC nodes an analysis run creates.
-	pcMu  sync.RWMutex
-	pcIDs map[*solver.PC]uint64
+	eng     *Engine
+	timeout time.Duration // per-query solver timeout (0 = none)
+	solvers *sync.Pool
+	// cache holds the memo/hash-cons/model state; nil when memoization
+	// is disabled (Options.NoMemo).
+	cache  *Cache
+	shared bool // cache arrived via Options.Cache (lifetime not ours)
 
 	// queryHist/dpllHist are per-query and per-fresh-solve duration
 	// histograms in the run's metrics registry; nil (inert) when the
@@ -89,33 +88,39 @@ type memoEntry struct {
 }
 
 func newSolverPool(e *Engine, o Options) *SolverPool {
-	factory := o.NewSolver
-	if factory == nil {
-		factory = solver.New
-	}
 	p := &SolverPool{
 		eng:       e,
 		timeout:   o.SolverTimeout,
-		solvers:   sync.Pool{New: func() any { return factory() }},
-		cons:      newConsTable(),
-		pcIDs:     map[*solver.PC]uint64{},
 		queryHist: o.Metrics.Histogram("solver.query.ns"),
 		dpllHist:  o.Metrics.Histogram("solver.dpll.ns"),
 	}
-	if !o.NoMemo {
-		size := o.MemoSize
-		if size <= 0 {
-			size = defaultMemoSize
+	switch {
+	case o.NoMemo:
+		// No cached state at all: per-worker solver instances and
+		// stats aggregation remain.
+	case o.Cache != nil:
+		p.cache, p.shared = o.Cache, true
+	default:
+		p.cache = NewCache(CacheOptions{MemoSize: o.MemoSize, NewSolver: o.NewSolver})
+	}
+	// A shared cache owns the warm per-worker solver instances —
+	// unless this run wants non-default solver bounds, in which case
+	// it must keep private instances (and should not be sharing a
+	// cache either; see CacheOptions.NewSolver).
+	if p.cache != nil && o.NewSolver == nil {
+		p.solvers = &p.cache.solvers
+	} else {
+		factory := o.NewSolver
+		if factory == nil {
+			factory = solver.New
 		}
-		p.shardCap = (size + memoShards - 1) / memoShards
-		p.memo = make([]memoShard, memoShards)
-		for i := range p.memo {
-			p.memo[i] = memoShard{ents: map[uint64]*list.Element{}, lru: list.New()}
-		}
-		p.cex = newCexCache(cexCacheSize)
+		p.solvers = &sync.Pool{New: func() any { return factory() }}
 	}
 	return p
 }
+
+// Cache exposes the pool's cache (nil when memoization is disabled).
+func (p *SolverPool) Cache() *Cache { return p.cache }
 
 // Sat decides satisfiability of f through the sliced pipeline.
 func (p *SolverPool) Sat(f solver.Formula) (bool, error) {
@@ -224,9 +229,13 @@ func (p *SolverPool) satPC(sp *obs.Span, pc *solver.PC, extras []solver.Formula)
 		sp.Stage("quick", verdictOf(sat, nil), 0)
 		return sat, nil
 	}
+	// Capture one cache generation for the whole query: every interned
+	// id, memo key, lookup and store below is internally consistent
+	// against this snapshot even if the cache is flushed mid-query.
+	g := p.cache.gen()
 	var firstErr error
 	for _, comp := range components(cs) {
-		sat, err := p.decideComponent(sp, cs, fs, comp)
+		sat, err := p.decideComponent(sp, g, cs, fs, comp)
 		if err != nil && !errors.Is(err, solver.ErrLimit) && !fault.Degradable(err) {
 			return false, err
 		}
@@ -237,19 +246,22 @@ func (p *SolverPool) satPC(sp *obs.Span, pc *solver.PC, extras []solver.Formula)
 			continue
 		}
 		if !sat {
+			p.cache.maybeEvict()
 			return false, nil
 		}
 	}
+	p.cache.maybeEvict()
 	if firstErr != nil {
 		return false, firstErr
 	}
 	return true, nil
 }
 
-// decideComponent resolves one independence component: interval fast
-// path, then the memo table, then the counterexample cache, then a
-// fresh (small) DPLL solve.
-func (p *SolverPool) decideComponent(sp *obs.Span, cs []conjunct, fs []solver.Formula, comp []int) (bool, error) {
+// decideComponent resolves one independence component against the g
+// cache generation: interval fast path, then the memo table, then the
+// counterexample cache, then a fresh (small) DPLL solve. g is nil when
+// memoization is disabled.
+func (p *SolverPool) decideComponent(sp *obs.Span, g *cacheGen, cs []conjunct, fs []solver.Formula, comp []int) (bool, error) {
 	sub := make([]solver.Formula, len(comp))
 	tokens := 0
 	for i, idx := range comp {
@@ -277,19 +289,20 @@ func (p *SolverPool) decideComponent(sp *obs.Span, cs []conjunct, fs []solver.Fo
 
 	var key uint64
 	var sh *memoShard
-	if p.memo != nil {
+	if g != nil {
 		ids := make([]uint64, len(comp))
 		for i, idx := range comp {
-			ids[i] = p.conjunctID(&cs[idx])
+			ids[i] = conjunctID(g, &cs[idx])
 		}
-		key = p.cons.conjID(ids)
-		sh = &p.memo[key%memoShards]
+		key = g.cons.conjID(ids)
+		sh = &g.memo[key%memoShards]
 		sh.mu.Lock()
 		if el, ok := sh.ents[key]; ok {
 			sh.lru.MoveToFront(el)
 			ent := el.Value.(*memoEntry)
 			sh.mu.Unlock()
 			p.hits.Add(1)
+			p.cache.hits.Add(1)
 			sp.MemoHit()
 			if ent.err != nil {
 				p.unknown.Add(1)
@@ -298,6 +311,7 @@ func (p *SolverPool) decideComponent(sp *obs.Span, cs []conjunct, fs []solver.Fo
 		}
 		sh.mu.Unlock()
 		p.misses.Add(1)
+		p.cache.misses.Add(1)
 	}
 
 	conj := solver.Conj(sub...)
@@ -305,9 +319,10 @@ func (p *SolverPool) decideComponent(sp *obs.Span, cs []conjunct, fs []solver.Fo
 	// solve always terminates inside its budget, so a cache hit cannot
 	// change any verdict — only skip work.
 	small := len(comp) <= cexMaxConjuncts && tokens <= cexMaxTokens
-	if small && p.cex != nil {
-		if m := p.cex.lookup(conj); m != nil {
+	if small && g != nil {
+		if m := g.cex.lookup(conj); m != nil {
 			p.cexHits.Add(1)
+			p.cache.cexHits.Add(1)
 			sp.CexHit()
 			p.memoStore(sh, key, true, nil)
 			return true, nil
@@ -320,7 +335,7 @@ func (p *SolverPool) decideComponent(sp *obs.Span, cs []conjunct, fs []solver.Fo
 		tr = p.eng.Tracer()
 		ts = tr.Now()
 	}
-	sat, model, err := p.solve(conj, small && p.cex != nil)
+	sat, model, err := p.solve(conj, small && g != nil)
 	if sp != nil {
 		sp.Stage("dpll", verdictOf(sat, err), tr.Now()-ts)
 	}
@@ -332,28 +347,29 @@ func (p *SolverPool) decideComponent(sp *obs.Span, cs []conjunct, fs []solver.Fo
 	if err == nil || (errors.Is(err, solver.ErrLimit) && fault.Of(err) == nil) {
 		p.memoStore(sh, key, sat, err)
 	}
-	if err == nil && sat && p.cex != nil {
-		p.cex.add(model) // add ignores nil models (extraction is best-effort)
+	if err == nil && sat && g != nil {
+		g.cex.add(model) // add ignores nil models (extraction is best-effort)
 	}
 	return sat, err
 }
 
-// conjunctID returns the hash-cons id of a conjunct, via the per-PC-
-// node cache when the conjunct came from a path condition.
-func (p *SolverPool) conjunctID(c *conjunct) uint64 {
+// conjunctID returns the hash-cons id of a conjunct in generation g,
+// via the per-PC-node cache when the conjunct came from a path
+// condition.
+func conjunctID(g *cacheGen, c *conjunct) uint64 {
 	if c.pcNode == nil {
-		return p.cons.formulaID(c.f)
+		return g.cons.formulaID(c.f)
 	}
-	p.pcMu.RLock()
-	id, ok := p.pcIDs[c.pcNode]
-	p.pcMu.RUnlock()
+	g.pcMu.RLock()
+	id, ok := g.pcIDs[c.pcNode]
+	g.pcMu.RUnlock()
 	if ok {
 		return id
 	}
-	id = p.cons.formulaID(c.f)
-	p.pcMu.Lock()
-	p.pcIDs[c.pcNode] = id
-	p.pcMu.Unlock()
+	id = g.cons.formulaID(c.f)
+	g.pcMu.Lock()
+	g.pcIDs[c.pcNode] = id
+	g.pcMu.Unlock()
 	return id
 }
 
@@ -365,7 +381,7 @@ func (p *SolverPool) memoStore(sh *memoShard, key uint64, sat bool, err error) {
 	sh.mu.Lock()
 	if _, ok := sh.ents[key]; !ok {
 		sh.ents[key] = sh.lru.PushFront(&memoEntry{key: key, sat: sat, err: err})
-		if sh.lru.Len() > p.shardCap {
+		if sh.lru.Len() > p.cache.shardCap {
 			old := sh.lru.Back()
 			sh.lru.Remove(old)
 			delete(sh.ents, old.Value.(*memoEntry).key)

@@ -69,6 +69,22 @@ func Classes() []Class {
 	return []Class{Timeout, Canceled, PathBudget, StepBudget, SolverLimit, WorkerPanic}
 }
 
+// Transient reports whether a degradation of this class is tied to the
+// circumstances of one request rather than to the program under
+// analysis: retrying the identical request with a longer deadline (or
+// after load subsides) can genuinely succeed. Deadline expiries,
+// cancellations, and recovered panics are transient; budget and solver
+// resource exhaustion are deterministic for a fixed configuration, so
+// a retry without a config change would only rediscover them. The
+// serving layer surfaces this as the response's "retryable" hint.
+func (c Class) Transient() bool {
+	switch c {
+	case Timeout, Canceled, WorkerPanic:
+		return true
+	}
+	return false
+}
+
 // Classifier lets error types outside this package declare their class
 // without importing fault from both sides (e.g. solver.ErrResource
 // reports SolverLimit).

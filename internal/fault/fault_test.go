@@ -210,3 +210,28 @@ func TestNilInjectorInert(t *testing.T) {
 		t.Fatal("nil injector must be inert")
 	}
 }
+
+// TestTransient pins the retryability split: wall-clock and scheduling
+// faults are transient; budget and solver-resource exhaustion are
+// deterministic, so retrying the identical request cannot help.
+func TestTransient(t *testing.T) {
+	want := map[Class]bool{
+		Timeout:     true,
+		Canceled:    true,
+		WorkerPanic: true,
+		PathBudget:  false,
+		StepBudget:  false,
+		SolverLimit: false,
+		None:        false,
+	}
+	for c, w := range want {
+		if got := c.Transient(); got != w {
+			t.Errorf("%v.Transient() = %v, want %v", c, got, w)
+		}
+	}
+	for _, c := range Classes() {
+		if _, ok := want[c]; !ok {
+			t.Errorf("class %v missing from the transiency table; decide and add it", c)
+		}
+	}
+}

@@ -276,6 +276,55 @@ func (r *Registry) Snapshot() MetricsSnapshot {
 	return s
 }
 
+// Delta subtracts an earlier snapshot of the same registry from this
+// one, yielding the activity of the window between them: counter
+// values, histogram counts/sums/buckets become differences, while
+// gauges (instantaneous readings) keep this snapshot's value. Metrics
+// absent from prev pass through unchanged; metrics that show no
+// activity in the window are dropped, so a quiet window is an empty
+// delta. This is how the serving layer turns one long-lived registry
+// into per-request and per-phase readings without allocating a
+// registry per request.
+func (s MetricsSnapshot) Delta(prev MetricsSnapshot) MetricsSnapshot {
+	prevByName := make(map[string]Metric, len(prev.Metrics))
+	for _, m := range prev.Metrics {
+		prevByName[m.Name] = m
+	}
+	out := MetricsSnapshot{SchemaVersion: s.SchemaVersion}
+	for _, m := range s.Metrics {
+		p, ok := prevByName[m.Name]
+		if ok && p.Type == m.Type {
+			switch m.Type {
+			case "counter":
+				m.Value -= p.Value
+			case "histogram":
+				m.Count -= p.Count
+				m.Sum -= p.Sum
+				for i := range m.Buckets {
+					if i < len(p.Buckets) {
+						m.Buckets[i] -= p.Buckets[i]
+					}
+				}
+				for len(m.Buckets) > 0 && m.Buckets[len(m.Buckets)-1] == 0 {
+					m.Buckets = m.Buckets[:len(m.Buckets)-1]
+				}
+			}
+		}
+		switch m.Type {
+		case "counter":
+			if m.Value == 0 {
+				continue
+			}
+		case "histogram":
+			if m.Count == 0 && m.Sum == 0 {
+				continue
+			}
+		}
+		out.Metrics = append(out.Metrics, m)
+	}
+	return out
+}
+
 // WriteJSON writes the snapshot as indented JSON (sorted by name, so
 // two writes of the same state are byte-identical).
 func (r *Registry) WriteJSON(w io.Writer) error {

@@ -1,9 +1,10 @@
-// Package profiling is the run-time profiling side of the
-// observability layer: a net/http/pprof debug server for the CLIs
-// (-pprof) and file-based CPU/heap capture for the benchmark driver
-// (-cpuprofile/-memprofile). It is a separate package from
-// internal/obs so that importing the metrics/tracing substrate does
-// not link net/http into every binary.
+// Package profiling is the net/http side of the observability layer:
+// a net/http/pprof debug server for the CLIs (-pprof), HTTP handlers
+// exposing an obs.Registry (/metrics) and a readiness probe
+// (/healthz) for the serving daemon, and file-based CPU/heap capture
+// for the benchmark driver (-cpuprofile/-memprofile). It is a separate
+// package from internal/obs so that importing the metrics/tracing
+// substrate does not link net/http into every binary.
 package profiling
 
 import (
@@ -13,7 +14,43 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+
+	"mix/internal/obs"
 )
+
+// MetricsHandler serves reg as a JSON metrics snapshot — the same
+// document the CLIs print under -metrics, so one schema covers files,
+// pipes, and scrapes. collect, when non-nil, runs before each snapshot
+// so the owner can refresh gauges that are computed on demand (cache
+// sizes, in-flight counts) rather than maintained continuously.
+func MetricsHandler(reg *obs.Registry, collect func()) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if collect != nil {
+			collect()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := reg.WriteJSON(w); err != nil {
+			// Headers are already out; nothing useful left to send.
+			return
+		}
+	})
+}
+
+// HealthzHandler serves a readiness probe: 200 "ok" while ready
+// reports true, 503 "draining" once it stops — the signal a load
+// balancer uses to stop routing to a draining instance. A nil ready
+// means always ready.
+func HealthzHandler(ready func() bool) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if ready != nil && !ready() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte("draining\n"))
+			return
+		}
+		w.Write([]byte("ok\n"))
+	})
+}
 
 // Serve starts the pprof debug server on addr (e.g. "localhost:6060")
 // in a background goroutine and returns the bound address, so addr

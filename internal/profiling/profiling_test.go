@@ -1,0 +1,70 @@
+package profiling
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"mix/internal/obs"
+)
+
+// TestMetricsHandler pins the /metrics contract: the obs registry's
+// JSON snapshot, refreshed by the collect hook on every scrape.
+func TestMetricsHandler(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("serve.requests").Add(3)
+	var scrapes atomic.Int64
+	h := MetricsHandler(reg, func() {
+		reg.Gauge("cache.entries").Set(scrapes.Add(1))
+	})
+
+	for want := int64(1); want <= 2; want++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+		if rec.Code != 200 || rec.Header().Get("Content-Type") != "application/json" {
+			t.Fatalf("scrape %d: code=%d type=%q", want, rec.Code, rec.Header().Get("Content-Type"))
+		}
+		var snap obs.MetricsSnapshot
+		if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+			t.Fatalf("scrape %d: %v", want, err)
+		}
+		if snap.SchemaVersion != obs.MetricsSchemaVersion {
+			t.Fatalf("schema_version = %d", snap.SchemaVersion)
+		}
+		got := map[string]int64{}
+		for _, m := range snap.Metrics {
+			got[m.Name] = m.Value
+		}
+		if got["serve.requests"] != 3 || got["cache.entries"] != want {
+			t.Fatalf("scrape %d: metrics = %v (collect hook not run per scrape?)", want, got)
+		}
+	}
+}
+
+// TestHealthzHandler pins the readiness flip: 200 while serving, 503
+// once draining.
+func TestHealthzHandler(t *testing.T) {
+	var ready atomic.Bool
+	ready.Store(true)
+	h := HealthzHandler(ready.Load)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 200 || rec.Body.String() != "ok\n" {
+		t.Fatalf("ready: code=%d body=%q", rec.Code, rec.Body.String())
+	}
+
+	ready.Store(false)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 503 || rec.Body.String() != "draining\n" {
+		t.Fatalf("draining: code=%d body=%q", rec.Code, rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	HealthzHandler(nil).ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("nil ready: code=%d", rec.Code)
+	}
+}

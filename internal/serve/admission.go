@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// tenantBuckets is token-bucket admission control with per-tenant
+// fairness: every tenant gets its own bucket at the same rate, so one
+// tenant saturating its budget cannot starve the others — the
+// guarantee a shared-bucket design cannot give. Buckets refill lazily
+// on access (no background goroutine) and the tenant map is bounded:
+// at maxTenants the least-recently-active bucket is evicted, which for
+// a full bucket is indistinguishable from a fresh one.
+type tenantBuckets struct {
+	mu    sync.Mutex
+	rate  float64 // tokens per second; <= 0 disables admission control
+	burst float64 // bucket capacity
+	now   func() time.Time
+	m     map[string]*bucket
+}
+
+// maxTenants bounds the tenant map. Admission state is approximate by
+// design; the bound only exists so an adversarial tenant-per-request
+// client cannot grow the map without limit.
+const maxTenants = 4096
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newTenantBuckets(rate float64, burst int, now func() time.Time) *tenantBuckets {
+	if now == nil {
+		now = time.Now
+	}
+	b := float64(burst)
+	if b < 1 {
+		b = math.Max(1, rate)
+	}
+	return &tenantBuckets{rate: rate, burst: b, now: now, m: map[string]*bucket{}}
+}
+
+// take spends one token from tenant's bucket. When the bucket is
+// empty it reports ok=false and how long until the next token exists —
+// the Retry-After value.
+func (t *tenantBuckets) take(tenant string) (ok bool, retryAfter time.Duration) {
+	if t.rate <= 0 {
+		return true, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.now()
+	b := t.m[tenant]
+	if b == nil {
+		if len(t.m) >= maxTenants {
+			t.evictStalest(now)
+		}
+		b = &bucket{tokens: t.burst, last: now}
+		t.m[tenant] = b
+	} else {
+		b.tokens = math.Min(t.burst, b.tokens+t.rate*now.Sub(b.last).Seconds())
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	return false, time.Duration((1 - b.tokens) / t.rate * float64(time.Second))
+}
+
+// evictStalest drops the bucket idle the longest (caller holds mu).
+// Idle buckets have refilled toward full, so recreating one later
+// loses nothing a well-behaved tenant would notice.
+func (t *tenantBuckets) evictStalest(now time.Time) {
+	var stalest string
+	var age time.Duration = -1
+	for k, b := range t.m {
+		if d := now.Sub(b.last); d > age {
+			stalest, age = k, d
+		}
+	}
+	delete(t.m, stalest)
+}

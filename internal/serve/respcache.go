@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// respCache is the request-level verdict cache: an LRU from
+// (kind, source, options) to the completed analysis result. It is the
+// strongest form of cross-request warmth — an identical request is
+// answered without re-running the analysis at all — and it is safe
+// because entries are only written for non-degraded runs, whose
+// verdicts are deterministic functions of exactly the key. Degraded
+// results (deadline expiries, cancellations) depend on wall clock and
+// load, so they are never stored; a retry re-runs.
+type respCache struct {
+	mu     sync.Mutex
+	cap    int
+	ents   map[string]*list.Element
+	lru    *list.List // front = most recently used *respEntry
+	hits   int64
+	misses int64
+}
+
+type respEntry struct {
+	key string
+	// check/analyze: exactly one is non-nil, matching the request kind.
+	check   *CheckResult
+	analyze *AnalyzeResult
+}
+
+func newRespCache(capacity int) *respCache {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &respCache{cap: capacity, ents: map[string]*list.Element{}, lru: list.New()}
+}
+
+func (c *respCache) get(key string) *respEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.ents[key]
+	if !ok {
+		c.misses++
+		return nil
+	}
+	c.lru.MoveToFront(el)
+	c.hits++
+	return el.Value.(*respEntry)
+}
+
+func (c *respCache) put(e *respEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.ents[e.key]; ok {
+		return
+	}
+	c.ents[e.key] = c.lru.PushFront(e)
+	if c.lru.Len() > c.cap {
+		old := c.lru.Back()
+		c.lru.Remove(old)
+		delete(c.ents, old.Value.(*respEntry).key)
+	}
+}
+
+// flush drops every entry; the hit/miss counters survive (they are
+// lifetime observability, not cache state).
+func (c *respCache) flush() {
+	c.mu.Lock()
+	c.ents = map[string]*list.Element{}
+	c.lru = list.New()
+	c.mu.Unlock()
+}
+
+func (c *respCache) stats() (entries int, hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len(), c.hits, c.misses
+}

@@ -82,6 +82,14 @@ type Config struct {
 	MaxPaths int
 	// NoMemo disables the engine's solver memo table.
 	NoMemo bool
+	// Cache, when non-nil, is a shared cross-run solver cache
+	// (engine.NewCache): this check reads and extends it instead of
+	// building private caches, so back-to-back checks skip re-proving
+	// formulas an earlier run already decided. Verdicts are
+	// byte-identical to cold runs — a hit only skips work — and hit
+	// counters are visible on Result and engine.Cache.Stats. The
+	// serving daemon (cmd/mixd) shares one Cache across all requests.
+	Cache *engine.Cache
 	// Deadline bounds the whole check's wall-clock time (0 = none).
 	// An expired deadline degrades the result instead of hanging or
 	// failing: exploration stops cooperatively and the check reports
@@ -169,8 +177,47 @@ func Check(src string, cfg Config) Result {
 	return CheckExpr(e, cfg)
 }
 
+// Validate reports the first inconsistent option as a descriptive
+// error, or nil. The CLIs call it before running (exit 2) and the
+// serving daemon turns the error into a 400 response; Check/CheckExpr
+// also call it, so library misuse surfaces as a descriptive Result.Err
+// instead of a silent clamp.
+func (cfg Config) Validate() error {
+	switch {
+	case cfg.Mode != StartTyped && cfg.Mode != StartSymbolic:
+		return fmt.Errorf("mix: unknown Mode %d (want StartTyped or StartSymbolic)", cfg.Mode)
+	case cfg.Workers < 0:
+		return fmt.Errorf("mix: negative Workers %d (0 disables the engine)", cfg.Workers)
+	case cfg.MaxPaths < 0:
+		return fmt.Errorf("mix: negative MaxPaths budget %d (0 means unlimited)", cfg.MaxPaths)
+	case cfg.Deadline < 0:
+		return fmt.Errorf("mix: negative Deadline %v (0 means none)", cfg.Deadline)
+	case cfg.SolverTimeout < 0:
+		return fmt.Errorf("mix: negative SolverTimeout %v (0 means none)", cfg.SolverTimeout)
+	}
+	if cfg.Merge != "" {
+		if _, err := engine.ParseMergeMode(cfg.Merge); err != nil {
+			return fmt.Errorf("mix: bad Merge mode %q: %w", cfg.Merge, err)
+		}
+	}
+	if cfg.NoMemo && !cfg.wantsEngine() {
+		return fmt.Errorf("mix: NoMemo set with zero Workers and no other engine option — the memo only exists inside the engine (set Workers >= 1)")
+	}
+	return nil
+}
+
+// wantsEngine mirrors CheckExpr's engine-construction condition.
+func (cfg Config) wantsEngine() bool {
+	return cfg.Workers > 0 || cfg.MaxPaths > 0 || cfg.Deadline > 0 ||
+		cfg.SolverTimeout > 0 || cfg.Cache != nil || cfg.Context != nil ||
+		cfg.FaultInjector != nil || cfg.Tracer != nil || cfg.Metrics != nil
+}
+
 // CheckExpr runs the mixed analysis on a parsed program.
 func CheckExpr(e lang.Expr, cfg Config) Result {
+	if err := cfg.Validate(); err != nil {
+		return Result{Err: err}
+	}
 	opts := core.Options{
 		Unsound:      cfg.Unsound,
 		SolverAddrEq: cfg.SolverAddrEq,
@@ -187,13 +234,12 @@ func CheckExpr(e lang.Expr, cfg Config) Result {
 		opts.Merge = mm
 	}
 	var eng *engine.Engine
-	if cfg.Workers > 0 || cfg.MaxPaths > 0 || cfg.Deadline > 0 ||
-		cfg.SolverTimeout > 0 || cfg.Context != nil || cfg.FaultInjector != nil ||
-		cfg.Tracer != nil || cfg.Metrics != nil {
+	if cfg.wantsEngine() {
 		eng = engine.New(engine.Options{
 			Workers:       cfg.Workers,
 			MaxPaths:      int64(cfg.MaxPaths),
 			NoMemo:        cfg.NoMemo,
+			Cache:         cfg.Cache,
 			Context:       cfg.Context,
 			Deadline:      cfg.Deadline,
 			SolverTimeout: cfg.SolverTimeout,
@@ -316,6 +362,9 @@ type CConfig struct {
 	Workers int
 	// NoMemo disables the engine's solver memo table.
 	NoMemo bool
+	// Cache, when non-nil, is a shared cross-run solver cache; see
+	// Config.Cache.
+	Cache *engine.Cache
 	// Deadline bounds the analysis' wall-clock time (0 = none). An
 	// expired deadline stops the fixed point and pessimizes the
 	// frontier (sound over-approximation) instead of hanging.
@@ -382,23 +431,58 @@ type CResult struct {
 	PathsTruncated  int64
 }
 
+// Validate reports the first inconsistent option as a descriptive
+// error, or nil; see Config.Validate.
+func (cfg CConfig) Validate() error {
+	switch {
+	case cfg.Workers < 0:
+		return fmt.Errorf("mix: negative Workers %d (0 disables the engine)", cfg.Workers)
+	case cfg.Deadline < 0:
+		return fmt.Errorf("mix: negative Deadline %v (0 means none)", cfg.Deadline)
+	case cfg.SolverTimeout < 0:
+		return fmt.Errorf("mix: negative SolverTimeout %v (0 means none)", cfg.SolverTimeout)
+	case cfg.MergeCap < 0:
+		return fmt.Errorf("mix: negative MergeCap %d (0 means the joins-mode default)", cfg.MergeCap)
+	case cfg.MergeCap > 0 && cfg.Merge == "":
+		return fmt.Errorf("mix: MergeCap %d set without a Merge mode — the cap only applies to the merging executor (set Merge to \"joins\" or \"aggressive\")", cfg.MergeCap)
+	}
+	if cfg.Merge != "" {
+		if _, err := engine.ParseMergeMode(cfg.Merge); err != nil {
+			return fmt.Errorf("mix: bad Merge mode %q: %w", cfg.Merge, err)
+		}
+	}
+	if cfg.NoMemo && !cfg.wantsEngine() {
+		return fmt.Errorf("mix: NoMemo set with zero Workers and no other engine option — the memo only exists inside the engine (set Workers >= 1)")
+	}
+	return nil
+}
+
+// wantsEngine mirrors AnalyzeC's engine-construction condition.
+func (cfg CConfig) wantsEngine() bool {
+	return cfg.Workers > 0 || cfg.Deadline > 0 || cfg.SolverTimeout > 0 ||
+		cfg.Cache != nil || cfg.Context != nil || cfg.FaultInjector != nil ||
+		cfg.Tracer != nil || cfg.Metrics != nil
+}
+
 // ParseC parses a MicroC translation unit.
 func ParseC(src string) (*microc.Program, error) { return microc.Parse(src) }
 
 // AnalyzeC runs MIXY (or, with PureTypes, plain qualifier inference)
 // on a MicroC program.
 func AnalyzeC(src string, cfg CConfig) (CResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return CResult{}, err
+	}
 	prog, err := microc.Parse(src)
 	if err != nil {
 		return CResult{}, err
 	}
 	var eng *engine.Engine
-	if cfg.Workers > 0 || cfg.Deadline > 0 || cfg.SolverTimeout > 0 ||
-		cfg.Context != nil || cfg.FaultInjector != nil ||
-		cfg.Tracer != nil || cfg.Metrics != nil {
+	if cfg.wantsEngine() {
 		eng = engine.New(engine.Options{
 			Workers:       cfg.Workers,
 			NoMemo:        cfg.NoMemo,
+			Cache:         cfg.Cache,
 			Context:       cfg.Context,
 			Deadline:      cfg.Deadline,
 			SolverTimeout: cfg.SolverTimeout,
