@@ -5,7 +5,7 @@
 //
 //	mix [-symbolic] [-unsound] [-defer] [-merge mode]
 //	    [-env name:type,...]
-//	    [-workers n] [-max-paths n] [-memo=false]
+//	    [-workers n] [-max-paths n] [-memo=false] [-cache-dir dir]
 //	    [-deadline d] [-solver-timeout d]
 //	    [-stats] [-metrics] [-trace file] [-trace-det] [-pprof addr]
 //	    file.mix
@@ -20,7 +20,9 @@
 // exploration sequential); -max-paths bounds the engine's total path
 // budget; -memo=false disables the engine's solver memo table. With -v
 // the engine's fork/steal/memo statistics are printed alongside path
-// and query counts.
+// and query counts. -cache-dir persists the engine's definite solver
+// verdicts and counterexample models under a directory, so a repeat
+// run answers previously decided queries from disk.
 //
 // -merge selects veritesting-style state merging at conditional join
 // points (DESIGN.md section 12): "joins" (the default) folds the two

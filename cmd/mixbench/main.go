@@ -5,10 +5,10 @@
 //
 // Usage:
 //
-//	mixbench [-table E1..E8|X1..X8|all] [-cpuprofile f] [-memprofile f]
+//	mixbench [-table E1..E8|X1..X9|all] [-cpuprofile f] [-memprofile f]
 //	mixbench -diff old.json new.json
 //
-// The X4..X8 tables also write machine-readable BENCH_*.json
+// The X4..X9 tables also write machine-readable BENCH_*.json
 // artifacts, all sharing one envelope:
 // {"schema_version": 1, "cpus": N, "rows": [...]}.
 //
@@ -19,7 +19,10 @@
 // overhead exceeds 5%. X8 measures state merging (-merge off vs
 // joins); under MIXBENCH_ENFORCE=1 it exits 1 if joins is slower than
 // off on the ladder family or more than 5% slower on the branch-light
-// vsftpd workload.
+// vsftpd workload. X9 measures compositional function summaries
+// (inline vs summaries vs summaries warm from disk) on the
+// shared-helper family; under MIXBENCH_ENFORCE=1 it exits 1 unless
+// summaries are at least 2x faster than inlining.
 //
 // -diff old.json new.json joins two BENCH_*.json artifacts by row
 // name and prints per-row speedups. It exits 1 when a deterministic
@@ -55,13 +58,14 @@ import (
 	"mix/internal/pointer"
 	"mix/internal/profiling"
 	"mix/internal/signs"
+	"mix/internal/summary"
 	"mix/internal/sym"
 	"mix/internal/symexec"
 	"mix/internal/types"
 )
 
 func main() {
-	table := flag.String("table", "all", "experiment to run (E1..E8, X1..X8, or all)")
+	table := flag.String("table", "all", "experiment to run (E1..E8, X1..X9, or all)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected tables to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken after the run to this file")
 	diff := flag.Bool("diff", false, "compare two BENCH_*.json artifacts: mixbench -diff old.json new.json")
@@ -94,9 +98,10 @@ func runTables(table string) {
 		"E5": tableE5, "E6": tableE6, "E7": tableE7, "E8": tableE8,
 		"X1": tableX1, "X2": tableX2, "X3": tableX3, "X4": tableX4,
 		"X5": tableX5, "X6": tableX6, "X7": tableX7, "X8": tableX8,
+		"X9": tableX9,
 	}
 	if table == "all" {
-		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "X1", "X2", "X3", "X4", "X5", "X6", "X7", "X8"} {
+		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "X1", "X2", "X3", "X4", "X5", "X6", "X7", "X8", "X9"} {
 			tables[id]()
 			fmt.Println()
 		}
@@ -1123,4 +1128,105 @@ func tableX8() {
 	}
 	w.Flush()
 	writeBench("BENCH_merge.json", rows)
+}
+
+// tableX9 — compositional function summaries (DESIGN.md section 14):
+// wall-clock on the shared-helper family with calls inlined, answered
+// from freshly computed summaries, and answered from a disk-warm
+// summary store, best of seven. Inline cost compounds per call site
+// (every call re-explores its helper against an ever-larger path
+// condition); summaries pay each helper's exploration once. With
+// MIXBENCH_ENFORCE=1 the run exits 1 unless summaries beat inlining
+// by at least 2x on every row.
+func tableX9() {
+	fmt.Println("X9 — function summaries: inline vs summaries vs summaries warm from disk (best of 7)")
+	fmt.Println("claims: analyzing each shared helper once and instantiating its arms at call sites beats re-inlining by >=2x; a disk-warm store also skips the one-time summarization")
+
+	type row struct {
+		Bench        string  `json:"bench"`
+		Mode         string  `json:"mode"`
+		TimeNS       int64   `json:"time_ns"`
+		Speedup      float64 `json:"speedup,omitempty"` // inline time / this time, same bench
+		Computed     int     `json:"summaries_computed"`
+		DiskHits     int     `json:"summary_disk_hits"`
+		Instantiated int64   `json:"summary_instantiated"`
+	}
+	var rows []row
+	w := newTab()
+	fmt.Fprintln(w, "bench\tmode\tsummaries\tdisk hits\tinstantiated\ttime\tvs inline")
+
+	const reps = 7
+	enforce := os.Getenv("MIXBENCH_ENFORCE") == "1"
+
+	for _, p := range [][2]int{{2, 3}, {2, 4}} {
+		name := fmt.Sprintf("shared-%dx%d", p[0], p[1])
+		src := corpus.SharedHelpers(p[0], p[1])
+
+		// The warm-disk mode reads a store primed by an untimed run;
+		// each timed rep opens a fresh Store on the directory so it
+		// starts memory-cold and must load from disk.
+		dir, err := os.MkdirTemp("", "mixbench-x9-")
+		must(err)
+		defer os.RemoveAll(dir)
+		{
+			cfg := mix.CConfig{Entry: "entry", Merge: "joins", MergeCap: 8,
+				Summaries: true, SummaryStore: summary.NewStore(dir)}
+			_, err := mix.AnalyzeC(src, cfg)
+			must(err)
+		}
+
+		var inlineBest time.Duration
+		var warnings string
+		for _, mode := range []string{"inline", "summaries", "summaries-warm"} {
+			var best time.Duration
+			var r row
+			for rep := 0; rep < reps; rep++ {
+				cfg := mix.CConfig{Entry: "entry", Merge: "joins", MergeCap: 8}
+				switch mode {
+				case "summaries":
+					cfg.Summaries = true
+				case "summaries-warm":
+					cfg.Summaries = true
+					cfg.SummaryStore = summary.NewStore(dir)
+				}
+				start := time.Now()
+				res, err := mix.AnalyzeC(src, cfg)
+				dur := time.Since(start)
+				must(err)
+				if res.Degraded {
+					must(fmt.Errorf("X9 %s %s degraded: %s", name, mode, res.FaultDetail))
+				}
+				got := fmt.Sprint(res.Warnings)
+				if mode == "inline" && rep == 0 {
+					warnings = got
+				} else if got != warnings {
+					must(fmt.Errorf("X9 %s %s verdict drift: %q vs %q", name, mode, got, warnings))
+				}
+				if rep == 0 || dur < best {
+					best = dur
+					r = row{Bench: name, Mode: mode, Computed: res.SummaryComputed,
+						DiskHits: res.SummaryDiskHits, Instantiated: res.SummaryInstantiated}
+				}
+			}
+			r.TimeNS = best.Nanoseconds()
+			vs := "-"
+			if mode == "inline" {
+				inlineBest = best
+			} else {
+				r.Speedup = float64(inlineBest) / float64(best)
+				vs = fmt.Sprintf("%.1fx", r.Speedup)
+			}
+			rows = append(rows, r)
+			fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%d\t%v\t%s\n",
+				name, mode, r.Computed, r.DiskHits, r.Instantiated, best.Round(time.Microsecond), vs)
+			if enforce && mode != "inline" && float64(inlineBest) < 2*float64(best) {
+				w.Flush()
+				fmt.Fprintf(os.Stderr, "mixbench: X9 %s %s (%v) not 2x faster than inline (%v)\n",
+					name, mode, best, inlineBest)
+				os.Exit(1)
+			}
+		}
+	}
+	w.Flush()
+	writeBench("BENCH_summaries.json", rows)
 }

@@ -5,10 +5,15 @@
 //	mixd [-addr host:port] [-rate n] [-burst n] [-max-inflight n]
 //	     [-default-deadline d] [-max-deadline d]
 //	     [-memo-size n] [-cons-limit n] [-respcache-size n]
-//	     [-drain-timeout d] [-pprof addr]
+//	     [-cache-dir dir] [-drain-timeout d] [-pprof addr]
 //
 // Endpoints: POST /check (core language), POST /analyze (MicroC),
-// POST /flush (drop caches), GET /metrics, GET /healthz.
+// POST /flush (drop in-memory caches), GET /metrics, GET /healthz.
+//
+// With -cache-dir, solver verdicts, counterexample models, and
+// function summaries persist under that directory: a restarted daemon
+// answers repeat analyses from disk. The directory is server
+// configuration only — requests cannot name filesystem paths.
 //
 // On SIGTERM/SIGINT the daemon drains: it stops admitting (503 / a
 // failing /healthz), waits up to -drain-timeout for in-flight requests
@@ -44,6 +49,7 @@ func main() {
 		memoSize        = flag.Int("memo-size", 0, "solver memo capacity in entries (0 = default)")
 		consLimit       = flag.Int("cons-limit", 0, "hash-cons table soft limit (0 = default)")
 		respCacheSize   = flag.Int("respcache-size", 0, "verdict cache capacity in entries (0 = default)")
+		cacheDir        = flag.String("cache-dir", "", "persist caches (summaries, solver memo, models) under this directory across restarts")
 		drainTimeout    = flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight requests")
 		pprofAddr       = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
@@ -68,6 +74,7 @@ func main() {
 		MemoSize:          *memoSize,
 		ConsLimit:         *consLimit,
 		ResponseCacheSize: *respCacheSize,
+		CacheDir:          *cacheDir,
 		Registry:          reg,
 	})
 

@@ -6,6 +6,7 @@
 //	        [-benches a,b,c] [-out BENCH_serve.json]
 //	mixload -addr ... -smoke [-expect-429]
 //	mixload -addr ... -slow
+//	mixload -addr ... -warm-smoke prime|verify [-warm-out f]
 //
 // Bench mode measures every bench twice: cold (POST /flush before
 // each request, so both the solver cache and the verdict cache start
@@ -26,6 +27,15 @@
 // Retry-After. Slow mode (-slow) issues one long-running request and
 // exits 0 iff it completes undegraded; CI points SIGTERM at mixd
 // while one is in flight to prove drain drops nothing.
+//
+// Warm-start smoke mode (-warm-smoke) proves the persistent cache
+// tier end to end against a daemon started with -cache-dir:
+// "prime" sends a summaries-enabled MicroC analysis, checks the
+// daemon computed function summaries, and records the verdict in
+// -warm-out; "verify" — run against a *restarted* daemon on the same
+// cache directory — sends the identical request and exits 0 only if
+// the verdict matches the recorded one and the daemon's /metrics show
+// the summaries came from disk with zero recomputed.
 package main
 
 import (
@@ -57,9 +67,9 @@ type request struct {
 
 // response mirrors the fields of serve.Response that mixload reads.
 type response struct {
-	Kind    string `json:"kind"`
-	Cached  bool   `json:"cached"`
-	Check   *struct {
+	Kind   string `json:"kind"`
+	Cached bool   `json:"cached"`
+	Check  *struct {
 		Type     string `json:"type"`
 		Degraded bool   `json:"degraded"`
 		Fault    string `json:"fault"`
@@ -158,6 +168,8 @@ func main() {
 		smoke     = flag.Bool("smoke", false, "run the serving-contract smoke probes and exit")
 		expect429 = flag.Bool("expect-429", false, "with -smoke: require the burst probe to see 429 (daemon must be rate-limited)")
 		slow      = flag.Bool("slow", false, "issue one long-running request and exit (drain smoke)")
+		warmSmoke = flag.String("warm-smoke", "", `persistent-cache smoke against a -cache-dir daemon: "prime" or "verify"`)
+		warmOut   = flag.String("warm-out", "warm_verdict.json", "verdict file the warm-start smoke writes (prime) and checks (verify)")
 	)
 	flag.Parse()
 
@@ -166,6 +178,9 @@ func main() {
 	}
 	if *slow {
 		os.Exit(runSlow(*addr))
+	}
+	if *warmSmoke != "" {
+		os.Exit(runWarmSmoke(*addr, *warmSmoke, *warmOut))
 	}
 
 	selected := benches()
@@ -380,6 +395,94 @@ func runSmoke(addr string, expect429 bool) int {
 		fmt.Println("smoke: burst saw 429 with Retry-After ok")
 	}
 	return 0
+}
+
+// runWarmSmoke is the daemon-restart smoke (CI's warm-start dance):
+// prime records a summaries-enabled analysis verdict and requires the
+// daemon to have computed summaries; verify, against a restarted
+// daemon sharing the cache directory, requires the identical verdict
+// answered entirely from the disk tier.
+func runWarmSmoke(addr, mode, outPath string) int {
+	it := microcItem(corpus.SharedHelpers(2, 3), "entry")
+	it.req.Summaries = true
+	it.req.Tenant = "warm-smoke"
+
+	resp, err := do(addr, it)
+	if err != nil || resp.Analyze == nil || resp.Analyze.Degraded {
+		fmt.Fprintf(os.Stderr, "mixload: warm-smoke %s request failed: %v %+v\n", mode, err, resp)
+		return 1
+	}
+	if resp.Cached {
+		fmt.Fprintf(os.Stderr, "mixload: warm-smoke %s answered from the verdict cache; the probe proves nothing\n", mode)
+		return 1
+	}
+	verdict := fmt.Sprintf("warnings=%q", resp.Analyze.Warnings)
+
+	computed, diskHits, err := summaryMetrics(addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mixload: warm-smoke %s: /metrics: %v\n", mode, err)
+		return 1
+	}
+
+	switch mode {
+	case "prime":
+		if computed == 0 {
+			fmt.Fprintln(os.Stderr, "mixload: warm-smoke prime: daemon computed no summaries (started without -cache-dir, or summaries ignored?)")
+			return 1
+		}
+		if err := os.WriteFile(outPath, []byte(verdict+"\n"), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "mixload: warm-smoke prime: %v\n", err)
+			return 1
+		}
+		fmt.Printf("warm-smoke prime ok: %d summaries computed, verdict recorded in %s\n", computed, outPath)
+		return 0
+	case "verify":
+		want, err := os.ReadFile(outPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mixload: warm-smoke verify: %v (run prime first)\n", err)
+			return 1
+		}
+		if got := verdict + "\n"; got != string(want) {
+			fmt.Fprintf(os.Stderr, "mixload: warm-smoke verify: verdict drift across restart:\n got %s want %s", got, want)
+			return 1
+		}
+		if computed != 0 || diskHits == 0 {
+			fmt.Fprintf(os.Stderr, "mixload: warm-smoke verify: summaries not served from disk (computed=%d disk_hits=%d)\n", computed, diskHits)
+			return 1
+		}
+		fmt.Printf("warm-smoke verify ok: identical verdict, %d summaries from disk, zero recomputed\n", diskHits)
+		return 0
+	default:
+		fmt.Fprintf(os.Stderr, "mixload: -warm-smoke must be \"prime\" or \"verify\", got %q\n", mode)
+		return 2
+	}
+}
+
+// summaryMetrics scrapes the daemon's summary-store counters.
+func summaryMetrics(addr string) (computed, diskHits int64, err error) {
+	resp, err := http.Get(addr + "/metrics")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	var snap struct {
+		Metrics []struct {
+			Name  string `json:"name"`
+			Value int64  `json:"value"`
+		} `json:"metrics"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return 0, 0, err
+	}
+	for _, m := range snap.Metrics {
+		switch m.Name {
+		case "serve.summaries.computed":
+			computed = m.Value
+		case "serve.summaries.disk_hits":
+			diskHits = m.Value
+		}
+	}
+	return computed, diskHits, nil
 }
 
 // runSlow issues one long-running request (drain smoke payload).

@@ -212,12 +212,12 @@ func runValidate(args []string) {
 			if kind == obs.KindRoot {
 				roots[path] = true
 			}
-			// A merge event happens on a live path: its path ID must
-			// extend a root already declared in the trace.
-			if kind == obs.KindMerge {
+			// Merge and summary events happen on a live path: their path
+			// IDs must extend a root already declared in the trace.
+			if kind == obs.KindMerge || kind == obs.KindSummary {
 				root, _, _ := strings.Cut(path, ".")
 				if !roots[root] {
-					report(line, fmt.Sprintf("merge event path %q is not under a live root", path))
+					report(line, fmt.Sprintf("%s event path %q is not under a live root", kind, path))
 				}
 			}
 		}

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	mixy [-pure] [-entry main] [-nocache] [-merge mode] [-merge-cap n]
+//	     [-summaries] [-summary-cap n] [-cache-dir dir]
 //	     [-workers n] [-memo=false]
 //	     [-deadline d] [-solver-timeout d]
 //	     [-stats] [-metrics] [-trace file] [-trace-det] [-pprof addr]
@@ -26,6 +27,14 @@
 // guarded ite cells when both reach the join alive and at most
 // -merge-cap cells diverge, "aggressive" also folds multi-path arms
 // and loop frontiers with no cap, and "off" restores pure forking.
+//
+// -summaries analyzes each eligible (int-only, non-MIX) function once
+// into guarded summary arms and instantiates those at call sites
+// instead of re-inlining the body (DESIGN.md section 14); -summary-cap
+// bounds the arms per summary (over it, the call inlines as before).
+// -cache-dir persists the summaries — and the engine's solver memo and
+// counterexample models — under a directory, so repeat runs over
+// unchanged functions skip their symbolic exploration entirely.
 //
 // -deadline bounds the whole analysis' wall-clock time and
 // -solver-timeout bounds each solver query. A run cut short by either

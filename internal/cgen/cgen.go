@@ -22,6 +22,13 @@ type Config struct {
 	Stmts int
 	// SymbolicEntry marks the body MIX(symbolic) via a helper.
 	SymbolicEntry bool
+	// IntHelpers, when positive, adds that many int-only helper
+	// functions (inside the summarizable fragment of DESIGN.md section
+	// 14), two int globals feeding them, and body statements that gate
+	// null-pointer flows on helper calls — so function-summary
+	// instantiation decides the reachability of real warnings. Zero
+	// keeps the historical statement stream byte-identical.
+	IntHelpers int
 }
 
 // DefaultConfig returns a balanced configuration.
@@ -52,10 +59,22 @@ func (g *Gen) Program() string {
 			fmt.Fprintf(&b, "int *g%d = NULL;\n", i)
 		}
 	}
+	if g.cfg.IntHelpers > 0 {
+		b.WriteString("int x0;\nint x1;\n")
+		for i := 0; i < g.cfg.IntHelpers; i++ {
+			fmt.Fprintf(&b, "int f%d(int a, int b) {\n", i)
+			fmt.Fprintf(&b, "  if (a < b) { return a + %d; }\n", g.r.Intn(5)+1)
+			fmt.Fprintf(&b, "  return b - %d;\n}\n", g.r.Intn(5)+1)
+		}
+	}
+	kinds := 6
+	if g.cfg.IntHelpers > 0 {
+		kinds = 9
+	}
 	body := &strings.Builder{}
 	for s := 0; s < g.cfg.Stmts; s++ {
 		i := g.r.Intn(g.cfg.Pointers)
-		switch g.r.Intn(6) {
+		switch g.r.Intn(kinds) {
 		case 0:
 			fmt.Fprintf(body, "  g%d = NULL;\n", i)
 		case 1:
@@ -69,6 +88,14 @@ func (g *Gen) Program() string {
 			fmt.Fprintf(body, "  g%d = g%d;\n", i, j)
 		case 5:
 			fmt.Fprintf(body, "  if (g%d == NULL) { g%d = malloc(sizeof(int)); }\n", i, i)
+		case 6:
+			fmt.Fprintf(body, "  x%d = f%d(x0, x1);\n", g.r.Intn(2), g.r.Intn(g.cfg.IntHelpers))
+		case 7:
+			fmt.Fprintf(body, "  if (f%d(x%d, x%d) < %d) { sink(g%d); }\n",
+				g.r.Intn(g.cfg.IntHelpers), g.r.Intn(2), g.r.Intn(2), g.r.Intn(7), i)
+		case 8:
+			fmt.Fprintf(body, "  if (f%d(x%d, x%d) < %d) { g%d = malloc(sizeof(int)); } else { g%d = NULL; }\n",
+				g.r.Intn(g.cfg.IntHelpers), g.r.Intn(2), g.r.Intn(2), g.r.Intn(7), i, i)
 		}
 	}
 	if g.cfg.SymbolicEntry {

@@ -96,10 +96,12 @@ type Analysis struct {
 	MaxPaths int               `json:"max_paths,omitempty"`
 
 	// MicroC options (mixy CLI, kind "microc" requests).
-	Pure     bool   `json:"pure,omitempty"`
-	Entry    string `json:"entry,omitempty"`
-	NoCache  bool   `json:"nocache,omitempty"`
-	MergeCap int    `json:"merge_cap,omitempty"`
+	Pure       bool   `json:"pure,omitempty"`
+	Entry      string `json:"entry,omitempty"`
+	NoCache    bool   `json:"nocache,omitempty"`
+	MergeCap   int    `json:"merge_cap,omitempty"`
+	Summaries  bool   `json:"summaries,omitempty"`
+	SummaryCap int    `json:"summary_cap,omitempty"`
 
 	// Shared options.
 	Merge         string   `json:"merge,omitempty"`
@@ -107,6 +109,12 @@ type Analysis struct {
 	NoMemo        bool     `json:"no_memo,omitempty"`
 	Deadline      Duration `json:"deadline,omitempty"`
 	SolverTimeout Duration `json:"solver_timeout,omitempty"`
+
+	// CacheDir points the persistent caches (function summaries, solver
+	// memo, counterexample models) at a directory. CLI / daemon-config
+	// only: the `json:"-"` tag keeps it out of the request schema, so an
+	// HTTP client can never choose server filesystem paths.
+	CacheDir string `json:"-"`
 }
 
 // negBool adapts the historical positive flags (-memo=true) onto the
@@ -175,6 +183,7 @@ func (a *Analysis) Register(fs *flag.FlagSet, kind Kind) {
 	fs.Var(negBool{&a.NoMemo}, "memo", "memoize solver queries (engine only)")
 	fs.Var(&a.Deadline, "deadline", "wall-clock deadline for the whole run (0 = none)")
 	fs.Var(&a.SolverTimeout, "solver-timeout", "per-query solver timeout (0 = none)")
+	fs.StringVar(&a.CacheDir, "cache-dir", "", "persist caches (summaries, solver memo, models) under this directory across runs")
 
 	switch kind {
 	case Core:
@@ -188,6 +197,8 @@ func (a *Analysis) Register(fs *flag.FlagSet, kind Kind) {
 		fs.StringVar(&a.Entry, "entry", "main", "entry function")
 		fs.BoolVar(&a.NoCache, "nocache", false, "disable block caching")
 		fs.IntVar(&a.MergeCap, "merge-cap", 8, "max diverging cells per joins-mode merge")
+		fs.BoolVar(&a.Summaries, "summaries", false, "answer eligible calls from compositional function summaries")
+		fs.IntVar(&a.SummaryCap, "summary-cap", 0, "max arms per function summary (0 = default, 16)")
 	}
 }
 
@@ -205,6 +216,7 @@ func (a Analysis) MixConfig() mix.Config {
 		NoMemo:            a.NoMemo,
 		Deadline:          time.Duration(a.Deadline),
 		SolverTimeout:     time.Duration(a.SolverTimeout),
+		CacheDir:          a.CacheDir,
 	}
 	if a.Symbolic {
 		cfg.Mode = mix.StartSymbolic
@@ -221,10 +233,13 @@ func (a Analysis) CConfig() mix.CConfig {
 		NoCache:       a.NoCache,
 		Merge:         a.Merge,
 		MergeCap:      a.MergeCap,
+		Summaries:     a.Summaries,
+		SummaryCap:    a.SummaryCap,
 		Workers:       a.Workers,
 		NoMemo:        a.NoMemo,
 		Deadline:      time.Duration(a.Deadline),
 		SolverTimeout: time.Duration(a.SolverTimeout),
+		CacheDir:      a.CacheDir,
 	}
 }
 

@@ -502,6 +502,48 @@ void clear_conn(struct conn **p_conn, struct conn **p_next) {
 	return b.String()
 }
 
+// SharedHelpers generates the X9 summary-reuse benchmark family: n
+// int-only helper functions, each a three-deep sequential conditional
+// ladder (8 paths when explored), called kCalls times in total from
+// one MIX(symbolic) entry that threads an accumulator through the
+// calls. Without function summaries every call site re-explores its
+// helper's paths from scratch; with summaries each helper is analyzed
+// once and every call site instantiates the cached arms — so the
+// inline cost scales with kCalls × paths while the summary cost
+// scales with nHelpers × paths + kCalls. The helpers are int-only,
+// loop-free, and non-recursive on purpose: the whole family sits
+// inside the summarizable fragment (DESIGN.md section 14).
+func SharedHelpers(nHelpers, kCalls int) string {
+	if nHelpers < 1 {
+		nHelpers = 1
+	}
+	var b strings.Builder
+	for i := 0; i < nHelpers; i++ {
+		// The constants differ per helper so each has distinct source
+		// text (and so a distinct content hash in the summary store).
+		fmt.Fprintf(&b, "int h%d(int a, int b) {\n", i)
+		fmt.Fprintf(&b, "  if (a < b) { a = a + %d; } else { a = a - %d; }\n", i+1, i+2)
+		fmt.Fprintf(&b, "  if (b < a) { b = b + %d; } else { b = b - %d; }\n", i+3, i+1)
+		fmt.Fprintf(&b, "  if (a < b) { return a + b; }\n")
+		fmt.Fprintf(&b, "  return a - b;\n}\n")
+	}
+	b.WriteString("int entry(int x, int y) MIX(symbolic) {\n  int acc = 0;\n")
+	// The accumulator feeds back into the arguments so successive calls
+	// see genuinely new symbolic inputs — otherwise the path condition
+	// would prune every repeat call's forks and the inline baseline
+	// would be artificially cheap.
+	for j := 0; j < kCalls; j++ {
+		if j%2 == 0 {
+			fmt.Fprintf(&b, "  acc = acc + h%d(x, acc + y);\n", j%nHelpers)
+		} else {
+			fmt.Fprintf(&b, "  acc = acc + h%d(acc, x);\n", j%nHelpers)
+		}
+	}
+	b.WriteString("  return acc;\n}\n")
+	b.WriteString("int main(void) { return 0; }\n")
+	return b.String()
+}
+
 // Ladder builds n sequential conditionals over symbolic booleans
 // b0..b(n-1), summing their results — cheap for a type checker (O(n)),
 // exponential for a forking symbolic executor (2^n paths, since the

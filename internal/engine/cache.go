@@ -33,6 +33,12 @@ type CacheOptions struct {
 	// memoized "unknown" verdicts are only deterministic for fixed
 	// bounds.
 	NewSolver func() *solver.Solver
+	// Dir, when non-empty, backs the cache with a persistent tier
+	// (diskcache.go): definite verdicts and counterexample models are
+	// loaded from dir at construction and written back on Persist.
+	// The disk tier survives Flush — flushing drops the in-memory
+	// generation, not the cross-run store.
+	Dir string
 }
 
 // Cache is the warm, cross-run half of the solver pipeline: the
@@ -67,14 +73,17 @@ type Cache struct {
 	consLimit int
 	solvers   sync.Pool
 	cur       atomic.Pointer[cacheGen]
+	disk      *diskStore // nil without CacheOptions.Dir
 
 	// Lifetime counters, across every engine and generation that ever
 	// used this cache — the daemon's warm-vs-cold observability.
-	hits      atomic.Int64
-	misses    atomic.Int64
-	cexHits   atomic.Int64
-	flushes   atomic.Int64
-	evictions atomic.Int64
+	hits        atomic.Int64
+	misses      atomic.Int64
+	cexHits     atomic.Int64
+	flushes     atomic.Int64
+	evictions   atomic.Int64
+	diskHits    atomic.Int64
+	diskCorrupt atomic.Int64
 }
 
 // cacheGen is one immutable-identity generation of the cache's data
@@ -114,6 +123,15 @@ func NewCache(o CacheOptions) *Cache {
 		consLimit: limit,
 		solvers:   sync.Pool{New: func() any { return factory() }},
 	}
+	if o.Dir != "" {
+		disk, err := openDiskStore(o.Dir)
+		if err != nil {
+			// Corrupt or stale file: count the fault and start cold;
+			// the next Persist overwrites the bad file.
+			c.diskCorrupt.Add(1)
+		}
+		c.disk = disk
+	}
 	c.cur.Store(c.newGen())
 	return c
 }
@@ -127,6 +145,14 @@ func (c *Cache) newGen() *cacheGen {
 	}
 	for i := range g.memo {
 		g.memo[i] = memoShard{ents: map[uint64]*list.Element{}, lru: list.New()}
+	}
+	if c.disk != nil {
+		// Seed the fresh generation's counterexample ring with the
+		// persisted models; each is still re-checked against its query
+		// before being trusted (cexCache.lookup evaluates the model).
+		for _, m := range c.disk.snapshotModels() {
+			g.cex.add(m)
+		}
 	}
 	return g
 }
@@ -192,6 +218,13 @@ type CacheStats struct {
 	// Evictions counts only the swaps forced by ConsLimit.
 	Flushes   int64
 	Evictions int64
+	// DiskEntries / DiskHits / DiskCorrupt describe the persistent
+	// tier (zero without CacheOptions.Dir): persisted verdicts,
+	// lifetime hits answered from disk, and files or entries that
+	// failed integrity checks (degraded to recompute).
+	DiskEntries int
+	DiskHits    int64
+	DiskCorrupt int64
 }
 
 // Stats reads the cache. Safe for concurrent use; zero value on nil.
@@ -217,5 +250,42 @@ func (c *Cache) Stats() CacheStats {
 	g.pcMu.RLock()
 	s.PCEntries = len(g.pcIDs)
 	g.pcMu.RUnlock()
+	if c.disk != nil {
+		s.DiskEntries = c.disk.size()
+	}
+	s.DiskHits = c.diskHits.Load()
+	s.DiskCorrupt = c.diskCorrupt.Load()
 	return s
+}
+
+// diskLookup consults the persistent tier (nil-safe; a miss when no
+// Dir was configured).
+func (c *Cache) diskLookup(key string) (sat, ok bool) {
+	if c == nil || c.disk == nil {
+		return false, false
+	}
+	sat, ok = c.disk.lookup(key)
+	if ok {
+		c.diskHits.Add(1)
+	}
+	return sat, ok
+}
+
+// diskAdd records a definite verdict (and model, when sat produced
+// one) in the persistent tier. Nil-safe no-op without a Dir.
+func (c *Cache) diskAdd(key string, sat bool, model *solver.Model) {
+	if c == nil || c.disk == nil {
+		return
+	}
+	c.disk.add(key, sat, model)
+}
+
+// Persist writes the persistent tier back to its directory. Call at
+// the end of a CLI run or on daemon drain; a memory-only cache (no
+// CacheOptions.Dir) is a no-op. Safe under concurrent queries.
+func (c *Cache) Persist() error {
+	if c == nil || c.disk == nil {
+		return nil
+	}
+	return c.disk.persist()
 }

@@ -328,6 +328,16 @@ func (p *SolverPool) decideComponent(sp *obs.Span, g *cacheGen, cs []conjunct, f
 			return true, nil
 		}
 	}
+	// Persistent tier (diskcache.go): definite verdicts saved by an
+	// earlier process, keyed by the conjunction's canonical text. A hit
+	// is promoted into this generation's memo so repeats stay in memory.
+	if g != nil {
+		if sat, ok := p.cache.diskLookup(conj.String()); ok {
+			sp.Stage("disk", verdictOf(sat, nil), 0)
+			p.memoStore(sh, key, sat, nil)
+			return sat, nil
+		}
+	}
 
 	var tr *obs.Tracer
 	var ts int64
@@ -349,6 +359,11 @@ func (p *SolverPool) decideComponent(sp *obs.Span, g *cacheGen, cs []conjunct, f
 	}
 	if err == nil && sat && g != nil {
 		g.cex.add(model) // add ignores nil models (extraction is best-effort)
+	}
+	if err == nil && g != nil {
+		// Persist only definite verdicts: "unknown" depends on solver
+		// bounds, which the disk file may outlive.
+		p.cache.diskAdd(conj.String(), sat, model)
 	}
 	return sat, err
 }

@@ -46,14 +46,18 @@ const (
 	SolverLimit
 	// WorkerPanic is a panic recovered at a task boundary.
 	WorkerPanic
+	// CacheCorrupt is a persistent-cache entry that failed its
+	// integrity or version check; the entry is discarded and the work
+	// recomputed (degraded-to-recompute, never a wrong answer).
+	CacheCorrupt
 
 	// NumClasses is the number of classes, for counter arrays.
-	NumClasses = int(WorkerPanic) + 1
+	NumClasses = int(CacheCorrupt) + 1
 )
 
 var classNames = [NumClasses]string{
 	"none", "timeout", "canceled", "path-budget", "step-budget",
-	"solver-limit", "worker-panic",
+	"solver-limit", "worker-panic", "cache-corrupt",
 }
 
 func (c Class) String() string {
@@ -66,7 +70,7 @@ func (c Class) String() string {
 // Classes lists every real class (excluding None), for tests that
 // sweep the taxonomy.
 func Classes() []Class {
-	return []Class{Timeout, Canceled, PathBudget, StepBudget, SolverLimit, WorkerPanic}
+	return []Class{Timeout, Canceled, PathBudget, StepBudget, SolverLimit, WorkerPanic, CacheCorrupt}
 }
 
 // Transient reports whether a degradation of this class is tied to the

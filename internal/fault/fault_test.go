@@ -216,13 +216,14 @@ func TestNilInjectorInert(t *testing.T) {
 // deterministic, so retrying the identical request cannot help.
 func TestTransient(t *testing.T) {
 	want := map[Class]bool{
-		Timeout:     true,
-		Canceled:    true,
-		WorkerPanic: true,
-		PathBudget:  false,
-		StepBudget:  false,
-		SolverLimit: false,
-		None:        false,
+		Timeout:      true,
+		Canceled:     true,
+		WorkerPanic:  true,
+		PathBudget:   false,
+		StepBudget:   false,
+		SolverLimit:  false,
+		CacheCorrupt: false,
+		None:         false,
 	}
 	for c, w := range want {
 		if got := c.Transient(); got != w {

@@ -37,6 +37,23 @@ func Print(p *Program) string {
 	return b.String()
 }
 
+// PrintFunc renders a single resolved function back to MicroC source
+// (header plus body, or "header;" for an extern). It is the canonical
+// text the summary store content-hashes: any edit that changes a
+// function's analysis-relevant shape changes this string.
+func PrintFunc(f *FuncDef) string {
+	var b strings.Builder
+	b.WriteString(funcHeader(f))
+	if f.Body == nil {
+		b.WriteString(";\n")
+		return b.String()
+	}
+	b.WriteString(" ")
+	printStmt(&b, f.Body, 0)
+	b.WriteString("\n")
+	return b.String()
+}
+
 // declString renders "basetype stars name" with qualifiers.
 func declString(d *VarDecl) string {
 	base, stars := splitType(d.Type)

@@ -56,6 +56,11 @@ type Options struct {
 	// the joins-mode divergence cap (0 = executor default).
 	Merge    engine.MergeMode
 	MergeCap int
+	// Summaries, when non-nil, answers eligible calls in the per-block
+	// executor from compositional function summaries
+	// (internal/summary.Store.Precompute) instead of inlining; every
+	// fallback stays observable through the Summarizer's counters.
+	Summaries symexec.Summarizer
 	// Engine, when non-nil, routes all solver queries through the
 	// engine's memoizing pool and evaluates the symbolic-to-typed
 	// translation queries of each block in parallel across its
@@ -161,6 +166,7 @@ func Run(prog *microc.Program, opts Options) (*Analysis, error) {
 	m.Exec.TypedCall = m.typedCall
 	m.Exec.MergeMode = opts.Merge
 	m.Exec.MergeCap = opts.MergeCap
+	m.Exec.Summaries = opts.Summaries
 	if m.eng != nil {
 		// The solver pool is shared; forking stays serial because the
 		// InitCell/TypedCall hooks mutate the inference.

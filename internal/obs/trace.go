@@ -61,6 +61,7 @@ const (
 	KindCacheHit  = "cache-hit"  // MIXY block-summary cache hit; detail = block key
 	KindCacheMiss = "cache-miss" // MIXY block-summary cache miss; detail = block key
 	KindBlock     = "block"      // MIXY symbolic block analyzed; detail = block key
+	KindSummary   = "summary"    // function-summary use at a call site; detail = "instantiate fn" (n = arms) or "fallback fn: reason"
 )
 
 // traceShards is the number of event-buffer shards. Spans hash to a

@@ -7,13 +7,18 @@
 //
 //   - a shared engine.Cache (hash-cons ids, per-component solver memo,
 //     counterexample models, warm per-worker solver instances), which
-//     every engine-backed request reads and extends, and
+//     every engine-backed request reads and extends,
+//   - a shared summary.Store, so function summaries computed for one
+//     request answer later requests that analyze the same code, and
 //   - a request-level verdict cache, answering byte-identical repeat
 //     requests without re-running the analysis.
 //
-// Both are bounded and both drop on POST /flush. Degraded results are
-// never cached — they depend on wall clock and load, not just the
-// request.
+// All are bounded and all drop their in-memory tier on POST /flush.
+// With Options.CacheDir set, the solver memo, counterexample models,
+// and function summaries also persist to disk: a restarted daemon
+// starts warm, and /flush does not touch the disk tier. Degraded
+// results are never cached — they depend on wall clock and load, not
+// just the request.
 //
 // Admission control is a per-tenant token bucket (fairness across
 // tenants at one shared rate) plus a global in-flight cap; rejected
@@ -43,6 +48,7 @@ import (
 	"mix/internal/fault"
 	"mix/internal/obs"
 	"mix/internal/profiling"
+	"mix/internal/summary"
 )
 
 // maxBodyBytes bounds a request body; programs are source text, so a
@@ -73,6 +79,12 @@ type Options struct {
 	MemoSize          int
 	ConsLimit         int
 	ResponseCacheSize int
+	// CacheDir, when non-empty, backs the engine cache and the summary
+	// store with a persistent on-disk tier: verdicts, models, and
+	// summaries survive daemon restarts (warm start), and POST /flush
+	// drops only the in-memory generations. Server-side configuration
+	// only — requests cannot name filesystem paths.
+	CacheDir string
 	// Registry receives the server's own metrics (request counts,
 	// rejections, latency, cache gauges). Nil creates a private one;
 	// it is exposed at GET /metrics either way.
@@ -86,6 +98,7 @@ type Options struct {
 type Server struct {
 	opts  Options
 	cache *engine.Cache
+	sums  *summary.Store
 	resp  *respCache
 	adm   *tenantBuckets
 	reg   *obs.Registry
@@ -121,7 +134,8 @@ func New(o Options) *Server {
 	}
 	s := &Server{
 		opts:     o,
-		cache:    engine.NewCache(engine.CacheOptions{MemoSize: o.MemoSize, ConsLimit: o.ConsLimit}),
+		cache:    engine.NewCache(engine.CacheOptions{MemoSize: o.MemoSize, ConsLimit: o.ConsLimit, Dir: o.CacheDir}),
+		sums:     summary.NewStore(o.CacheDir),
 		resp:     newRespCache(o.ResponseCacheSize),
 		adm:      newTenantBuckets(o.RatePerSec, o.Burst, o.Now),
 		reg:      o.Registry,
@@ -223,7 +237,7 @@ type errorBody struct {
 //
 //	POST /check    core-language analysis
 //	POST /analyze  MicroC (MIXY) analysis
-//	POST /flush    drop both caches (admin)
+//	POST /flush    drop all in-memory caches (admin)
 //	GET  /metrics  server metrics snapshot (obs JSON schema)
 //	GET  /healthz  readiness (503 once draining)
 func (s *Server) Handler() http.Handler {
@@ -240,10 +254,14 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// Flush drops the solver cache and the verdict cache. Safe under
-// load: in-flight queries finish against the generation they captured.
+// Flush drops the in-memory tiers of the solver cache, the summary
+// store, and the verdict cache. The persistent tier (Options.CacheDir)
+// survives: flushing resets warmth, it does not delete the cross-run
+// store. Safe under load: in-flight queries finish against the
+// generation they captured.
 func (s *Server) Flush() {
 	s.cache.Flush()
+	s.sums.Flush()
 	s.resp.flush()
 	s.flushes.Inc()
 }
@@ -254,7 +272,10 @@ func (s *Server) Ready() bool { return !s.draining.Load() }
 // Drain stops admitting work and waits for in-flight requests to
 // finish, or for ctx to expire — the SIGTERM path. It returns nil when
 // every in-flight request completed (zero dropped), or the context
-// error if some were still running at the cutoff.
+// error if some were still running at the cutoff. Either way the
+// persistent cache tier is written back before returning, so the next
+// daemon start is warm (summaries write through at compute time and
+// need no step here).
 func (s *Server) Drain(ctx context.Context) error {
 	s.draining.Store(true)
 	done := make(chan struct{})
@@ -262,17 +283,25 @@ func (s *Server) Drain(ctx context.Context) error {
 		s.wg.Wait()
 		close(done)
 	}()
+	var err error
 	select {
 	case <-done:
-		return nil
 	case <-ctx.Done():
-		return ctx.Err()
+		err = ctx.Err()
 	}
+	if perr := s.cache.Persist(); perr != nil && err == nil {
+		err = perr
+	}
+	return err
 }
 
 // Cache exposes the shared solver cache (stats for /metrics and
 // tests).
 func (s *Server) Cache() *engine.Cache { return s.cache }
+
+// Summaries exposes the shared function-summary store (stats for
+// /metrics and tests).
+func (s *Server) Summaries() *summary.Store { return s.sums }
 
 // collect refreshes the on-demand gauges before a /metrics scrape.
 func (s *Server) collect() {
@@ -283,6 +312,15 @@ func (s *Server) collect() {
 	s.reg.Gauge("serve.solvercache.memo_misses").Set(cs.MemoMisses)
 	s.reg.Gauge("serve.solvercache.cex_hits").Set(cs.CexHits)
 	s.reg.Gauge("serve.solvercache.evictions").Set(cs.Evictions)
+	s.reg.Gauge("serve.solvercache.disk_entries").Set(int64(cs.DiskEntries))
+	s.reg.Gauge("serve.solvercache.disk_hits").Set(cs.DiskHits)
+	s.reg.Gauge("serve.solvercache.disk_corrupt").Set(cs.DiskCorrupt)
+	ss := s.sums.Stats()
+	s.reg.Gauge("serve.summaries.entries").Set(int64(ss.Entries))
+	s.reg.Gauge("serve.summaries.mem_hits").Set(ss.MemHits)
+	s.reg.Gauge("serve.summaries.disk_hits").Set(ss.DiskHits)
+	s.reg.Gauge("serve.summaries.computed").Set(ss.Computed)
+	s.reg.Gauge("serve.summaries.corrupt").Set(ss.Corrupt)
 	entries, hits, misses := s.resp.stats()
 	s.reg.Gauge("serve.respcache.entries").Set(int64(entries))
 	s.reg.Gauge("serve.respcache.hits").Set(hits)
@@ -482,6 +520,12 @@ func (s *Server) run(kind string, req *Request) (*Response, int, string) {
 	case "microc":
 		cfg := req.Analysis.CConfig()
 		cfg.Cache = s.cache
+		if cfg.Summaries {
+			// The shared store, not a per-request one: summaries computed
+			// for one request answer every later request that analyzes
+			// the same functions (and, with CacheDir, later processes).
+			cfg.SummaryStore = s.sums
+		}
 		cfg.Deadline = s.deadline(req)
 		cfg.Metrics, cfg.Tracer = reg, tr
 		if err := cfg.Validate(); err != nil {

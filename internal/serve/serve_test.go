@@ -447,6 +447,124 @@ func TestPerRequestMetricsAndTrace(t *testing.T) {
 	}
 }
 
+// summariesRequest is a MicroC request with a summarizable helper
+// called twice from a symbolic entry, with summaries enabled — the
+// shape that exercises the server's shared summary store.
+func summariesRequest() Request {
+	var req Request
+	req.Source = `
+int h(int a, int b) {
+  if (a < b) { return a + 1; }
+  return b - 1;
+}
+int entry(int x, int y) MIX(symbolic) {
+  int r = h(x, y);
+  int s = h(r, x);
+  return r + s;
+}
+`
+	req.Entry = "entry"
+	req.Merge = "joins"
+	req.MergeCap = 8
+	req.Summaries = true
+	return req
+}
+
+// TestSummaryStoreSharedAndFlushed pins the daemon's summary-store
+// lifecycle: summaries computed for one request answer later requests
+// from memory, POST /flush drops that memory (disk survives), and the
+// verdicts never change.
+func TestSummaryStoreSharedAndFlushed(t *testing.T) {
+	dir := t.TempDir()
+	srv, ts := newTestServer(t, Options{CacheDir: dir})
+	req := summariesRequest()
+
+	_, body := post(t, ts.URL+"/analyze", req)
+	cold := decode(t, body)
+	if cold.Analyze == nil {
+		t.Fatalf("analyze failed: %s", body)
+	}
+	st := srv.Summaries().Stats()
+	if st.Computed == 0 || st.Entries == 0 {
+		t.Fatalf("summaries request computed nothing: %+v", st)
+	}
+
+	// The summary counters surface on the /metrics scrape.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.MetricsSnapshot
+	err = json.NewDecoder(mresp.Body).Decode(&snap)
+	mresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := map[string]int64{}
+	for _, m := range snap.Metrics {
+		vals[m.Name] = m.Value
+	}
+	if vals["serve.summaries.computed"] == 0 || vals["serve.summaries.entries"] == 0 {
+		t.Fatalf("summary gauges missing from /metrics: %v", vals)
+	}
+
+	// Flush drops the in-memory tier only; the next run (a verdict-cache
+	// miss, since /flush dropped that too) reloads summaries from disk.
+	resp, err := http.Post(ts.URL+"/flush", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st := srv.Summaries().Stats(); st.Entries != 0 {
+		t.Fatalf("flush left %d summary entries in memory", st.Entries)
+	}
+
+	_, body = post(t, ts.URL+"/analyze", req)
+	warm := decode(t, body)
+	if warm.Cached {
+		t.Fatal("post-flush request must not be a verdict-cache hit")
+	}
+	if verdict(warm) != verdict(cold) {
+		t.Fatalf("warm verdict differs:\n got %s\nwant %s", verdict(warm), verdict(cold))
+	}
+	warmStats := srv.Summaries().Stats()
+	if warmStats.DiskHits == 0 {
+		t.Fatalf("post-flush run did not reload summaries from disk: %+v", warmStats)
+	}
+	if warmStats.Computed != st.Computed {
+		t.Fatalf("post-flush run recomputed summaries: %+v, want only the cold run's %d", warmStats, st.Computed)
+	}
+}
+
+// TestWarmStartFromDisk pins the restart story: a fresh server on the
+// same cache directory answers a repeat analysis without recomputing
+// any summaries, with a byte-identical verdict.
+func TestWarmStartFromDisk(t *testing.T) {
+	dir := t.TempDir()
+	req := summariesRequest()
+
+	s1, ts1 := newTestServer(t, Options{CacheDir: dir})
+	_, body := post(t, ts1.URL+"/analyze", req)
+	cold := decode(t, body)
+	if err := s1.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	s2, ts2 := newTestServer(t, Options{CacheDir: dir})
+	_, body = post(t, ts2.URL+"/analyze", req)
+	warm := decode(t, body)
+	if warm.Cached {
+		t.Fatal("restarted server has an empty verdict cache; hit is impossible")
+	}
+	if verdict(warm) != verdict(cold) {
+		t.Fatalf("restart changed the verdict:\n got %s\nwant %s", verdict(warm), verdict(cold))
+	}
+	st := s2.Summaries().Stats()
+	if st.Computed != 0 || st.DiskHits == 0 {
+		t.Fatalf("restarted server stats = %+v, want all summaries from disk", st)
+	}
+}
+
 // TestMetricsEndpoint pins the /metrics scrape: the obs JSON schema
 // with the server counters and refreshed cache gauges.
 func TestMetricsEndpoint(t *testing.T) {

@@ -1,0 +1,89 @@
+package solver
+
+// Subst is a simultaneous substitution over terms and formulas. It is
+// what summary instantiation uses: the explicit maps carry the
+// parameter-placeholder → actual-argument bindings, and the rename
+// hooks catch every variable the maps do not mention (a summary's
+// internal fresh variables, which must be renamed per call site so two
+// instantiations of the same summary — or an instantiation and an
+// unrelated caller variable — can never collide).
+//
+// Replacement terms and formulas are inserted verbatim: the traversal
+// does not descend into them, so the substitution is simultaneous, not
+// iterated. Variables with neither a map entry nor a hook are kept.
+type Subst struct {
+	Ints  map[string]Term    // int variable name → replacement term
+	Bools map[string]Formula // bool variable name → replacement formula
+
+	// RenameInt/RenameBool, when non-nil, are applied to every variable
+	// not covered by the maps. Callers memoize inside the closure when
+	// the same unmapped variable must map to one fresh name.
+	RenameInt  func(name string) Term
+	RenameBool func(name string) Formula
+}
+
+// ApplyTerm applies the substitution to t, rebuilding through the
+// canonicalizing constructors so folding opportunities exposed by the
+// substitution (a constant guard, equal ite arms) collapse.
+func (s *Subst) ApplyTerm(t Term) Term {
+	switch t := t.(type) {
+	case IntConst:
+		return t
+	case IntVar:
+		if r, ok := s.Ints[t.Name]; ok {
+			return r
+		}
+		if s.RenameInt != nil {
+			return s.RenameInt(t.Name)
+		}
+		return t
+	case Add:
+		return Add{s.ApplyTerm(t.X), s.ApplyTerm(t.Y)}
+	case Neg:
+		return Neg{s.ApplyTerm(t.X)}
+	case Mul:
+		return Mul{K: t.K, X: s.ApplyTerm(t.X)}
+	case App:
+		args := make([]Term, len(t.Args))
+		for i, a := range t.Args {
+			args[i] = s.ApplyTerm(a)
+		}
+		return App{Fn: t.Fn, Args: args}
+	case Ite:
+		return NewIte(s.ApplyFormula(t.G), s.ApplyTerm(t.X), s.ApplyTerm(t.Y))
+	default:
+		return t
+	}
+}
+
+// ApplyFormula applies the substitution to f.
+func (s *Subst) ApplyFormula(f Formula) Formula {
+	switch f := f.(type) {
+	case BoolConst:
+		return f
+	case BoolVar:
+		if r, ok := s.Bools[f.Name]; ok {
+			return r
+		}
+		if s.RenameBool != nil {
+			return s.RenameBool(f.Name)
+		}
+		return f
+	case Not:
+		return NewNot(s.ApplyFormula(f.X))
+	case And:
+		return NewAnd(s.ApplyFormula(f.X), s.ApplyFormula(f.Y))
+	case Or:
+		return NewOr(s.ApplyFormula(f.X), s.ApplyFormula(f.Y))
+	case Eq:
+		return Eq{s.ApplyTerm(f.X), s.ApplyTerm(f.Y)}
+	case Le:
+		return Le{s.ApplyTerm(f.X), s.ApplyTerm(f.Y)}
+	case Lt:
+		return Lt{s.ApplyTerm(f.X), s.ApplyTerm(f.Y)}
+	case Iff:
+		return Iff{s.ApplyFormula(f.X), s.ApplyFormula(f.Y)}
+	default:
+		return f
+	}
+}

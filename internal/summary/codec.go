@@ -1,0 +1,230 @@
+package summary
+
+import (
+	"fmt"
+
+	"mix/internal/solver"
+)
+
+// jsonTerm / jsonFormula are the on-disk shape of solver terms and
+// formulas: a small tagged tree, decoded strictly (an unknown tag is a
+// corrupt entry, never a guess). The decoder rebuilds the exact
+// structure the encoder saw — no re-canonicalization — so a disk-warm
+// run instantiates byte-identical guards and return terms.
+type jsonTerm struct {
+	K    string       `json:"k"`
+	Val  int64        `json:"val,omitempty"`  // "c" value, "*" coefficient
+	Name string       `json:"name,omitempty"` // "v" variable, "app" symbol
+	Args []*jsonTerm  `json:"args,omitempty"` // subterms, operator-dependent arity
+	G    *jsonFormula `json:"g,omitempty"`    // "ite" guard
+}
+
+type jsonFormula struct {
+	K    string         `json:"k"`
+	B    bool           `json:"b,omitempty"`    // "bc" value
+	Name string         `json:"name,omitempty"` // "bv" variable
+	Fs   []*jsonFormula `json:"fs,omitempty"`   // subformulas
+	Ts   []*jsonTerm    `json:"ts,omitempty"`   // term operands ("==", "<=", "<")
+}
+
+func encodeTerm(t solver.Term) *jsonTerm {
+	switch t := t.(type) {
+	case solver.IntConst:
+		return &jsonTerm{K: "c", Val: t.Val}
+	case solver.IntVar:
+		return &jsonTerm{K: "v", Name: t.Name}
+	case solver.Add:
+		return &jsonTerm{K: "+", Args: []*jsonTerm{encodeTerm(t.X), encodeTerm(t.Y)}}
+	case solver.Neg:
+		return &jsonTerm{K: "-", Args: []*jsonTerm{encodeTerm(t.X)}}
+	case solver.Mul:
+		return &jsonTerm{K: "*", Val: t.K, Args: []*jsonTerm{encodeTerm(t.X)}}
+	case solver.App:
+		args := make([]*jsonTerm, len(t.Args))
+		for i, a := range t.Args {
+			args[i] = encodeTerm(a)
+		}
+		return &jsonTerm{K: "app", Name: t.Fn, Args: args}
+	case solver.Ite:
+		return &jsonTerm{K: "ite", G: encodeFormula(t.G), Args: []*jsonTerm{encodeTerm(t.X), encodeTerm(t.Y)}}
+	default:
+		// Unreachable for terms the executor builds; encode defensively
+		// as a tag the decoder rejects.
+		return &jsonTerm{K: fmt.Sprintf("?%T", t)}
+	}
+}
+
+func decodeTerm(j *jsonTerm) (solver.Term, error) {
+	if j == nil {
+		return nil, fmt.Errorf("nil term node")
+	}
+	arity := func(n int) ([]solver.Term, error) {
+		if len(j.Args) != n {
+			return nil, fmt.Errorf("term %q: want %d args, got %d", j.K, n, len(j.Args))
+		}
+		out := make([]solver.Term, n)
+		for i, a := range j.Args {
+			t, err := decodeTerm(a)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = t
+		}
+		return out, nil
+	}
+	switch j.K {
+	case "c":
+		return solver.IntConst{Val: j.Val}, nil
+	case "v":
+		return solver.IntVar{Name: j.Name}, nil
+	case "+":
+		xs, err := arity(2)
+		if err != nil {
+			return nil, err
+		}
+		return solver.Add{X: xs[0], Y: xs[1]}, nil
+	case "-":
+		xs, err := arity(1)
+		if err != nil {
+			return nil, err
+		}
+		return solver.Neg{X: xs[0]}, nil
+	case "*":
+		xs, err := arity(1)
+		if err != nil {
+			return nil, err
+		}
+		return solver.Mul{K: j.Val, X: xs[0]}, nil
+	case "app":
+		args := make([]solver.Term, len(j.Args))
+		for i, a := range j.Args {
+			t, err := decodeTerm(a)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = t
+		}
+		return solver.App{Fn: j.Name, Args: args}, nil
+	case "ite":
+		g, err := decodeFormula(j.G)
+		if err != nil {
+			return nil, err
+		}
+		xs, err := arity(2)
+		if err != nil {
+			return nil, err
+		}
+		return solver.Ite{G: g, X: xs[0], Y: xs[1]}, nil
+	default:
+		return nil, fmt.Errorf("unknown term tag %q", j.K)
+	}
+}
+
+func encodeFormula(f solver.Formula) *jsonFormula {
+	switch f := f.(type) {
+	case solver.BoolConst:
+		return &jsonFormula{K: "bc", B: f.Val}
+	case solver.BoolVar:
+		return &jsonFormula{K: "bv", Name: f.Name}
+	case solver.Not:
+		return &jsonFormula{K: "!", Fs: []*jsonFormula{encodeFormula(f.X)}}
+	case solver.And:
+		return &jsonFormula{K: "&&", Fs: []*jsonFormula{encodeFormula(f.X), encodeFormula(f.Y)}}
+	case solver.Or:
+		return &jsonFormula{K: "||", Fs: []*jsonFormula{encodeFormula(f.X), encodeFormula(f.Y)}}
+	case solver.Eq:
+		return &jsonFormula{K: "==", Ts: []*jsonTerm{encodeTerm(f.X), encodeTerm(f.Y)}}
+	case solver.Le:
+		return &jsonFormula{K: "<=", Ts: []*jsonTerm{encodeTerm(f.X), encodeTerm(f.Y)}}
+	case solver.Lt:
+		return &jsonFormula{K: "<", Ts: []*jsonTerm{encodeTerm(f.X), encodeTerm(f.Y)}}
+	case solver.Iff:
+		return &jsonFormula{K: "<=>", Fs: []*jsonFormula{encodeFormula(f.X), encodeFormula(f.Y)}}
+	default:
+		return &jsonFormula{K: fmt.Sprintf("?%T", f)}
+	}
+}
+
+func decodeFormula(j *jsonFormula) (solver.Formula, error) {
+	if j == nil {
+		return nil, fmt.Errorf("nil formula node")
+	}
+	subf := func(n int) ([]solver.Formula, error) {
+		if len(j.Fs) != n {
+			return nil, fmt.Errorf("formula %q: want %d subformulas, got %d", j.K, n, len(j.Fs))
+		}
+		out := make([]solver.Formula, n)
+		for i, g := range j.Fs {
+			f, err := decodeFormula(g)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = f
+		}
+		return out, nil
+	}
+	subt := func() (solver.Term, solver.Term, error) {
+		if len(j.Ts) != 2 {
+			return nil, nil, fmt.Errorf("formula %q: want 2 terms, got %d", j.K, len(j.Ts))
+		}
+		x, err := decodeTerm(j.Ts[0])
+		if err != nil {
+			return nil, nil, err
+		}
+		y, err := decodeTerm(j.Ts[1])
+		if err != nil {
+			return nil, nil, err
+		}
+		return x, y, nil
+	}
+	switch j.K {
+	case "bc":
+		return solver.BoolConst{Val: j.B}, nil
+	case "bv":
+		return solver.BoolVar{Name: j.Name}, nil
+	case "!":
+		fs, err := subf(1)
+		if err != nil {
+			return nil, err
+		}
+		return solver.Not{X: fs[0]}, nil
+	case "&&":
+		fs, err := subf(2)
+		if err != nil {
+			return nil, err
+		}
+		return solver.And{X: fs[0], Y: fs[1]}, nil
+	case "||":
+		fs, err := subf(2)
+		if err != nil {
+			return nil, err
+		}
+		return solver.Or{X: fs[0], Y: fs[1]}, nil
+	case "==":
+		x, y, err := subt()
+		if err != nil {
+			return nil, err
+		}
+		return solver.Eq{X: x, Y: y}, nil
+	case "<=":
+		x, y, err := subt()
+		if err != nil {
+			return nil, err
+		}
+		return solver.Le{X: x, Y: y}, nil
+	case "<":
+		x, y, err := subt()
+		if err != nil {
+			return nil, err
+		}
+		return solver.Lt{X: x, Y: y}, nil
+	case "<=>":
+		fs, err := subf(2)
+		if err != nil {
+			return nil, err
+		}
+		return solver.Iff{X: fs[0], Y: fs[1]}, nil
+	default:
+		return nil, fmt.Errorf("unknown formula tag %q", j.K)
+	}
+}

@@ -106,6 +106,12 @@ type Executor struct {
 	// (MIXY installs the symbolic-to-typed switch here).
 	TypedCall func(x *Executor, st State, f *microc.FuncDef, args []Value, pos microc.Pos) ([]Outcome, error)
 
+	// Summaries, when non-nil, answers eligible calls from compositional
+	// function summaries instead of inlining the callee body (see
+	// summary.go and internal/summary). Every fallback to inlining is
+	// observable: a counter bump plus a "summary" trace event.
+	Summaries Summarizer
+
 	// Engine, when non-nil, routes feasibility queries through the
 	// engine's memoizing solver pool and — unless SerialFork is set —
 	// runs the two feasible sides of a conditional as parallel

@@ -189,6 +189,11 @@ func (x *Executor) callFunction(st State, f *microc.FuncDef, args []Value, depth
 		x.report(st, Imprecision, pos, "call depth bound reached at %s", f.Name)
 		return []evalOut{{st: st, v: x.havocValue(f.Ret, f.Name)}}, nil
 	}
+	if x.Summaries != nil {
+		if outs, ok := x.trySummary(st, f, args, depth, pos); ok {
+			return outs, nil
+		}
+	}
 	x.clearFrame(st, f)
 	for i, p := range f.Params {
 		if i < len(args) && args[i] != nil {

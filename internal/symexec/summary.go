@@ -1,0 +1,177 @@
+package symexec
+
+import (
+	"fmt"
+
+	"mix/internal/engine"
+	"mix/internal/microc"
+	"mix/internal/obs"
+	"mix/internal/solver"
+)
+
+// SummaryParam is the canonical placeholder variable standing for the
+// i-th parameter of fn inside its summary. Summaries are computed once
+// over these placeholders; instantiation substitutes the call site's
+// actual argument terms for them. The "$" keeps the namespace disjoint
+// from every executor-generated variable ("cx%d_", "cb%d_").
+func SummaryParam(fn string, i int) string {
+	return fmt.Sprintf("sum$%s$p%d", fn, i)
+}
+
+// SummaryArm is one guarded arm of a function summary: when Guard
+// holds over the parameter placeholders, the call returns Ret. Arms
+// come from one complete path exploration of the function body, so
+// across a summary they are mutually exclusive and their disjunction
+// is valid — the admissibility fact instantiation relies on.
+type SummaryArm struct {
+	Guard solver.Formula
+	Ret   solver.Term // nil for void returns
+}
+
+// FuncSummary is the compositional summary of one function: its arms
+// plus the static height of its inline call chain (a leaf is 1), which
+// instantiation checks against MaxDepth so a summarized call degrades
+// at exactly the sites the inline executor would.
+type FuncSummary struct {
+	Fn     string
+	Height int
+	Arms   []SummaryArm
+}
+
+// Summarizer provides function summaries to the executor. Installed
+// via Executor.Summaries (internal/summary implements it); nil keeps
+// the classic inline-every-call discipline.
+type Summarizer interface {
+	// Summary returns f's summary, or nil and a human-readable reason
+	// when calls to f must fall back to inlining (not summarizable,
+	// recursive, arm cap exceeded, reports during summarization, ...).
+	Summary(f *microc.FuncDef) (sum *FuncSummary, fallbackReason string)
+	// NoteInstantiated records one call-site instantiation of f.
+	NoteInstantiated(f *microc.FuncDef, arms int)
+	// NoteFallback records one call site falling back to inlining.
+	NoteFallback(f *microc.FuncDef, reason string)
+}
+
+// noteFallback makes a fallback observable: counter plus trace event.
+func (x *Executor) noteFallback(st State, f *microc.FuncDef, reason string) {
+	x.Summaries.NoteFallback(f, reason)
+	st.span.Emit(obs.Event{Kind: obs.KindSummary, Detail: "fallback " + f.Name + ": " + reason})
+}
+
+// trySummary answers a call to f from its summary. It returns
+// (nil, false) when the call must inline instead — no summary, the
+// depth budget would have fired inside the inline expansion, or an
+// argument is not an integer term — with the fallback recorded.
+//
+// Instantiation renames every summary variable: parameter placeholders
+// become the actual argument terms, and all remaining variables (the
+// summary world's fresh integers and boolean choices) map to fresh
+// caller variables, memoized per call site so one summary variable is
+// one caller variable across all arms. With merging enabled the arms
+// collapse into a single ite-chained return value on an unchanged path
+// condition (sound because the arms partition the input space); with
+// merging off each feasible arm continues as its own path with the
+// instantiated guard conjoined, matching the inline fork discipline.
+func (x *Executor) trySummary(st State, f *microc.FuncDef, args []Value, depth int, pos microc.Pos) ([]evalOut, bool) {
+	sum, reason := x.Summaries.Summary(f)
+	if sum == nil {
+		x.noteFallback(st, f, reason)
+		return nil, false
+	}
+	if depth+sum.Height-1 > x.MaxDepth {
+		// Inlining f here would hit the call-depth bound somewhere in
+		// its expansion; inline so the bound fires at the same site
+		// with the same Imprecision report as a summary-off run.
+		x.noteFallback(st, f, "depth bound")
+		return nil, false
+	}
+	sub := &solver.Subst{Ints: map[string]solver.Term{}}
+	for i := range f.Params {
+		var t solver.Term
+		if i < len(args) && args[i] != nil {
+			var ok bool
+			if t, ok = intOf(args[i]); !ok {
+				// A non-integer value flowing into an int parameter;
+				// inline so the executor's own coercion (and reporting)
+				// applies unchanged.
+				x.noteFallback(st, f, "argument not an integer term")
+				return nil, false
+			}
+		}
+		if t == nil {
+			// Missing argument: lazy initialization semantics — a fresh
+			// unconstrained caller integer, as defaultInit would build.
+			t = x.FreshInt(f.Name + "_p").T
+		}
+		sub.Ints[SummaryParam(f.Name, i)] = t
+	}
+	renamedInts := map[string]solver.Term{}
+	renamedBools := map[string]solver.Formula{}
+	sub.RenameInt = func(name string) solver.Term {
+		if t, ok := renamedInts[name]; ok {
+			return t
+		}
+		t := solver.Term(x.FreshInt("sum_" + f.Name).T)
+		renamedInts[name] = t
+		return t
+	}
+	sub.RenameBool = func(name string) solver.Formula {
+		if g, ok := renamedBools[name]; ok {
+			return g
+		}
+		g := x.FreshBool("sum_" + f.Name)
+		renamedBools[name] = g
+		return g
+	}
+
+	_, isVoid := f.Ret.(microc.VoidType)
+	guards := make([]solver.Formula, len(sum.Arms))
+	rets := make([]solver.Term, len(sum.Arms))
+	for i, arm := range sum.Arms {
+		guards[i] = sub.ApplyFormula(arm.Guard)
+		if arm.Ret != nil {
+			rets[i] = sub.ApplyTerm(arm.Ret)
+		} else if !isVoid {
+			x.noteFallback(st, f, "arm without a return term")
+			return nil, false
+		}
+	}
+	x.Summaries.NoteInstantiated(f, len(sum.Arms))
+	st.span.Emit(obs.Event{Kind: obs.KindSummary, Detail: "instantiate " + f.Name, N: int64(len(sum.Arms))})
+
+	if x.MergeMode != engine.MergeOff || len(sum.Arms) == 1 {
+		// One merged continuation: the arms are exhaustive and mutually
+		// exclusive, so the last arm serves as the ite default and the
+		// caller's PC needs no new conjunct. (A single-arm summary has a
+		// valid guard, so dropping it is equally sound with merging off.)
+		var v Value = VVoid{}
+		if !isVoid {
+			t := rets[len(rets)-1]
+			for i := len(rets) - 2; i >= 0; i-- {
+				t = solver.NewIte(guards[i], rets[i], t)
+			}
+			v = VInt{T: t}
+		}
+		return []evalOut{{st: st, v: v}}, true
+	}
+
+	// Merging off: one path per feasible arm, in summary (depth-first)
+	// arm order — the order inline forking would produce.
+	var outs []evalOut
+	for i := range sum.Arms {
+		if !x.feasible(st, st.PC, guards[i]) {
+			continue
+		}
+		ast := st
+		if len(outs) > 0 {
+			ast = st.Clone()
+		}
+		ast.PC = st.PC.And(guards[i])
+		var v Value = VVoid{}
+		if !isVoid {
+			v = VInt{T: rets[i]}
+		}
+		outs = append(outs, evalOut{st: ast, v: v})
+	}
+	return outs, true
+}

@@ -31,6 +31,7 @@ import (
 	"mix/internal/microc"
 	"mix/internal/mixy"
 	"mix/internal/obs"
+	"mix/internal/summary"
 	"mix/internal/sym"
 	"mix/internal/symexec"
 	"mix/internal/types"
@@ -90,6 +91,13 @@ type Config struct {
 	// counters are visible on Result and engine.Cache.Stats. The
 	// serving daemon (cmd/mixd) shares one Cache across all requests.
 	Cache *engine.Cache
+	// CacheDir, when non-empty (and Cache is nil), backs this check's
+	// solver cache with a persistent on-disk tier: definite verdicts
+	// and counterexample models load from the directory before the run
+	// and are written back after it, so a cold process re-uses what an
+	// earlier process proved. Ignored when Cache is provided — a shared
+	// cache carries its own Dir (engine.CacheOptions.Dir).
+	CacheDir string
 	// Deadline bounds the whole check's wall-clock time (0 = none).
 	// An expired deadline degrades the result instead of hanging or
 	// failing: exploration stops cooperatively and the check reports
@@ -209,8 +217,9 @@ func (cfg Config) Validate() error {
 // wantsEngine mirrors CheckExpr's engine-construction condition.
 func (cfg Config) wantsEngine() bool {
 	return cfg.Workers > 0 || cfg.MaxPaths > 0 || cfg.Deadline > 0 ||
-		cfg.SolverTimeout > 0 || cfg.Cache != nil || cfg.Context != nil ||
-		cfg.FaultInjector != nil || cfg.Tracer != nil || cfg.Metrics != nil
+		cfg.SolverTimeout > 0 || cfg.Cache != nil || cfg.CacheDir != "" ||
+		cfg.Context != nil || cfg.FaultInjector != nil || cfg.Tracer != nil ||
+		cfg.Metrics != nil
 }
 
 // CheckExpr runs the mixed analysis on a parsed program.
@@ -235,11 +244,18 @@ func CheckExpr(e lang.Expr, cfg Config) Result {
 	}
 	var eng *engine.Engine
 	if cfg.wantsEngine() {
+		cache := cfg.Cache
+		if cache == nil && cfg.CacheDir != "" {
+			// Private per-run cache over a persistent directory: load
+			// before, write back after.
+			cache = engine.NewCache(engine.CacheOptions{Dir: cfg.CacheDir})
+			defer cache.Persist()
+		}
 		eng = engine.New(engine.Options{
 			Workers:       cfg.Workers,
 			MaxPaths:      int64(cfg.MaxPaths),
 			NoMemo:        cfg.NoMemo,
-			Cache:         cfg.Cache,
+			Cache:         cache,
 			Context:       cfg.Context,
 			Deadline:      cfg.Deadline,
 			SolverTimeout: cfg.SolverTimeout,
@@ -356,6 +372,20 @@ type CConfig struct {
 	// DESIGN.md section 12.
 	Merge    string
 	MergeCap int
+	// Summaries answers eligible calls in the per-block executor from
+	// compositional function summaries (internal/summary): each
+	// non-MIX-annotated int-fragment function is analyzed once into
+	// guarded arms, and call sites instantiate the arms by substitution
+	// instead of re-inlining the body. Verdicts are identical to
+	// inlining; ineligible calls fall back observably. SummaryCap
+	// bounds the arms per summary (0 = default, 16).
+	Summaries  bool
+	SummaryCap int
+	// SummaryStore, when non-nil (and Summaries is set), is a shared
+	// cross-run summary cache (summary.NewStore); the daemon shares one
+	// across requests. Nil with Summaries set builds a store from
+	// CacheDir (or memory-only when that too is empty).
+	SummaryStore *summary.Store
 	// Workers > 0 enables the engine: solver queries go through a
 	// memoizing pool and the symbolic-to-typed translation queries of
 	// each block evaluate in parallel across that many workers.
@@ -365,6 +395,11 @@ type CConfig struct {
 	// Cache, when non-nil, is a shared cross-run solver cache; see
 	// Config.Cache.
 	Cache *engine.Cache
+	// CacheDir, when non-empty, persists the caches across processes:
+	// the function-summary store (with Summaries) and, when Cache is
+	// nil, this run's solver memo and counterexample models; see
+	// Config.CacheDir.
+	CacheDir string
 	// Deadline bounds the analysis' wall-clock time (0 = none). An
 	// expired deadline stops the fixed point and pessimizes the
 	// frontier (sound over-approximation) instead of hanging.
@@ -404,6 +439,17 @@ type CResult struct {
 	MemoHits   int
 	MemoMisses int
 	SolverTime time.Duration
+	// Summary statistics (zero without CConfig.Summaries): summaries
+	// computed fresh this run vs answered from the store's memory/disk
+	// tiers, corrupt disk entries degraded to recompute, call sites
+	// answered by instantiating a summary, and call sites that fell
+	// back to inlining.
+	SummaryComputed     int
+	SummaryMemHits      int
+	SummaryDiskHits     int
+	SummaryCorrupt      int
+	SummaryInstantiated int64
+	SummaryFallbacks    int64
 	// Solver-pipeline statistics (zero without Workers): see
 	// Result.QuickDecided and friends.
 	QuickDecided int
@@ -445,6 +491,12 @@ func (cfg CConfig) Validate() error {
 		return fmt.Errorf("mix: negative MergeCap %d (0 means the joins-mode default)", cfg.MergeCap)
 	case cfg.MergeCap > 0 && cfg.Merge == "":
 		return fmt.Errorf("mix: MergeCap %d set without a Merge mode — the cap only applies to the merging executor (set Merge to \"joins\" or \"aggressive\")", cfg.MergeCap)
+	case cfg.SummaryCap < 0:
+		return fmt.Errorf("mix: negative SummaryCap %d (0 means the default, %d)", cfg.SummaryCap, summary.DefaultCap)
+	case cfg.SummaryCap > 0 && !cfg.Summaries:
+		return fmt.Errorf("mix: SummaryCap %d set without Summaries — the cap only applies to summary construction (set Summaries)", cfg.SummaryCap)
+	case cfg.SummaryStore != nil && !cfg.Summaries:
+		return fmt.Errorf("mix: SummaryStore set without Summaries — the store is only consulted when summaries are enabled")
 	}
 	if cfg.Merge != "" {
 		if _, err := engine.ParseMergeMode(cfg.Merge); err != nil {
@@ -460,8 +512,8 @@ func (cfg CConfig) Validate() error {
 // wantsEngine mirrors AnalyzeC's engine-construction condition.
 func (cfg CConfig) wantsEngine() bool {
 	return cfg.Workers > 0 || cfg.Deadline > 0 || cfg.SolverTimeout > 0 ||
-		cfg.Cache != nil || cfg.Context != nil || cfg.FaultInjector != nil ||
-		cfg.Tracer != nil || cfg.Metrics != nil
+		cfg.Cache != nil || cfg.CacheDir != "" || cfg.Context != nil ||
+		cfg.FaultInjector != nil || cfg.Tracer != nil || cfg.Metrics != nil
 }
 
 // ParseC parses a MicroC translation unit.
@@ -479,10 +531,15 @@ func AnalyzeC(src string, cfg CConfig) (CResult, error) {
 	}
 	var eng *engine.Engine
 	if cfg.wantsEngine() {
+		cache := cfg.Cache
+		if cache == nil && cfg.CacheDir != "" {
+			cache = engine.NewCache(engine.CacheOptions{Dir: cfg.CacheDir})
+			defer cache.Persist()
+		}
 		eng = engine.New(engine.Options{
 			Workers:       cfg.Workers,
 			NoMemo:        cfg.NoMemo,
-			Cache:         cfg.Cache,
+			Cache:         cache,
 			Context:       cfg.Context,
 			Deadline:      cfg.Deadline,
 			SolverTimeout: cfg.SolverTimeout,
@@ -499,10 +556,21 @@ func AnalyzeC(src string, cfg CConfig) (CResult, error) {
 			return CResult{}, err
 		}
 	}
+	// Summaries are precomputed before the fixpoint, bottom-up over the
+	// call graph, consulting the cross-run store (memory, then disk)
+	// before running any scratch symbolic execution.
+	var sums *summary.ProgramSummaries
+	if cfg.Summaries {
+		store := cfg.SummaryStore
+		if store == nil {
+			store = summary.NewStore(cfg.CacheDir)
+		}
+		sums = store.Precompute(prog, cfg.SummaryCap)
+	}
 	// The memory counters are process-wide and monotone; this run's
 	// contribution is the before/after delta.
 	clones0, shared0, writes0 := symexec.MemoryStats()
-	a, err := mixy.Run(prog, mixy.Options{
+	mopts := mixy.Options{
 		Entry:             cfg.Entry,
 		IgnoreAnnotations: cfg.PureTypes,
 		NoCache:           cfg.NoCache,
@@ -511,7 +579,11 @@ func AnalyzeC(src string, cfg CConfig) (CResult, error) {
 		MergeCap:          cfg.MergeCap,
 		Engine:            eng,
 		Tracer:            cfg.Tracer,
-	})
+	}
+	if sums != nil {
+		mopts.Summaries = sums
+	}
+	a, err := mixy.Run(prog, mopts)
 	if err != nil {
 		return CResult{}, err
 	}
@@ -542,6 +614,14 @@ func AnalyzeC(src string, cfg CConfig) (CResult, error) {
 		res.MaxSlice = int(es.MaxSlice)
 		res.CexHits = int(es.CexHits)
 	}
+	if sums != nil {
+		res.SummaryComputed = sums.Computed
+		res.SummaryMemHits = sums.MemHits
+		res.SummaryDiskHits = sums.DiskHits
+		res.SummaryCorrupt = sums.Corrupt
+		res.SummaryInstantiated = sums.Instantiated()
+		res.SummaryFallbacks = sums.Fallbacks()
+	}
 	for _, w := range a.Warnings {
 		res.Warnings = append(res.Warnings, w.String())
 	}
@@ -554,6 +634,14 @@ func AnalyzeC(src string, cfg CConfig) (CResult, error) {
 		m.Gauge("symexec.mem.clones").Set(res.MemClones)
 		m.Gauge("symexec.mem.shared_cells").Set(res.SharedCells)
 		m.Gauge("symexec.mem.writes").Set(res.MemWrites)
+		if sums != nil {
+			m.Gauge("mixy.summaries.computed").Set(int64(res.SummaryComputed))
+			m.Gauge("mixy.summaries.mem_hits").Set(int64(res.SummaryMemHits))
+			m.Gauge("mixy.summaries.disk_hits").Set(int64(res.SummaryDiskHits))
+			m.Gauge("mixy.summaries.corrupt").Set(int64(res.SummaryCorrupt))
+			m.Gauge("mixy.summaries.instantiated").Set(res.SummaryInstantiated)
+			m.Gauge("mixy.summaries.fallbacks").Set(res.SummaryFallbacks)
+		}
 		var deg int64
 		if res.Degraded {
 			deg = 1
