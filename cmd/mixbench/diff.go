@@ -28,25 +28,46 @@ import (
 // benchRow is one untyped row of a BENCH_*.json artifact.
 type benchRow map[string]any
 
+// benchMachine is the envelope's description of the machine a bench
+// artifact was measured on.
+type benchMachine struct {
+	CPUs       int `json:"cpus"`
+	GoMaxProcs int `json:"gomaxprocs"`
+}
+
+// comparableWith reports whether two artifacts' timing rows can be
+// meaningfully diffed: the cpu counts must match, and so must the
+// effective GOMAXPROCS when both artifacts record it (older artifacts
+// predate the field and load as 0 = unknown).
+func (m benchMachine) comparableWith(o benchMachine) error {
+	if m.CPUs != o.CPUs {
+		return fmt.Errorf("cpus %d vs %d", m.CPUs, o.CPUs)
+	}
+	if m.GoMaxProcs != 0 && o.GoMaxProcs != 0 && m.GoMaxProcs != o.GoMaxProcs {
+		return fmt.Errorf("gomaxprocs %d vs %d", m.GoMaxProcs, o.GoMaxProcs)
+	}
+	return nil
+}
+
 // loadBenchRows reads a BENCH_*.json envelope, checking the schema
 // version.
-func loadBenchRows(path string) ([]benchRow, error) {
+func loadBenchRows(path string) ([]benchRow, benchMachine, error) {
 	b, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, benchMachine{}, err
 	}
 	var env struct {
-		SchemaVersion int        `json:"schema_version"`
-		CPUs          int        `json:"cpus"`
-		Rows          []benchRow `json:"rows"`
+		SchemaVersion int `json:"schema_version"`
+		benchMachine
+		Rows []benchRow `json:"rows"`
 	}
 	if err := json.Unmarshal(b, &env); err != nil {
-		return nil, fmt.Errorf("%s: %v", path, err)
+		return nil, benchMachine{}, fmt.Errorf("%s: %v", path, err)
 	}
 	if env.SchemaVersion != benchSchemaVersion {
-		return nil, fmt.Errorf("%s: schema_version %d, want %d", path, env.SchemaVersion, benchSchemaVersion)
+		return nil, benchMachine{}, fmt.Errorf("%s: schema_version %d, want %d", path, env.SchemaVersion, benchSchemaVersion)
 	}
-	return env.Rows, nil
+	return env.Rows, env.benchMachine, nil
 }
 
 // rowKey builds the join name of a row: its string-valued fields in
@@ -105,10 +126,17 @@ func exactComparable(r benchRow) bool {
 // wall clock regressed by more than maxRegress (a fraction; 0.05
 // means 5%).
 func runDiff(oldPath, newPath string, maxRegress float64) {
-	oldRows, err := loadBenchRows(oldPath)
+	oldRows, oldMachine, err := loadBenchRows(oldPath)
 	must(err)
-	newRows, err := loadBenchRows(newPath)
+	newRows, newMachine, err := loadBenchRows(newPath)
 	must(err)
+	// Refuse cross-machine timing comparisons outright: a "regression"
+	// measured against an artifact from a different cpu or GOMAXPROCS
+	// budget is noise dressed up as a verdict.
+	if err := oldMachine.comparableWith(newMachine); err != nil {
+		fmt.Fprintf(os.Stderr, "mixbench: -diff refuses %s vs %s: %v\n", oldPath, newPath, err)
+		os.Exit(2)
+	}
 	oldByKey := map[string]benchRow{}
 	for _, r := range oldRows {
 		oldByKey[rowKey(r)] = r

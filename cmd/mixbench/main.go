@@ -5,12 +5,12 @@
 //
 // Usage:
 //
-//	mixbench [-table E1..E8|X1..X9|all] [-cpuprofile f] [-memprofile f]
+//	mixbench [-table E1..E8|X1..X10|all] [-cpuprofile f] [-memprofile f]
 //	mixbench -diff old.json new.json
 //
-// The X4..X9 tables also write machine-readable BENCH_*.json
+// The X4..X10 tables also write machine-readable BENCH_*.json
 // artifacts, all sharing one envelope:
-// {"schema_version": 1, "cpus": N, "rows": [...]}.
+// {"schema_version": 1, "cpus": N, "gomaxprocs": N, "rows": [...]}.
 //
 // -cpuprofile/-memprofile capture pprof profiles of the selected
 // tables (view with `go tool pprof`). X7 compares tracing-disabled
@@ -22,7 +22,10 @@
 // vsftpd workload. X9 measures compositional function summaries
 // (inline vs summaries vs summaries warm from disk) on the
 // shared-helper family; under MIXBENCH_ENFORCE=1 it exits 1 unless
-// summaries are at least 2x faster than inlining.
+// summaries are at least 2x faster than inlining. X10 measures
+// distributed sharded exploration (DESIGN.md section 15) at 1 vs more
+// shards; under MIXBENCH_ENFORCE=1 on a multi-cpu host it exits 1
+// unless some sharded row beats the 1-shard coordinator.
 //
 // -diff old.json new.json joins two BENCH_*.json artifacts by row
 // name and prints per-row speedups. It exits 1 when a deterministic
@@ -46,6 +49,7 @@ import (
 	"mix"
 	"mix/internal/cexec"
 	"mix/internal/cgen"
+	"mix/internal/cliflags"
 	"mix/internal/concrete"
 	"mix/internal/core"
 	"mix/internal/corpus"
@@ -57,6 +61,7 @@ import (
 	"mix/internal/obs"
 	"mix/internal/pointer"
 	"mix/internal/profiling"
+	"mix/internal/shard"
 	"mix/internal/signs"
 	"mix/internal/summary"
 	"mix/internal/sym"
@@ -65,7 +70,8 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "experiment to run (E1..E8, X1..X9, or all)")
+	shard.WorkerMain() // X10's worker processes re-exec this binary
+	table := flag.String("table", "all", "experiment to run (E1..E8, X1..X10, or all)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected tables to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken after the run to this file")
 	diff := flag.Bool("diff", false, "compare two BENCH_*.json artifacts: mixbench -diff old.json new.json")
@@ -98,10 +104,10 @@ func runTables(table string) {
 		"E5": tableE5, "E6": tableE6, "E7": tableE7, "E8": tableE8,
 		"X1": tableX1, "X2": tableX2, "X3": tableX3, "X4": tableX4,
 		"X5": tableX5, "X6": tableX6, "X7": tableX7, "X8": tableX8,
-		"X9": tableX9,
+		"X9": tableX9, "X10": tableX10,
 	}
 	if table == "all" {
-		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "X1", "X2", "X3", "X4", "X5", "X6", "X7", "X8", "X9"} {
+		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "X1", "X2", "X3", "X4", "X5", "X6", "X7", "X8", "X9", "X10"} {
 			tables[id]()
 			fmt.Println()
 		}
@@ -115,9 +121,13 @@ func runTables(table string) {
 	run()
 }
 
-// benchSchemaVersion stamps every BENCH_*.json artifact. All four
-// files (engine, solver, faults, obs) share one envelope:
-// {"schema_version": 1, "cpus": N, "rows": [...]}.
+// benchSchemaVersion stamps every BENCH_*.json artifact. All the
+// files share one envelope:
+// {"schema_version": 1, "cpus": N, "gomaxprocs": N, "rows": [...]}.
+// gomaxprocs records the effective parallelism limit, which can be
+// lower than cpus (cgroup quota, GOMAXPROCS env) — timing rows from
+// machines that merely report the same cpus are not comparable if
+// their schedulers ran with different budgets.
 const benchSchemaVersion = 1
 
 // benchEnvelope is the common BENCH_*.json shape; Rows stays untyped
@@ -125,6 +135,7 @@ const benchSchemaVersion = 1
 type benchEnvelope struct {
 	SchemaVersion int `json:"schema_version"`
 	CPUs          int `json:"cpus"`
+	GoMaxProcs    int `json:"gomaxprocs"`
 	Rows          any `json:"rows"`
 }
 
@@ -133,6 +144,7 @@ func writeBench(path string, rows any) {
 	out, err := json.MarshalIndent(benchEnvelope{
 		SchemaVersion: benchSchemaVersion,
 		CPUs:          runtime.NumCPU(),
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
 		Rows:          rows,
 	}, "", "  ")
 	must(err)
@@ -1012,7 +1024,7 @@ func tableX7() {
 // same host) via the shared envelope loader that also backs -diff.
 // 0 means no comparable baseline.
 func ladder10Baseline() int64 {
-	rows, err := loadBenchRows("BENCH_engine.json")
+	rows, _, err := loadBenchRows("BENCH_engine.json")
 	if err != nil {
 		return 0
 	}
@@ -1229,4 +1241,97 @@ func tableX9() {
 	}
 	w.Flush()
 	writeBench("BENCH_summaries.json", rows)
+}
+
+// tableX10 — distributed sharded exploration (DESIGN.md section 15):
+// wall-clock on the unmerged ladder family with the path tree split
+// into 2^depth prefix subtrees dispatched to worker processes, best
+// of three per shard count. The 1-shard row pays the full coordinator
+// and process-spawn overhead with zero parallelism, so it is the
+// honest baseline; speedup is that row's time over each wider run.
+// Verdicts must agree across every shard count (the determinism
+// contract), and with MIXBENCH_ENFORCE=1 on a multi-cpu host the run
+// exits 1 unless some sharded row beats 1 shard.
+func tableX10() {
+	fmt.Println("X10 — sharded exploration: 1 vs N worker processes on ladder (depth 2, best of 3)")
+	fmt.Println("claims: prefix subtrees are independent, so worker processes scale exploration; verdicts are shard-count-invariant")
+
+	type row struct {
+		Bench   string  `json:"bench"`
+		Shards  int     `json:"shards"`
+		Depth   int     `json:"depth"`
+		Paths   int     `json:"paths"`
+		TimeNS  int64   `json:"time_ns"`
+		Speedup float64 `json:"speedup,omitempty"` // 1-shard time / this time, same bench
+	}
+	var rows []row
+	w := newTab()
+	fmt.Fprintln(w, "bench\tshards\tpaths\ttime\tvs 1 shard")
+
+	const reps = 3
+	enforce := os.Getenv("MIXBENCH_ENFORCE") == "1"
+	shardCounts := []int{1, 2, 4}
+	sped := false
+
+	for _, n := range []int{12, 14} {
+		name := fmt.Sprintf("ladder-%d", n)
+		src, envPairs := corpus.Ladder(n)
+		req := cliflags.Analysis{Symbolic: true, Merge: "off", Env: envMap(envPairs)}
+
+		var oneShard time.Duration
+		var verdict string
+		for _, shards := range shardCounts {
+			var best time.Duration
+			var r row
+			for rep := 0; rep < reps; rep++ {
+				opts := shard.Options{Shards: shards, Depth: 2}
+				start := time.Now()
+				res, err := shard.ExploreCore(src, req, opts)
+				dur := time.Since(start)
+				must(err)
+				if res.Degraded || res.Err != nil {
+					must(fmt.Errorf("X10 %s at %d shards did not complete clean: %v %s", name, shards, res.Err, res.FaultDetail))
+				}
+				got := fmt.Sprintf("%s %v", res.Type, res.Reports)
+				if shards == shardCounts[0] && rep == 0 {
+					verdict = got
+				} else if got != verdict {
+					must(fmt.Errorf("X10 %s verdict drift at %d shards: %q vs %q", name, shards, got, verdict))
+				}
+				if rep == 0 || dur < best {
+					best = dur
+					r = row{Bench: name, Shards: shards, Depth: 2, Paths: res.Paths}
+				}
+			}
+			r.TimeNS = best.Nanoseconds()
+			vs := "-"
+			if shards == 1 {
+				oneShard = best
+			} else {
+				r.Speedup = float64(oneShard) / float64(best)
+				vs = fmt.Sprintf("%.1fx", r.Speedup)
+				if r.Speedup > 1 {
+					sped = true
+				}
+			}
+			rows = append(rows, r)
+			fmt.Fprintf(w, "%s\t%d\t%d\t%v\t%s\n",
+				name, shards, r.Paths, best.Round(time.Microsecond), vs)
+		}
+	}
+	w.Flush()
+	writeBench("BENCH_shard.json", rows)
+
+	// A single-cpu host serializes the worker processes, so scaling is
+	// only a claim where there is hardware to scale onto.
+	if enforce {
+		if runtime.NumCPU() <= 1 {
+			fmt.Println("MIXBENCH_ENFORCE: single-cpu host, shard scaling not enforced")
+		} else if !sped {
+			fmt.Fprintln(os.Stderr, "mixbench: X10: no sharded row beat the 1-shard baseline on a multi-cpu host")
+			os.Exit(1)
+		} else {
+			fmt.Println("MIXBENCH_ENFORCE: sharded exploration beat the 1-shard baseline: ok")
+		}
+	}
 }

@@ -13,7 +13,10 @@
 // empty every time) and warm (one untimed priming pass, then the
 // timed measurement against fully warm caches). Rows carry p50/p99
 // for both phases, warm throughput, and the warm cache hit rate, in
-// the standard {"schema_version", "cpus", "rows"} envelope.
+// the standard {"schema_version", "cpus", "gomaxprocs", "rows"}
+// envelope. Requests answered 429 are retried after the advertised
+// Retry-After delay (jittered, capped at 2s) rather than failing the
+// run — admission-control pushback is the daemon working as designed.
 //
 // With MIXBENCH_ENFORCE=1 the run exits 1 unless the ladder-10 row
 // shows warm p50 at least 2x better than cold p50 — the serving
@@ -44,10 +47,12 @@ import (
 	"flag"
 	"fmt"
 	"math"
+	"math/rand"
 	"net/http"
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -113,6 +118,7 @@ type row struct {
 type envelope struct {
 	SchemaVersion int   `json:"schema_version"`
 	CPUs          int   `json:"cpus"`
+	GoMaxProcs    int   `json:"gomaxprocs"`
 	Rows          []row `json:"rows"`
 }
 
@@ -211,7 +217,12 @@ func main() {
 			r.WarmThroughputRPS, 100*r.WarmHitRate, r.SpeedupP50)
 	}
 
-	buf, err := json.MarshalIndent(envelope{SchemaVersion: 1, CPUs: runtime.NumCPU(), Rows: rows}, "", "  ")
+	buf, err := json.MarshalIndent(envelope{
+		SchemaVersion: 1,
+		CPUs:          runtime.NumCPU(),
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		Rows:          rows,
+	}, "", "  ")
 	if err != nil {
 		fatalf("marshal: %v", err)
 	}
@@ -515,27 +526,64 @@ func flush(addr string) error {
 	return nil
 }
 
-// do posts one request and decodes the 200 response.
+// Admission-control pushback: a 429 names its price in Retry-After,
+// and do pays it rather than failing the run — up to retryAfterTries
+// re-posts, each waiting the advertised delay jittered 0.5-1.5x and
+// capped at retryAfterCap so a daemon advertising an hour cannot hang
+// a bench.
+const (
+	retryAfterTries = 5
+	retryAfterCap   = 2 * time.Second
+)
+
+// do posts one request and decodes the 200 response, honoring 429
+// Retry-After pushback with capped jittered backoff.
 func do(addr string, it item) (*response, error) {
 	body, err := json.Marshal(it.req)
 	if err != nil {
 		return nil, err
 	}
-	resp, err := http.Post(addr+it.path, "application/json", bytes.NewReader(body))
-	if err != nil {
-		return nil, err
+	for attempt := 0; ; attempt++ {
+		resp, err := http.Post(addr+it.path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests && attempt < retryAfterTries {
+			ra := resp.Header.Get("Retry-After")
+			resp.Body.Close()
+			time.Sleep(retryDelay(ra))
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			defer resp.Body.Close()
+			var buf bytes.Buffer
+			buf.ReadFrom(resp.Body)
+			return nil, fmt.Errorf("%s: status %d: %s", it.path, resp.StatusCode, strings.TrimSpace(buf.String()))
+		}
+		var r response
+		err = json.NewDecoder(resp.Body).Decode(&r)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		return &r, nil
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		var buf bytes.Buffer
-		buf.ReadFrom(resp.Body)
-		return nil, fmt.Errorf("%s: status %d: %s", it.path, resp.StatusCode, strings.TrimSpace(buf.String()))
+}
+
+// retryDelay converts a Retry-After header (delta-seconds form) into
+// the actual wait: jittered so a herd of throttled clients spreads
+// out, capped so a hostile or buggy advertisement cannot stall the
+// client. A missing or unparsable header falls back to 100ms.
+func retryDelay(header string) time.Duration {
+	d := 100 * time.Millisecond
+	if secs, err := strconv.Atoi(strings.TrimSpace(header)); err == nil && secs > 0 {
+		d = time.Duration(secs) * time.Second
 	}
-	var r response
-	if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
-		return nil, err
+	d = time.Duration(float64(d) * (0.5 + rand.Float64()))
+	if d > retryAfterCap {
+		d = retryAfterCap
 	}
-	return &r, nil
+	return d
 }
 
 // doRaw posts one request and returns only the status code and

@@ -1,0 +1,163 @@
+// Command mixshard is the distributed-exploration binary (DESIGN.md
+// section 15): invoked normally it coordinates a sharded
+// core-language check, splitting the path tree into 2^depth subtree
+// work items dispatched to worker processes; re-executed with the
+// MIX_SHARD_WORKER guard (which the coordinator does itself) it
+// serves work items on stdin/stdout instead.
+//
+// Usage:
+//
+//	mixshard [-shards n] [-shard-depth d] [-shard-attempts n]
+//	         [-shard-heartbeat d] [-shard-timeout d] [-shard-seed n]
+//	         [-chaos item:attempt:action[:stallms],...]
+//	         [analysis flags] [-stats] [-metrics] [-trace file] [-trace-det]
+//	         file.mix
+//
+// mix -shards and mixy -shards embed the same coordinator; this
+// binary exists for operating sharded runs directly and for chaos
+// testing them. -chaos makes the worker serving a given (item,
+// attempt) misbehave: "kill" SIGKILLs itself mid-item, "stall" goes
+// silent past the heartbeat deadline, "garble" corrupts the protocol
+// stream. Because directives are keyed by item and attempt — not by
+// worker or wall clock — a chaos run is reproducible at any shard
+// count, which is what the byte-identical-degradation tests rely on.
+//
+// A work item that survives its retry budget (or is quarantined after
+// repeatedly killing workers) degrades the verdict to explicit
+// imprecision: mixshard prints the fault class and exits 0, exactly
+// like a deadline-degraded mix run — lost coverage is an "unknown",
+// not a rejection.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"mix"
+	"mix/internal/cliflags"
+	"mix/internal/obs"
+	"mix/internal/shard"
+)
+
+func main() {
+	shard.WorkerMain() // worker re-execution never reaches the flags
+	var a cliflags.Analysis
+	var o cliflags.Obs
+	var sh cliflags.Sharding
+	a.Register(flag.CommandLine, cliflags.Core)
+	o.Register(flag.CommandLine)
+	sh.Register(flag.CommandLine)
+	chaosSpec := flag.String("chaos", "", "comma-separated worker misbehavior directives, each item:attempt:action[:stallms] with action kill|stall|garble")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: mixshard [flags] file.mix")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	src, err := cliflags.ReadInput(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mixshard:", err)
+		os.Exit(2)
+	}
+	chaos, err := parseChaos(*chaosSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mixshard:", err)
+		os.Exit(2)
+	}
+
+	sopts := shard.FromFlags(sh)
+	sopts.Chaos = chaos
+	if o.Stats || o.MetricsJSON {
+		sopts.Metrics = obs.NewRegistry()
+	}
+	if o.TraceFile != "" {
+		sopts.Tracer = obs.NewTracer(obs.TraceOptions{Deterministic: o.TraceDet})
+	}
+
+	human := os.Stdout
+	if o.MetricsJSON {
+		human = os.Stderr
+	}
+
+	res, err := shard.ExploreCore(src, a, sopts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if sopts.Tracer != nil {
+		if err := cliflags.WriteTrace(o.TraceFile, sopts.Tracer); err != nil {
+			fmt.Fprintln(os.Stderr, "mixshard: trace:", err)
+			os.Exit(2)
+		}
+	}
+	if o.MetricsJSON {
+		if err := sopts.Metrics.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "mixshard: metrics:", err)
+			os.Exit(2)
+		}
+	} else if o.Stats {
+		if err := sopts.Metrics.WriteStats(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "mixshard: stats:", err)
+			os.Exit(2)
+		}
+	}
+	printVerdict(human, res)
+}
+
+// printVerdict mirrors cmd/mix's verdict block, so sharded and
+// unsharded runs are scriptable the same way.
+func printVerdict(human *os.File, res mix.Result) {
+	for _, r := range res.Reports {
+		fmt.Fprintln(human, r)
+	}
+	if res.Degraded {
+		fmt.Fprintf(human, "imprecision: analysis degraded (%s): %s\n", res.Fault, res.FaultDetail)
+		fmt.Fprintln(human, "type: unknown (exploration truncated; cannot certify)")
+		return
+	}
+	if res.Err != nil {
+		fmt.Fprintln(os.Stderr, res.Err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(human, "type:", res.Type)
+}
+
+// parseChaos decodes -chaos directives: "0:1:kill,2:2:stall:800".
+func parseChaos(spec string) ([]shard.ChaosDirective, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []shard.ChaosDirective
+	for _, part := range strings.Split(spec, ",") {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) < 3 || len(fields) > 4 {
+			return nil, fmt.Errorf("bad -chaos directive %q (want item:attempt:action[:stallms])", part)
+		}
+		item, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("bad -chaos item in %q: %v", part, err)
+		}
+		attempt, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("bad -chaos attempt in %q: %v", part, err)
+		}
+		d := shard.ChaosDirective{Item: item, Attempt: attempt, Action: fields[2]}
+		switch d.Action {
+		case "kill", "stall", "garble":
+		default:
+			return nil, fmt.Errorf("bad -chaos action %q (want kill, stall, or garble)", d.Action)
+		}
+		if len(fields) == 4 {
+			d.StallMS, err = strconv.Atoi(fields[3])
+			if err != nil {
+				return nil, fmt.Errorf("bad -chaos stall in %q: %v", part, err)
+			}
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}

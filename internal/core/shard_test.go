@@ -1,0 +1,185 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"mix/internal/lang"
+	"mix/internal/types"
+)
+
+// shardPrefixes enumerates the 2^depth shard prefixes in depth-first
+// item order: bit i of the item index (most significant first) forces
+// the i-th fork, false = then, true = else.
+func shardPrefixes(depth int) [][]bool {
+	out := make([][]bool, 1<<depth)
+	for i := range out {
+		p := make([]bool, depth)
+		for b := 0; b < depth; b++ {
+			p[b] = i&(1<<(depth-1-b)) != 0
+		}
+		out[i] = p
+	}
+	return out
+}
+
+func checkSymPrefix(t *testing.T, src string, env *types.Env, prefix []bool) (*Checker, types.Type, error) {
+	t.Helper()
+	c := New(Options{ShardPrefix: prefix})
+	ty, err := c.CheckSymbolic(env, lang.MustParse(src))
+	return c, ty, err
+}
+
+func boolEnv(names ...string) *types.Env {
+	env := types.EmptyEnv()
+	for _, n := range names {
+		env = env.Extend(n, types.Bool)
+	}
+	return env
+}
+
+// Every work item of an exhaustive two-fork block must pass on its
+// own: each item's surviving leaf plus its pruned sibling roots cover
+// the full tree, so the per-shard exhaustiveness check holds.
+func TestShardPrefixPartitionsExhaustiveBlock(t *testing.T) {
+	src := "if b1 then (if b2 then 1 else 2) else (if b2 then 3 else 4)"
+	env := boolEnv("b1", "b2")
+	for i, p := range shardPrefixes(2) {
+		c, ty, err := checkSymPrefix(t, src, env, p)
+		if err != nil {
+			t.Fatalf("item %d: unexpected error: %v", i, err)
+		}
+		if !types.Equal(ty, types.Int) {
+			t.Fatalf("item %d: type = %s, want int", i, ty)
+		}
+		if got := c.Executor().Stats.Paths; got != 1 {
+			t.Fatalf("item %d: explored %d real paths, want exactly its own leaf", i, got)
+		}
+		if len(c.BlockTypes) != 1 || !strings.HasSuffix(c.BlockTypes[0], " int") {
+			t.Fatalf("item %d: block fingerprints = %q", i, c.BlockTypes)
+		}
+	}
+}
+
+// A feasible path error is found by exactly the item owning its leaf;
+// every other item passes because the erring subtree sits behind a
+// pruned guard. The coordinator's merge restores the rejection.
+func TestShardPrefixFeasibleErrorOwnedByOneItem(t *testing.T) {
+	src := "if b then 1 + true else 2"
+	env := boolEnv("b")
+	ps := shardPrefixes(1)
+	_, _, err := checkSymPrefix(t, src, env, ps[0])
+	if err == nil || !strings.Contains(err.Error(), "right operand of +") {
+		t.Fatalf("then-item must report the feasible error, got %v", err)
+	}
+	c, ty, err := checkSymPrefix(t, src, env, ps[1])
+	if err != nil {
+		t.Fatalf("else-item: unexpected error: %v", err)
+	}
+	if !types.Equal(ty, types.Int) {
+		t.Fatalf("else-item: type = %s, want int", ty)
+	}
+	if len(c.Reports) != 0 {
+		t.Fatalf("else-item must not report the other shard's finding: %v", c.Reports)
+	}
+}
+
+// A prefix deeper than the block's tree leaves some items with only
+// ghost leaves (the canonical copy lives in the depth-first-first item
+// of the group): they still type the block and explore zero real
+// paths, so no leaf is analyzed twice across the item set.
+func TestShardPrefixGhostLeavesTypeWithoutDuplication(t *testing.T) {
+	src := "if b then 1 else 2"
+	env := boolEnv("b")
+	wantReal := []int{1, 0, 1, 0} // items 00,01,10,11: leaves owned by 00 and 10
+	for i, p := range shardPrefixes(2) {
+		c, ty, err := checkSymPrefix(t, src, env, p)
+		if err != nil {
+			t.Fatalf("item %d: unexpected error: %v", i, err)
+		}
+		if !types.Equal(ty, types.Int) {
+			t.Fatalf("item %d: type = %s, want int", i, ty)
+		}
+		if got := c.Executor().Stats.Paths; got != wantReal[i] {
+			t.Fatalf("item %d: %d real paths, want %d", i, got, wantReal[i])
+		}
+	}
+}
+
+// A type disagreement whose paths land in different items is invisible
+// to each restricted run — both succeed — but the per-block type
+// fingerprints differ, which is what the shard coordinator compares to
+// restore the unsharded "paths disagree on type" rejection.
+func TestShardPrefixTypeDisagreementSurfacesInFingerprints(t *testing.T) {
+	src := "if b then 1 else true"
+	env := boolEnv("b")
+	if _, err := New(Options{}).CheckSymbolic(env, lang.MustParse(src)); err == nil ||
+		!strings.Contains(err.Error(), "disagree on type") {
+		t.Fatalf("unsharded run must reject, got %v", err)
+	}
+	var prints []string
+	for i, p := range shardPrefixes(1) {
+		c, _, err := checkSymPrefix(t, src, env, p)
+		if err != nil {
+			t.Fatalf("item %d: unexpected error: %v", i, err)
+		}
+		if len(c.BlockTypes) != 1 {
+			t.Fatalf("item %d: fingerprints = %q", i, c.BlockTypes)
+		}
+		prints = append(prints, c.BlockTypes[0])
+	}
+	if prints[0] == prints[1] {
+		t.Fatalf("fingerprints must differ across the disagreeing items: %q", prints)
+	}
+}
+
+// An item whose entire slice of a block errs infeasibly cannot type
+// the block from its own leaves; it re-runs the block unrestricted
+// purely for the type, with findings suppressed so the owning items'
+// reports are not duplicated.
+func TestShardPrefixVacuousSliceRetypes(t *testing.T) {
+	src := "if b then (if b then 1 else 1 + true) else 2"
+	env := boolEnv("b")
+	wantReports := []int{0, 1, 0, 0} // item 01 owns the infeasible error leaf
+	for i, p := range shardPrefixes(2) {
+		c, ty, err := checkSymPrefix(t, src, env, p)
+		if err != nil {
+			t.Fatalf("item %d: unexpected error: %v", i, err)
+		}
+		if !types.Equal(ty, types.Int) {
+			t.Fatalf("item %d: type = %s, want int", i, ty)
+		}
+		if got := len(c.Reports); got != wantReports[i] {
+			t.Fatalf("item %d: %d reports, want %d (got %v)", i, got, wantReports[i], c.Reports)
+		}
+	}
+}
+
+// Nested symbolic blocks reached through typed blocks during an outer
+// run are fully explored by the item owning the enclosing path — the
+// prefix applies only to top-level blocks — so no nested subtree is
+// silently skipped.
+func TestShardPrefixNestedBlocksExploreFully(t *testing.T) {
+	src := "if b1 then {t {s if b2 then 10 else 20 s} t} else 3"
+	env := boolEnv("b1", "b2")
+	for i, p := range shardPrefixes(1) {
+		c, ty, err := checkSymPrefix(t, src, env, p)
+		if err != nil {
+			t.Fatalf("item %d: unexpected error: %v", i, err)
+		}
+		if !types.Equal(ty, types.Int) {
+			t.Fatalf("item %d: type = %s, want int", i, ty)
+		}
+		// Only the top-level block is fingerprinted.
+		if len(c.BlockTypes) != 1 {
+			t.Fatalf("item %d: fingerprints = %q, want the top-level block only", i, c.BlockTypes)
+		}
+		if i == 0 {
+			// The then-item owns the nested block and must explore both
+			// of its paths (plus its own top-level leaf).
+			if got := c.Executor().Stats.Paths; got < 2 {
+				t.Fatalf("item 0: %d real paths, nested block must explore fully", got)
+			}
+		}
+	}
+}

@@ -22,11 +22,17 @@ const (
 	MidDPLL
 	// FixpointIter fires at the top of each MIXY fixed-point iteration.
 	FixpointIter
+	// ShardItem fires in the shard coordinator before each work-item
+	// dispatch; an injected ShardLost/ShardTimeout fault simulates the
+	// loss of the shard holding that item without spawning and killing
+	// a real process, so the retry/backoff/quarantine machinery is
+	// testable in-process under -race.
+	ShardItem
 
-	numPoints = int(FixpointIter) + 1
+	numPoints = int(ShardItem) + 1
 )
 
-var pointNames = [numPoints]string{"pre-fork", "pre-solve", "mid-dpll", "fixpoint-iter"}
+var pointNames = [numPoints]string{"pre-fork", "pre-solve", "mid-dpll", "fixpoint-iter", "shard-item"}
 
 func (p Point) String() string {
 	if int(p) < len(pointNames) {

@@ -62,6 +62,7 @@ const (
 	KindCacheMiss = "cache-miss" // MIXY block-summary cache miss; detail = block key
 	KindBlock     = "block"      // MIXY symbolic block analyzed; detail = block key
 	KindSummary   = "summary"    // function-summary use at a call site; detail = "instantiate fn" (n = arms) or "fallback fn: reason"
+	KindShard     = "shard"      // (timing-only) shard coordinator lifecycle; detail = step ("dispatch item=3 attempt=2"), class = fault class on failures
 )
 
 // traceShards is the number of event-buffer shards. Spans hash to a
@@ -311,6 +312,18 @@ func (s *Span) Degrade(class, detail string) {
 	if s != nil {
 		s.emit(Event{Kind: KindDegrade, Class: class, Detail: detail})
 	}
+}
+
+// ShardEvent records one shard-coordinator lifecycle step (dispatch,
+// heartbeat timeout, retry, respawn, quarantine). Which attempt of an
+// item succeeds depends on real process scheduling and wall-clock
+// heartbeats, so shard events are timing-mode only; the deterministic
+// record of a permanently lost subtree is its Degrade event.
+func (s *Span) ShardEvent(detail, class string) {
+	if s == nil || s.t.det {
+		return
+	}
+	s.emit(Event{Kind: KindShard, Detail: detail, Class: class})
 }
 
 // Emit records an arbitrary event on this span, for kinds without a

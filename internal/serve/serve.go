@@ -48,6 +48,7 @@ import (
 	"mix/internal/fault"
 	"mix/internal/obs"
 	"mix/internal/profiling"
+	"mix/internal/shard"
 	"mix/internal/summary"
 )
 
@@ -85,6 +86,17 @@ type Options struct {
 	// drops only the in-memory generations. Server-side configuration
 	// only — requests cannot name filesystem paths.
 	CacheDir string
+	// Shards > 0 runs core-language checks through the sharded
+	// exploration coordinator (internal/shard, DESIGN.md section 15):
+	// each check splits into 2^ShardDepth subtree work items
+	// dispatched to that many worker processes, with heartbeat
+	// supervision, retry, and graceful degradation of lost subtrees.
+	// Server-side configuration only — requests cannot spawn
+	// processes. MicroC requests stay in-process either way: their
+	// value from the daemon is cache warmth, which worker processes
+	// cannot share. ShardDepth 0 means the coordinator default (2).
+	Shards     int
+	ShardDepth int
 	// Registry receives the server's own metrics (request counts,
 	// rejections, latency, cache gauges). Nil creates a private one;
 	// it is exposed at GET /metrics either way.
@@ -492,7 +504,26 @@ func (s *Server) run(kind string, req *Request) (*Response, int, string) {
 		if err := cfg.Validate(); err != nil {
 			return nil, http.StatusBadRequest, err.Error()
 		}
-		res := mix.Check(req.Source, cfg)
+		var res mix.Result
+		if s.opts.Shards > 0 {
+			// The sharded path trades the daemon's warm caches for
+			// process isolation; the request's deadline still binds each
+			// worker's analysis.
+			sreq := req.Analysis
+			sreq.Deadline = cliflags.Duration(cfg.Deadline)
+			var serr error
+			res, serr = shard.ExploreCore(req.Source, sreq, shard.Options{
+				Shards:  s.opts.Shards,
+				Depth:   s.opts.ShardDepth,
+				Metrics: reg,
+				Tracer:  tr,
+			})
+			if serr != nil {
+				return nil, http.StatusBadRequest, serr.Error()
+			}
+		} else {
+			res = mix.Check(req.Source, cfg)
+		}
 		cr := &CheckResult{
 			Type:          res.Type,
 			Reports:       res.Reports,

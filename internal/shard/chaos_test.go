@@ -1,0 +1,213 @@
+package shard
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"mix"
+	"mix/internal/cliflags"
+	"mix/internal/obs"
+)
+
+// The chaos suite runs against real worker processes: the process
+// dialer re-executes this test binary (see TestMain), chaos
+// directives make workers SIGKILL themselves, stall silently, or
+// garble the protocol stream, and the assertions check the two
+// robustness invariants end to end — degraded verdicts are
+// byte-identical at 1 and 4 shards, and every lost subtree leaves a
+// deterministic degrade trace event naming its shard fault class.
+
+const chaosSrc = "if b1 then (if b2 then x + 1 else x + 2) else (if b2 then x + 3 else x + 4)"
+
+func chaosReq() cliflags.Analysis {
+	return cliflags.Analysis{
+		Symbolic: true,
+		Env:      map[string]string{"b1": "bool", "b2": "bool", "x": "int"},
+	}
+}
+
+func chaosOpts(shards int) Options {
+	return Options{
+		Shards:      shards,
+		Depth:       2,
+		Heartbeat:   25 * time.Millisecond,
+		ItemTimeout: 300 * time.Millisecond,
+		MaxAttempts: 3,
+		BackoffBase: time.Millisecond,
+		Seed:        7,
+	}
+}
+
+// renderVerdict flattens everything observable about a Result into
+// one byte string, the unit of the 1-vs-N identity assertions.
+func renderVerdict(res mix.Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "type=%q err=%v degraded=%v fault=%q detail=%q\n",
+		res.Type, res.Err, res.Degraded, res.Fault, res.FaultDetail)
+	for _, r := range res.Reports {
+		fmt.Fprintln(&b, r)
+	}
+	return b.String()
+}
+
+// detTrace renders a deterministic trace as JSONL bytes.
+func detTrace(t *testing.T, tr *obs.Tracer) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// A seeded kill/stall/garble plan must degrade identically at 1 and 4
+// shards: chaos directives are keyed by (item, attempt), so every
+// worker count replays the same failures against the same subtrees.
+func TestChaosDegradedVerdictByteIdentical1v4(t *testing.T) {
+	chaos := []ChaosDirective{
+		{Item: 1, Attempt: 1, Action: chaosKill},
+		{Item: 1, Attempt: 2, Action: chaosKill}, // second kill quarantines item 1
+		{Item: 2, Attempt: 1, Action: chaosGarble},
+		{Item: 3, Attempt: 1, Action: chaosStall, StallMS: 2000},
+	}
+	var verdicts []string
+	var traces [][]byte
+	for _, shards := range []int{1, 4} {
+		opts := chaosOpts(shards)
+		opts.Chaos = chaos
+		tr := obs.NewTracer(obs.TraceOptions{Deterministic: true})
+		opts.Tracer = tr
+		res, err := ExploreCore(chaosSrc, chaosReq(), opts)
+		if err != nil {
+			t.Fatalf("%d shards: %v", shards, err)
+		}
+		if !res.Degraded || res.Fault != "shard-poison" {
+			t.Fatalf("%d shards: want a shard-poison degradation, got %+v", shards, res)
+		}
+		verdicts = append(verdicts, renderVerdict(res))
+		traces = append(traces, detTrace(t, tr))
+	}
+	if verdicts[0] != verdicts[1] {
+		t.Fatalf("degraded verdicts differ across shard counts:\n1 shard:\n%s\n4 shards:\n%s", verdicts[0], verdicts[1])
+	}
+	if !bytes.Equal(traces[0], traces[1]) {
+		t.Fatalf("deterministic traces differ across shard counts:\n1 shard:\n%s\n4 shards:\n%s", traces[0], traces[1])
+	}
+}
+
+// Every lost subtree must leave a degrade trace event naming its
+// shard fault class — the deterministic record of what coverage went
+// missing and why.
+func TestChaosEveryLostSubtreeLeavesDegradeEvent(t *testing.T) {
+	opts := chaosOpts(4)
+	opts.MaxAttempts = 1 // no retries: each directive is fatal to its item
+	opts.Chaos = []ChaosDirective{
+		{Item: 0, Attempt: 1, Action: chaosKill},
+		{Item: 3, Attempt: 1, Action: chaosStall, StallMS: 2000},
+	}
+	tr := obs.NewTracer(obs.TraceOptions{Deterministic: true})
+	opts.Tracer = tr
+	res, err := ExploreCore(chaosSrc, chaosReq(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Degraded {
+		t.Fatalf("two lost subtrees must degrade the verdict: %+v", res)
+	}
+	want := map[string]string{
+		"item 0": "shard-lost",
+		"item 3": "shard-timeout",
+	}
+	got := map[string]string{}
+	for _, e := range tr.Events() {
+		if e.Kind != obs.KindDegrade || !strings.HasPrefix(e.Detail, "item ") {
+			continue
+		}
+		got[e.Detail[:6]] = e.Class
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("degrade events = %v, want %v", got, want)
+	}
+}
+
+// Without chaos, a sharded run must agree with the unsharded facade:
+// same type, same reports, same rejection text.
+func TestShardedMatchesUnsharded(t *testing.T) {
+	req := chaosReq()
+	for _, tc := range []struct {
+		name, src string
+	}{
+		{"clean", chaosSrc},
+		{"feasible-error", "if b1 then x + 1 else 1 + true"},
+		{"infeasible-discarded", "if b1 then (if b1 then x else 1 + true) else 2"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := req.MixConfig()
+			want := mix.Check(tc.src, cfg)
+			got, err := ExploreCore(tc.src, req, chaosOpts(2))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Type != want.Type {
+				t.Fatalf("type = %q, want %q", got.Type, want.Type)
+			}
+			switch {
+			case (got.Err == nil) != (want.Err == nil):
+				t.Fatalf("err = %v, want %v", got.Err, want.Err)
+			case got.Err != nil && got.Err.Error() != want.Err.Error():
+				t.Fatalf("err = %q, want %q", got.Err, want.Err)
+			}
+			if !reflect.DeepEqual(got.Reports, want.Reports) {
+				t.Fatalf("reports = %v, want %v", got.Reports, want.Reports)
+			}
+			if got.Degraded {
+				t.Fatalf("chaos-free run degraded: %s %s", got.Fault, got.FaultDetail)
+			}
+		})
+	}
+}
+
+// MicroC sharding is supervised failover: a worker crash mid-analysis
+// fails the whole run over to a fresh worker, converging on the same
+// warnings the in-process facade produces; with the retry budget
+// exhausted the run degrades with the shard fault class instead.
+func TestMicroCFailoverAndDegradation(t *testing.T) {
+	src, err := os.ReadFile("../../testdata/case1.mc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := cliflags.Analysis{Entry: "main", Merge: "joins", MergeCap: 8}
+	want, err := mix.AnalyzeC(string(src), req.CConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opts := chaosOpts(1)
+	opts.Chaos = []ChaosDirective{{Item: 0, Attempt: 1, Action: chaosKill}}
+	got, err := ExploreMicroC(string(src), req, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Degraded {
+		t.Fatalf("one crash must fail over, not degrade: %s %s", got.Fault, got.FaultDetail)
+	}
+	if !reflect.DeepEqual(got.Warnings, want.Warnings) {
+		t.Fatalf("warnings after failover = %v, want %v", got.Warnings, want.Warnings)
+	}
+
+	opts = chaosOpts(1)
+	opts.MaxAttempts = 1
+	opts.Chaos = []ChaosDirective{{Item: 0, Attempt: 1, Action: chaosKill}}
+	got, err = ExploreMicroC(string(src), req, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Degraded || got.Fault != "shard-lost" {
+		t.Fatalf("an unrecoverable crash must degrade with shard-lost: %+v", got)
+	}
+}

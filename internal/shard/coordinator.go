@@ -1,0 +1,395 @@
+package shard
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"mix/internal/fault"
+	"mix/internal/obs"
+)
+
+// Options configures a sharded exploration.
+type Options struct {
+	// Shards is the worker-process count (default 1). The item list
+	// and merged output never depend on it — only wall-clock does.
+	Shards int
+	// Depth is the fork-prefix depth: a core analysis splits into
+	// 2^Depth work items (default 2). MicroC analyses ignore it (one
+	// item, supervised failover only).
+	Depth int
+	// WorkerBin is the worker executable; empty re-executes this
+	// binary (its main must start with WorkerMain).
+	WorkerBin string
+	// Dialer overrides WorkerBin entirely (tests use MemPair-backed
+	// dialers to run the coordinator under -race without processes).
+	Dialer Dialer
+	// Heartbeat is the period workers must beat at while an item is
+	// in flight (default 100ms).
+	Heartbeat time.Duration
+	// ItemTimeout is the maximum silence — no heartbeat, no result —
+	// before a shard is declared lost and killed (default
+	// max(10×Heartbeat, 2s)).
+	ItemTimeout time.Duration
+	// MaxAttempts bounds dispatch attempts per item (default 3).
+	MaxAttempts int
+	// PoisonKills is how many workers an item may kill before it is
+	// quarantined as ShardPoison instead of retried (default 2): a
+	// deterministic crasher would otherwise burn the whole retry
+	// budget re-killing fresh workers.
+	PoisonKills int
+	// BackoffBase is the first retry delay; it doubles per attempt,
+	// jittered 0.5–1.5x by Seed, capped at 2s (default 25ms).
+	BackoffBase time.Duration
+	// Seed seeds the backoff jitter (timing only — never output).
+	Seed int64
+	// Chaos injects worker misbehavior per (item, attempt) — the
+	// directives travel in the WorkSpec, so runs are reproducible at
+	// any shard count.
+	Chaos []ChaosDirective
+	// Injector, when armed at fault.ShardItem, fails dispatches
+	// in-process before any worker is involved — the hook the -race
+	// coordinator tests use.
+	Injector *fault.Injector
+	// Tracer records shard lifecycle events (timing-only "shard"
+	// events, plus one deterministic "degrade" event per lost
+	// subtree). Metrics receives dispatch/retry/loss counters.
+	Tracer  *obs.Tracer
+	Metrics *obs.Registry
+}
+
+// ChaosDirective makes the worker serving the given item misbehave on
+// the given attempt (1-based; 0 means the first).
+type ChaosDirective struct {
+	Item    int
+	Attempt int
+	Action  string // "kill", "stall", or "garble"
+	StallMS int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Shards <= 0 {
+		o.Shards = 1
+	}
+	if o.Depth <= 0 {
+		o.Depth = 2
+	}
+	if o.Heartbeat <= 0 {
+		o.Heartbeat = 100 * time.Millisecond
+	}
+	if o.ItemTimeout <= 0 {
+		o.ItemTimeout = 10 * o.Heartbeat
+		if o.ItemTimeout < 2*time.Second {
+			o.ItemTimeout = 2 * time.Second
+		}
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 3
+	}
+	if o.PoisonKills <= 0 {
+		o.PoisonKills = 2
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 25 * time.Millisecond
+	}
+	return o
+}
+
+// outcome is one item's final fate: a result, or a classified loss.
+type outcome struct {
+	res      *ItemResult // nil when the subtree was lost
+	class    fault.Class // the loss class, when res is nil
+	detail   string
+	attempts int
+	kills    int
+}
+
+type coordinator struct {
+	opts Options
+	// span is the coordinator's root span; it is only emitted to from
+	// the coordinating goroutine (spans are single-goroutine). Each
+	// shard slot gets its own child span for timing-only lifecycle
+	// events.
+	span  *obs.Span
+	spans []*obs.Span
+	mu    sync.Mutex // guards rng
+	rng   *rand.Rand
+
+	items []WorkSpec
+	queue chan int
+	outMu sync.Mutex
+	outs  []outcome
+}
+
+// run dispatches items across opts.Shards workers and returns one
+// outcome per item, in item order. It never returns early: every item
+// either completes or is explicitly recorded lost, so callers always
+// get a verdict (possibly degraded), never a hang.
+func run(items []WorkSpec, opts Options) []outcome {
+	opts = opts.withDefaults()
+	dial := opts.Dialer
+	if dial == nil {
+		dial = ProcDialer(opts.WorkerBin)
+	}
+	c := &coordinator{
+		opts:  opts,
+		span:  opts.Tracer.Root("shard.coordinator"),
+		rng:   rand.New(rand.NewSource(opts.Seed)),
+		items: items,
+		queue: make(chan int, len(items)),
+		outs:  make([]outcome, len(items)),
+	}
+	for i := range items {
+		c.queue <- i
+	}
+	close(c.queue)
+	shards := opts.Shards
+	if shards > len(items) {
+		shards = len(items)
+	}
+	c.span.ShardEvent(fmt.Sprintf("start: %d items across %d shards", len(items), shards), "")
+	var wg sync.WaitGroup
+	for w := 0; w < shards; w++ {
+		c.spans = append(c.spans, c.span.Child())
+	}
+	for w := 0; w < shards; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c.shardLoop(id, dial)
+		}(w)
+	}
+	wg.Wait()
+	// Degrade events are emitted here — after the barrier, in item
+	// order, on the root span — not from the racing slot goroutines:
+	// they survive deterministic-trace mode, so their paths and order
+	// must be a pure function of the item list, never of scheduling or
+	// shard count.
+	for i := range c.outs {
+		out := &c.outs[i]
+		if out.res != nil {
+			continue
+		}
+		c.span.Degrade(out.class.String(), fmt.Sprintf("item %d subtree lost after %d attempts: %s", i, out.attempts, out.detail))
+		c.inc("shard.lost_items")
+	}
+	if m := opts.Metrics; m != nil {
+		m.Gauge("shard.items").Set(int64(len(items)))
+		m.Gauge("shard.shards").Set(int64(shards))
+	}
+	return c.outs
+}
+
+// conn is a dialed worker plus its reader goroutine. The reader lives
+// as long as the connection — not one attempt — because a reader
+// blocked in Recv across attempt boundaries would steal (and drop)
+// the next item's frames from a healthy reused transport.
+type conn struct {
+	t      Transport
+	frames chan recvMsg
+	done   chan struct{}
+}
+
+type recvMsg struct {
+	f   Frame
+	err error
+}
+
+func newConn(t Transport) *conn {
+	cn := &conn{t: t, frames: make(chan recvMsg, 8), done: make(chan struct{})}
+	go func() {
+		for {
+			f, err := t.Recv()
+			select {
+			case cn.frames <- recvMsg{f, err}:
+			case <-cn.done:
+				return
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+	return cn
+}
+
+// kill tears the worker down and releases the reader.
+func (cn *conn) kill() {
+	cn.t.Kill()
+	close(cn.done)
+}
+
+// close shuts the worker down gracefully and releases the reader.
+func (cn *conn) close() {
+	cn.t.Close()
+	close(cn.done)
+}
+
+// shardLoop drains the item queue on one worker slot; retries stay on
+// the slot (each retry gets a freshly dialed worker, which is what
+// "retried elsewhere" means when workers are fungible).
+func (c *coordinator) shardLoop(id int, dial Dialer) {
+	var cn *conn
+	defer func() {
+		if cn != nil {
+			cn.close()
+		}
+	}()
+	for item := range c.queue {
+		c.runItem(id, &cn, dial, item)
+	}
+}
+
+// runItem drives one item to an outcome: dispatch, classify any
+// failure, back off and retry while the class is transient and the
+// budgets allow, quarantine a repeat killer, and degrade gracefully —
+// with a deterministic trace record — when the subtree is lost.
+func (c *coordinator) runItem(id int, cn **conn, dial Dialer, item int) {
+	var out outcome
+	for {
+		out.attempts++
+		class, detail, res := c.attempt(id, cn, dial, item, out.attempts)
+		if res != nil {
+			out.res = res
+			break
+		}
+		out.kills++
+		c.inc("shard.kills")
+		c.spans[id].ShardEvent(fmt.Sprintf("item %d attempt %d failed: %s", item, out.attempts, detail), class.String())
+		if out.kills >= c.opts.PoisonKills {
+			// The item, not the worker, is the likely culprit: stop
+			// feeding it fresh workers.
+			out.class = fault.ShardPoison
+			out.detail = fmt.Sprintf("item %d quarantined after killing %d workers (last: %s)", item, out.kills, detail)
+			c.inc("shard.poisoned")
+			break
+		}
+		if !class.Transient() || out.attempts >= c.opts.MaxAttempts {
+			out.class, out.detail = class, detail
+			break
+		}
+		d := c.backoff(out.attempts)
+		c.inc("shard.retries")
+		c.spans[id].ShardEvent(fmt.Sprintf("item %d retrying in %v", item, d), class.String())
+		time.Sleep(d)
+	}
+	if out.res != nil {
+		c.inc("shard.items_done")
+	}
+	c.outMu.Lock()
+	c.outs[item] = out
+	c.outMu.Unlock()
+}
+
+// attempt dispatches item once. A nil result means the attempt
+// failed; the class and detail say how.
+func (c *coordinator) attempt(id int, cn **conn, dial Dialer, item, attempt int) (fault.Class, string, *ItemResult) {
+	// Deterministic in-process chaos: the injector fails the dispatch
+	// before any worker is involved.
+	if inj := c.opts.Injector; inj != nil {
+		if err := inj.At(fault.ShardItem); err != nil {
+			return fault.ClassOf(err), err.Error(), nil
+		}
+	}
+	if *cn == nil {
+		nt, err := dial(id)
+		if err != nil {
+			return fault.ShardLost, fmt.Sprintf("item %d attempt %d: dial failed: %v", item, attempt, err), nil
+		}
+		*cn = newConn(nt)
+		c.inc("shard.workers_spawned")
+	}
+	tr := *cn
+	spec := c.items[item]
+	spec.HeartbeatMS = int(c.opts.Heartbeat / time.Millisecond)
+	if d := c.chaosFor(item, attempt); d != nil {
+		spec.Chaos, spec.StallMS = d.Action, d.StallMS
+	}
+	c.inc("shard.dispatches")
+	c.spans[id].ShardEvent(fmt.Sprintf("dispatch item %d attempt %d to worker %d", item, attempt, id), "")
+	if err := tr.t.Send(Frame{Kind: frameWork, Item: item, Work: &spec}); err != nil {
+		c.discard(cn)
+		return fault.ShardLost, fmt.Sprintf("item %d attempt %d: send failed: %v", item, attempt, err), nil
+	}
+
+	// Await the result, enforcing the silence deadline.
+	deadline := time.NewTimer(c.opts.ItemTimeout)
+	defer deadline.Stop()
+	for {
+		select {
+		case m := <-tr.frames:
+			if m.err != nil {
+				// Pipe broke: the worker died (or garbled the stream,
+				// which is indistinguishable from the outside and equally
+				// fatal to the connection).
+				c.discard(cn)
+				return fault.ShardLost, fmt.Sprintf("item %d attempt %d: worker lost: %v", item, attempt, m.err), nil
+			}
+			switch {
+			case m.f.Kind == frameHeartbeat && m.f.Item == item:
+				c.inc("shard.heartbeats")
+				if !deadline.Stop() {
+					select {
+					case <-deadline.C:
+					default:
+					}
+				}
+				deadline.Reset(c.opts.ItemTimeout)
+			case m.f.Kind == frameResult && m.f.Item == item && m.f.Result != nil:
+				return 0, "", m.f.Result
+			default:
+				c.discard(cn)
+				return fault.ShardLost, fmt.Sprintf("item %d attempt %d: protocol violation: %q frame for item %d", item, attempt, m.f.Kind, m.f.Item), nil
+			}
+		case <-deadline.C:
+			c.discard(cn)
+			return fault.ShardTimeout, fmt.Sprintf("item %d attempt %d: worker silent past %v", item, attempt, c.opts.ItemTimeout), nil
+		}
+	}
+}
+
+// discard kills the current worker and forgets it; the next attempt
+// dials a fresh one.
+func (c *coordinator) discard(cn **conn) {
+	if *cn != nil {
+		(*cn).kill()
+		*cn = nil
+	}
+}
+
+// backoff computes the jittered exponential delay before retrying the
+// given attempt: base·2^(attempt-1), jittered 0.5–1.5x, capped at 2s.
+// The jitter keeps respawned workers from stampeding; the seed makes
+// chaos-test timing reproducible. Only timing depends on it — output
+// never does.
+func (c *coordinator) backoff(attempt int) time.Duration {
+	d := c.opts.BackoffBase << uint(attempt-1)
+	if max := 2 * time.Second; d > max {
+		d = max
+	}
+	c.mu.Lock()
+	j := 0.5 + c.rng.Float64()
+	c.mu.Unlock()
+	return time.Duration(float64(d) * j)
+}
+
+func (c *coordinator) chaosFor(item, attempt int) *ChaosDirective {
+	for i := range c.opts.Chaos {
+		d := &c.opts.Chaos[i]
+		a := d.Attempt
+		if a == 0 {
+			a = 1
+		}
+		if d.Item == item && a == attempt {
+			return d
+		}
+	}
+	return nil
+}
+
+func (c *coordinator) inc(name string) {
+	if m := c.opts.Metrics; m != nil {
+		m.Counter(name).Inc()
+	}
+}

@@ -1,0 +1,165 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"mix"
+)
+
+// mergeCore folds per-item outcomes into one mix.Result, in item
+// order. Item order is DFS order over the path tree and is a pure
+// function of Depth, so any shard count — and any interleaving of
+// worker completions — merges to byte-identical output.
+//
+// Verdict rules, mirroring what an unsharded run would conclude:
+//
+//   - Reports concatenate in item order (each item only reports
+//     findings from leaves it owns, so nothing duplicates).
+//   - An item error is a genuine rejection (infeasible errors were
+//     already discarded inside the item). Among erring items, the one
+//     whose analysis stopped at the earliest block — ties broken by
+//     item index, i.e. DFS-first — supplies the verdict, matching the
+//     sequential checker's first-error behavior.
+//   - A cross-item type disagreement is invisible inside every item
+//     (each slice agrees with itself), so the per-block fingerprints
+//     are compared positionally here; a mismatch at a block earlier
+//     than any item error becomes the "paths disagree on type"
+//     rejection the unsharded run reports.
+//   - A lost subtree degrades the merged result: no certification, no
+//     guessed verdict, fault class and detail preserved. A genuine
+//     error still rejects — lost coverage cannot retract a feasible
+//     counterexample — but certification requires every item.
+func mergeCore(outs []outcome) mix.Result {
+	var res mix.Result
+	type errCand struct {
+		stop, item int
+		msg        string
+	}
+	var cands []errCand
+	for i := range outs {
+		out := &outs[i]
+		if out.res == nil {
+			res.Degraded = true
+			if res.Fault == "" {
+				res.Fault = out.class.String()
+				res.FaultDetail = out.detail
+			}
+			continue
+		}
+		r := out.res
+		res.Paths += r.Paths
+		res.Merges += r.Merges
+		res.SolverQueries += r.SolverQueries
+		res.Reports = append(res.Reports, r.Reports...)
+		if r.Degraded {
+			res.Degraded = true
+			if res.Fault == "" {
+				res.Fault = r.Fault
+				res.FaultDetail = r.FaultDetail
+			}
+		}
+		if r.ErrMsg != "" {
+			// len(BlockTypes) counts the top-level blocks that completed
+			// before the error — exactly the erring block's index.
+			cands = append(cands, errCand{stop: len(r.BlockTypes), item: i, msg: r.ErrMsg})
+		}
+		if len(r.BlockTypes) > len(res.BlockTypes) {
+			res.BlockTypes = r.BlockTypes
+		}
+	}
+	mismatchAt, mismatchErr := fingerprintMismatch(outs)
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].stop != cands[b].stop {
+			return cands[a].stop < cands[b].stop
+		}
+		return cands[a].item < cands[b].item
+	})
+	switch {
+	case len(cands) > 0 && (mismatchErr == nil || cands[0].stop <= mismatchAt):
+		res.Err = errors.New(cands[0].msg)
+	case mismatchErr != nil:
+		res.Err = mismatchErr
+	}
+	if res.Err != nil {
+		// A rejection is definite: lost subtrees cannot retract a
+		// feasible counterexample, so the error verdict stands alone.
+		res.Type = ""
+		res.Degraded = false
+		res.Fault, res.FaultDetail = "", ""
+		return res
+	}
+	if !res.Degraded {
+		for i := range outs {
+			if outs[i].res != nil && outs[i].res.ErrMsg == "" {
+				res.Type = outs[i].res.Type
+				break
+			}
+		}
+	}
+	return res
+}
+
+// fingerprintMismatch compares the per-block type fingerprints
+// positionally across all completed items and, on the earliest
+// disagreement, synthesizes the rejection the unsharded checker would
+// have raised when the disagreeing paths met in one run.
+func fingerprintMismatch(outs []outcome) (int, error) {
+	blocks := 0
+	for i := range outs {
+		if outs[i].res != nil && len(outs[i].res.BlockTypes) > blocks {
+			blocks = len(outs[i].res.BlockTypes)
+		}
+	}
+	for k := 0; k < blocks; k++ {
+		first := ""
+		for i := range outs {
+			if outs[i].res == nil || len(outs[i].res.BlockTypes) <= k {
+				continue
+			}
+			fp := outs[i].res.BlockTypes[k]
+			if first == "" {
+				first = fp
+				continue
+			}
+			if fp != first {
+				pos, ty1, _ := strings.Cut(first, " ")
+				_, ty2, _ := strings.Cut(fp, " ")
+				return k, fmt.Errorf("%s: symbolic block paths disagree on type across shards: %s vs %s", pos, ty1, ty2)
+			}
+		}
+	}
+	return blocks, nil
+}
+
+// mergeMicroC maps the single supervised MicroC item back to the
+// facade shape: a completed item round-trips mix.AnalyzeC's result,
+// and a lost item degrades with its shard fault class — the analysis
+// never certified, so the qualifiers it would have inferred are
+// simply unknown.
+func mergeMicroC(out outcome) (mix.CResult, error) {
+	if out.res == nil {
+		return mix.CResult{
+			Degraded:    true,
+			Fault:       out.class.String(),
+			FaultDetail: out.detail,
+		}, nil
+	}
+	r := out.res
+	if r.ErrMsg != "" {
+		return mix.CResult{}, errors.New(r.ErrMsg)
+	}
+	return mix.CResult{
+		Warnings:       r.Warnings,
+		Merges:         r.Merges,
+		BlocksAnalyzed: r.BlocksAnalyzed,
+		CacheHits:      r.CacheHits,
+		FixpointIters:  r.FixpointIters,
+		SolverQueries:  r.SolverQueries,
+		Degraded:       r.Degraded,
+		Fault:          r.Fault,
+		FaultDetail:    r.FaultDetail,
+	}, nil
+}

@@ -1,0 +1,163 @@
+// Package shard distributes path exploration across worker processes
+// behind a fault-tolerant coordinator (DESIGN.md section 15).
+//
+// The coordinator splits a core-language analysis into 2^Depth subtree
+// work items — one per fork-decision prefix — and dispatches them to
+// worker processes speaking length-prefixed JSON frames over
+// stdin/stdout (behind the Transport interface, so a network dialer
+// can replace process pipes later). The item list depends only on
+// Depth, never on the worker count, and surviving results merge in
+// item order, so a 1-shard and an N-shard run produce byte-identical
+// output.
+//
+// The robustness core: workers heartbeat while analyzing; a worker
+// that dies (ShardLost) or goes silent past its deadline
+// (ShardTimeout) is killed and respawned and its item retried with
+// seeded exponential backoff, bounded by MaxAttempts; an item that
+// kills two workers is quarantined as ShardPoison instead of being
+// retried forever. A permanently lost item degrades the merged result
+// to explicit imprecision — never a hang, never a wrong verdict.
+//
+// MicroC (MIXY) analyses cannot be partitioned this way — the
+// qualifier fixpoint flows facts across subtrees — so ExploreMicroC
+// shards for fault tolerance only: one work item, the whole analysis,
+// supervised and failed over to a fresh worker under the same
+// retry/backoff/quarantine policy.
+package shard
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"mix/internal/cliflags"
+)
+
+// Frame kinds. The coordinator sends work; workers answer with a
+// stream of heartbeats terminated by one result.
+const (
+	frameWork      = "work"
+	frameHeartbeat = "heartbeat"
+	frameResult    = "result"
+)
+
+// maxFrame bounds one frame's encoded size; a garbled length prefix
+// yields a bounded error, not an unbounded allocation.
+const maxFrame = 64 << 20
+
+// Frame is one protocol message, length-prefixed (4-byte big-endian)
+// JSON on the wire.
+type Frame struct {
+	Kind   string      `json:"kind"`
+	Item   int         `json:"item"`
+	Work   *WorkSpec   `json:"work,omitempty"`
+	Result *ItemResult `json:"result,omitempty"`
+}
+
+// WorkSpec is one dispatched work item: the full program plus the
+// request options and, for core-language items, the fork-decision
+// prefix selecting this item's subtree.
+type WorkSpec struct {
+	// Lang is "core" (mix.Check) or "microc" (mix.AnalyzeC).
+	Lang string `json:"lang"`
+	// Source is the program text.
+	Source string `json:"source"`
+	// Request carries the analysis options (the mixd request schema).
+	Request cliflags.Analysis `json:"request"`
+	// Prefix selects the subtree (core only): bit i forces the i-th
+	// top-level fork, false = then, true = else.
+	Prefix []bool `json:"prefix,omitempty"`
+	// HeartbeatMS is how often the worker must heartbeat while the
+	// item is in flight.
+	HeartbeatMS int `json:"heartbeat_ms"`
+	// Chaos, when non-empty, tells the worker to misbehave for this
+	// dispatch: "kill" (SIGKILL itself), "stall" (go silent for
+	// StallMS before working), or "garble" (corrupt the protocol
+	// stream and exit). Directives are chosen by the coordinator per
+	// (item, attempt), so chaos runs are reproducible at any shard
+	// count.
+	Chaos   string `json:"chaos,omitempty"`
+	StallMS int    `json:"stall_ms,omitempty"`
+}
+
+// ItemResult is one completed item's outcome — the serializable slice
+// of mix.Result / mix.CResult the merge needs.
+type ItemResult struct {
+	// Core fields.
+	Type       string   `json:"type,omitempty"`
+	ErrMsg     string   `json:"err,omitempty"`
+	Reports    []string `json:"reports,omitempty"`
+	BlockTypes []string `json:"block_types,omitempty"`
+	// MicroC fields.
+	Warnings       []string `json:"warnings,omitempty"`
+	BlocksAnalyzed int      `json:"blocks_analyzed,omitempty"`
+	CacheHits      int      `json:"cache_hits,omitempty"`
+	FixpointIters  int      `json:"fixpoint_iters,omitempty"`
+	// Shared.
+	Paths         int    `json:"paths,omitempty"`
+	Merges        int    `json:"merges,omitempty"`
+	SolverQueries int    `json:"solver_queries,omitempty"`
+	Degraded      bool   `json:"degraded,omitempty"`
+	Fault         string `json:"fault,omitempty"`
+	FaultDetail   string `json:"fault_detail,omitempty"`
+}
+
+// writeFrame encodes f as a length-prefixed JSON frame.
+func writeFrame(w io.Writer, f Frame) error {
+	body, err := json.Marshal(f)
+	if err != nil {
+		return err
+	}
+	if len(body) > maxFrame {
+		return fmt.Errorf("shard: frame of %d bytes exceeds limit", len(body))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+// readFrame decodes one length-prefixed JSON frame. Any framing or
+// decoding failure — including an implausible length from a corrupted
+// stream — is an error the coordinator classifies as ShardLost.
+func readFrame(r io.Reader) (Frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Frame{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > maxFrame {
+		return Frame{}, fmt.Errorf("shard: implausible frame length %d", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return Frame{}, err
+	}
+	var f Frame
+	if err := json.Unmarshal(body, &f); err != nil {
+		return Frame{}, fmt.Errorf("shard: garbled frame: %w", err)
+	}
+	return f, nil
+}
+
+// Prefixes enumerates the 2^depth fork-decision prefixes in
+// depth-first item order: bit i of the item index (most significant
+// first) forces the i-th fork, false = then, true = else. The
+// enumeration is a pure function of depth — shard counts never change
+// the item list, which is what makes 1-shard and N-shard merges
+// byte-identical.
+func Prefixes(depth int) [][]bool {
+	out := make([][]bool, 1<<depth)
+	for i := range out {
+		p := make([]bool, depth)
+		for b := 0; b < depth; b++ {
+			p[b] = i&(1<<(depth-1-b)) != 0
+		}
+		out[i] = p
+	}
+	return out
+}

@@ -1,0 +1,68 @@
+package shard
+
+import (
+	"time"
+
+	"mix"
+	"mix/internal/cliflags"
+)
+
+// FromFlags converts the shared CLI flag group into coordinator
+// options (the conversion lives here, not in cliflags, because
+// cliflags must stay importable by this package).
+func FromFlags(f cliflags.Sharding) Options {
+	return Options{
+		Shards:      f.Shards,
+		Depth:       f.Depth,
+		MaxAttempts: f.Attempts,
+		Heartbeat:   time.Duration(f.Heartbeat),
+		ItemTimeout: time.Duration(f.ItemTimeout),
+		Seed:        f.Seed,
+	}
+}
+
+// ExploreCore runs a sharded core-language check: the path tree
+// splits into 2^Depth subtree work items, workers explore them with
+// the shard-prefix restriction, and surviving results merge in item
+// order. Configuration errors return an error immediately (nothing is
+// spawned); runtime losses degrade the Result instead.
+//
+// The request's CacheDir is intentionally not forwarded to workers:
+// concurrent worker processes would race on the persistent tier, and
+// isolation is the point of sharding. Warm caches belong to the
+// in-process path (mixd, or -shards 0).
+func ExploreCore(src string, req cliflags.Analysis, opts Options) (mix.Result, error) {
+	opts = opts.withDefaults()
+	cfg := req.MixConfig()
+	cfg.CacheDir = ""
+	cfg.ShardPrefix = make([]bool, opts.Depth)
+	if err := cfg.Validate(); err != nil {
+		return mix.Result{}, err
+	}
+	req.CacheDir = ""
+	prefixes := Prefixes(opts.Depth)
+	items := make([]WorkSpec, len(prefixes))
+	for i, p := range prefixes {
+		items[i] = WorkSpec{Lang: langCore, Source: src, Request: req, Prefix: p}
+	}
+	return mergeCore(run(items, opts)), nil
+}
+
+// ExploreMicroC runs a supervised MicroC analysis: MIXY's qualifier
+// fixpoint flows facts across the whole program, so the analysis
+// cannot be partitioned by path prefix — instead the single work item
+// is the whole analysis, failed over to a fresh worker under the same
+// heartbeat/retry/backoff/quarantine policy. A permanently lost run
+// returns a degraded CResult, never a hang.
+func ExploreMicroC(src string, req cliflags.Analysis, opts Options) (mix.CResult, error) {
+	opts = opts.withDefaults()
+	cfg := req.CConfig()
+	cfg.CacheDir = ""
+	if err := cfg.Validate(); err != nil {
+		return mix.CResult{}, err
+	}
+	req.CacheDir = ""
+	items := []WorkSpec{{Lang: langMicroC, Source: src, Request: req}}
+	outs := run(items, opts)
+	return mergeMicroC(outs[0])
+}

@@ -1,0 +1,293 @@
+package shard
+
+import (
+	"bytes"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"mix/internal/fault"
+	"mix/internal/obs"
+)
+
+// TestMain doubles as the worker binary: the process dialer re-executes
+// the test executable with the worker guard set, and WorkerMain turns
+// that invocation into a serving worker — so the process-transport
+// chaos tests need no separately built binary.
+func TestMain(m *testing.M) {
+	WorkerMain()
+	os.Exit(m.Run())
+}
+
+func TestPrefixes(t *testing.T) {
+	got := Prefixes(2)
+	want := [][]bool{
+		{false, false}, {false, true}, {true, false}, {true, true},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d prefixes, want %d", len(got), len(want))
+	}
+	for i := range want {
+		for b := range want[i] {
+			if got[i][b] != want[i][b] {
+				t.Fatalf("prefix %d = %v, want %v", i, got[i], want[i])
+			}
+		}
+	}
+	if n := len(Prefixes(0)); n != 1 || len(Prefixes(0)[0]) != 0 {
+		t.Fatalf("depth 0 must yield one empty prefix, got %d", n)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := Frame{Kind: frameWork, Item: 3, Work: &WorkSpec{
+		Lang: langCore, Source: "if b then 1 else 2", Prefix: []bool{true, false},
+		HeartbeatMS: 50, Chaos: chaosStall, StallMS: 100,
+	}}
+	if err := writeFrame(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := readFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Kind != in.Kind || out.Item != in.Item || out.Work == nil ||
+		out.Work.Source != in.Work.Source || len(out.Work.Prefix) != 2 ||
+		!out.Work.Prefix[0] || out.Work.Prefix[1] ||
+		out.Work.Chaos != chaosStall || out.Work.StallMS != 100 {
+		t.Fatalf("round trip mangled the frame: %+v", out)
+	}
+}
+
+func TestReadFrameRejectsGarbage(t *testing.T) {
+	if _, err := readFrame(bytes.NewReader([]byte{0xff, 0xff, 0xff, 0xff, 'x'})); err == nil {
+		t.Fatal("an implausible length prefix must fail to frame")
+	}
+	if _, err := readFrame(bytes.NewReader([]byte{0, 0, 0, 4, 'j', 'u', 'n', 'k'})); err == nil {
+		t.Fatal("non-JSON frame bodies must be rejected")
+	}
+}
+
+// fakeOp is what a scripted in-process worker does with a dispatch.
+type fakeOp int
+
+const (
+	opResult fakeOp = iota // answer with a canned result
+	opDie                  // break both pipe ends, like a crash
+	opHang                 // accept the item and go silent forever
+)
+
+// scriptedDialer runs an in-process fake worker per dial; behave is
+// called per dispatch with the item and that item's 1-based dispatch
+// count, and decides the worker's next move. No analysis runs, so the
+// coordinator's retry machinery is tested in isolation under -race.
+func scriptedDialer(behave func(item, dispatch int) fakeOp) Dialer {
+	var mu sync.Mutex
+	seen := map[int]int{}
+	return func(id int) (Transport, error) {
+		coordSide, workerSide := MemPair()
+		go func() {
+			for {
+				f, err := workerSide.Recv()
+				if err != nil {
+					return
+				}
+				mu.Lock()
+				seen[f.Item]++
+				n := seen[f.Item]
+				mu.Unlock()
+				switch behave(f.Item, n) {
+				case opDie:
+					workerSide.Kill()
+					return
+				case opHang:
+					continue // never answers; the pair dies when the coordinator kills it
+				default:
+					res := &ItemResult{Type: "int"}
+					if err := workerSide.Send(Frame{Kind: frameResult, Item: f.Item, Result: res}); err != nil {
+						return
+					}
+				}
+			}
+		}()
+		return coordSide, nil
+	}
+}
+
+func fastOpts(o Options) Options {
+	o.Heartbeat = 10 * time.Millisecond
+	if o.ItemTimeout == 0 {
+		o.ItemTimeout = 5 * time.Second
+	}
+	o.BackoffBase = time.Millisecond
+	return o
+}
+
+// A poison item — one that kills every worker it touches — must be
+// quarantined after PoisonKills kills instead of burning the whole
+// retry budget on fresh workers.
+func TestPoisonItemQuarantinedAfterTwoKills(t *testing.T) {
+	opts := fastOpts(Options{
+		Shards:      1,
+		MaxAttempts: 5,
+		PoisonKills: 2,
+		Dialer: scriptedDialer(func(item, dispatch int) fakeOp {
+			if item == 0 {
+				return opDie
+			}
+			return opResult
+		}),
+	})
+	outs := run([]WorkSpec{{Lang: langCore}, {Lang: langCore}}, opts)
+	if outs[0].res != nil {
+		t.Fatal("the poison item must not produce a result")
+	}
+	if outs[0].class != fault.ShardPoison {
+		t.Fatalf("poison item class = %v, want ShardPoison", outs[0].class)
+	}
+	if outs[0].kills != 2 || outs[0].attempts != 2 {
+		t.Fatalf("poison item kills=%d attempts=%d, want 2 kills in 2 attempts (not the full budget of 5)", outs[0].kills, outs[0].attempts)
+	}
+	if outs[1].res == nil {
+		t.Fatalf("the healthy item must survive its neighbor's quarantine: %+v", outs[1])
+	}
+}
+
+// A single transient loss retries with backoff on a fresh worker and
+// succeeds; the outcome records the kill and the extra attempt.
+func TestTransientLossRetriesAndRecovers(t *testing.T) {
+	reg := obs.NewRegistry()
+	opts := fastOpts(Options{
+		Shards:      2,
+		MaxAttempts: 3,
+		PoisonKills: 3,
+		Metrics:     reg,
+		Dialer: scriptedDialer(func(item, dispatch int) fakeOp {
+			if item == 1 && dispatch == 1 {
+				return opDie
+			}
+			return opResult
+		}),
+	})
+	outs := run([]WorkSpec{{Lang: langCore}, {Lang: langCore}, {Lang: langCore}}, opts)
+	for i, out := range outs {
+		if out.res == nil {
+			t.Fatalf("item %d lost: %v %s", i, out.class, out.detail)
+		}
+	}
+	if outs[1].attempts != 2 || outs[1].kills != 1 {
+		t.Fatalf("item 1 attempts=%d kills=%d, want one retry after one kill", outs[1].attempts, outs[1].kills)
+	}
+	if got := reg.Counter("shard.retries").Value(); got != 1 {
+		t.Fatalf("shard.retries = %d, want 1", got)
+	}
+	if got := reg.Counter("shard.lost_items").Value(); got != 0 {
+		t.Fatalf("shard.lost_items = %d, want 0", got)
+	}
+}
+
+// A worker that accepts an item and goes silent past the deadline is
+// classified ShardTimeout, killed, and the item retried elsewhere.
+func TestSilentWorkerClassifiedShardTimeout(t *testing.T) {
+	tr := obs.NewTracer(obs.TraceOptions{})
+	opts := fastOpts(Options{
+		Shards:      1,
+		ItemTimeout: 50 * time.Millisecond,
+		MaxAttempts: 3,
+		PoisonKills: 3,
+		Tracer:      tr,
+		Dialer: scriptedDialer(func(item, dispatch int) fakeOp {
+			if dispatch == 1 {
+				return opHang
+			}
+			return opResult
+		}),
+	})
+	outs := run([]WorkSpec{{Lang: langCore}}, opts)
+	if outs[0].res == nil || outs[0].attempts != 2 {
+		t.Fatalf("item must recover on retry: %+v", outs[0])
+	}
+	found := false
+	for _, e := range tr.Events() {
+		if e.Kind == obs.KindShard && e.Class == fault.ShardTimeout.String() {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no shard event carries the shard-timeout class")
+	}
+}
+
+// The ShardItem injection point fails dispatches before any worker is
+// involved, so the full retry/degrade path runs in-process.
+func TestInjectorFailsDispatchInProcess(t *testing.T) {
+	inj := fault.NewInjector(1).Plan(fault.ShardItem, fault.Plan{After: 1, Count: 2, Class: fault.ShardLost})
+	opts := fastOpts(Options{
+		Shards:      1,
+		MaxAttempts: 2,
+		PoisonKills: 5,
+		Injector:    inj,
+		Dialer: scriptedDialer(func(item, dispatch int) fakeOp {
+			return opResult
+		}),
+	})
+	outs := run([]WorkSpec{{Lang: langCore}, {Lang: langCore}}, opts)
+	if outs[0].res != nil {
+		t.Fatal("both injected attempts must fail item 0")
+	}
+	if outs[0].class != fault.ShardLost {
+		t.Fatalf("item 0 class = %v, want the injected ShardLost", outs[0].class)
+	}
+	if outs[1].res == nil {
+		t.Fatalf("item 1 must run clean once the plan is exhausted: %+v", outs[1])
+	}
+	if got := inj.Counters().Get(fault.ShardLost); got != 2 {
+		t.Fatalf("injected %d ShardLost faults, want 2", got)
+	}
+}
+
+// mergeCore's verdict rule: the erring item whose analysis stopped at
+// the earliest block wins, ties broken by item index; a fingerprint
+// mismatch earlier than any item error becomes the cross-shard type
+// disagreement; lost subtrees degrade unless a genuine error rejects.
+func TestMergeCoreVerdictSelection(t *testing.T) {
+	mk := func(blocks []string, errMsg string) outcome {
+		return outcome{res: &ItemResult{Type: "int", BlockTypes: blocks, ErrMsg: errMsg}}
+	}
+	// Item 2 errs at block 0; item 1 errs at block 1: block order wins
+	// over item order.
+	res := mergeCore([]outcome{
+		mk([]string{"1:1 int", "2:1 int"}, ""),
+		mk([]string{"1:1 int"}, "late error"),
+		mk(nil, "early error"),
+	})
+	if res.Err == nil || res.Err.Error() != "early error" {
+		t.Fatalf("verdict = %v, want the earliest-block error", res.Err)
+	}
+	// A fingerprint mismatch at block 0 beats an error at block 1.
+	res = mergeCore([]outcome{
+		mk([]string{"1:1 int", "2:1 int"}, ""),
+		mk([]string{"1:1 bool"}, "late error"),
+	})
+	if res.Err == nil || res.Err.Error() != "1:1: symbolic block paths disagree on type across shards: int vs bool" {
+		t.Fatalf("verdict = %v, want the cross-shard disagreement", res.Err)
+	}
+	// A lost subtree degrades a clean run...
+	res = mergeCore([]outcome{
+		mk([]string{"1:1 int"}, ""),
+		{class: fault.ShardLost, detail: "item 1 gone"},
+	})
+	if !res.Degraded || res.Fault != "shard-lost" || res.Type != "" || res.Err != nil {
+		t.Fatalf("lost subtree must degrade without certifying: %+v", res)
+	}
+	// ...but cannot retract a feasible counterexample found elsewhere.
+	res = mergeCore([]outcome{
+		mk(nil, "genuine error"),
+		{class: fault.ShardLost, detail: "item 1 gone"},
+	})
+	if res.Err == nil || res.Degraded {
+		t.Fatalf("a found error must reject even with lost coverage: %+v", res)
+	}
+}

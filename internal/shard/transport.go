@@ -1,0 +1,155 @@
+package shard
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sync"
+	"time"
+)
+
+// Transport is one worker connection as the coordinator sees it:
+// blocking frame I/O plus teardown. The process transport is the
+// production implementation; a network dialer only has to return
+// something satisfying this interface to distribute workers across
+// machines.
+type Transport interface {
+	Send(Frame) error
+	Recv() (Frame, error)
+	// Kill tears the worker down immediately (SIGKILL for processes);
+	// a blocked Recv returns an error afterwards.
+	Kill()
+	// Close shuts the worker down gracefully: EOF on its work stream,
+	// then a bounded wait before escalating to Kill.
+	Close()
+}
+
+// Dialer produces a fresh worker connection for worker slot id. The
+// coordinator dials on startup and re-dials after every kill.
+type Dialer func(id int) (Transport, error)
+
+// workerEnv is the guard ProcDialer sets and WorkerMain checks: a
+// process started with it serves work frames on stdin/stdout instead
+// of running its normal main.
+const workerEnv = "MIX_SHARD_WORKER"
+
+// ProcDialer spawns worker processes running bin — or this very
+// binary, re-executed, when bin is empty — with the worker guard set.
+// Any binary whose main starts with WorkerMain() can serve.
+func ProcDialer(bin string) Dialer {
+	return func(id int) (Transport, error) {
+		path := bin
+		if path == "" {
+			var err error
+			path, err = os.Executable()
+			if err != nil {
+				return nil, fmt.Errorf("shard: resolve worker binary: %w", err)
+			}
+		}
+		cmd := exec.Command(path)
+		cmd.Env = append(os.Environ(), workerEnv+"=1")
+		cmd.Stderr = os.Stderr
+		in, err := cmd.StdinPipe()
+		if err != nil {
+			return nil, err
+		}
+		out, err := cmd.StdoutPipe()
+		if err != nil {
+			return nil, err
+		}
+		if err := cmd.Start(); err != nil {
+			return nil, fmt.Errorf("shard: spawn worker %d: %w", id, err)
+		}
+		return &procTransport{cmd: cmd, in: in, out: bufio.NewReader(out)}, nil
+	}
+}
+
+type procTransport struct {
+	cmd  *exec.Cmd
+	in   io.WriteCloser
+	out  *bufio.Reader
+	mu   sync.Mutex
+	once sync.Once
+}
+
+func (t *procTransport) Send(f Frame) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return writeFrame(t.in, f)
+}
+
+func (t *procTransport) Recv() (Frame, error) { return readFrame(t.out) }
+
+func (t *procTransport) Kill() {
+	t.once.Do(func() {
+		t.cmd.Process.Kill()
+		t.in.Close()
+		// Reap asynchronously; the pipes are already broken, so any
+		// blocked Recv has returned.
+		go t.cmd.Wait()
+	})
+}
+
+func (t *procTransport) Close() {
+	t.once.Do(func() {
+		t.in.Close() // EOF ends the worker's serve loop
+		done := make(chan struct{})
+		go func() { t.cmd.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(2 * time.Second):
+			t.cmd.Process.Kill()
+			<-done
+		}
+	})
+}
+
+// MemPair returns two connected in-process transports — the
+// coordinator side and the worker side — so coordinator behavior
+// (retry, backoff, quarantine) is testable under -race without
+// spawning processes. Killing or closing either side breaks both,
+// like a process death breaks both pipes.
+func MemPair() (coord, worker Transport) {
+	c2w := make(chan Frame, 16)
+	w2c := make(chan Frame, 16)
+	done := make(chan struct{})
+	once := &sync.Once{}
+	coord = &memTransport{send: c2w, recv: w2c, done: done, once: once}
+	worker = &memTransport{send: w2c, recv: c2w, done: done, once: once}
+	return coord, worker
+}
+
+type memTransport struct {
+	send chan<- Frame
+	recv <-chan Frame
+	done chan struct{}
+	once *sync.Once
+}
+
+func (t *memTransport) Send(f Frame) error {
+	select {
+	case <-t.done:
+		return fmt.Errorf("shard: transport closed")
+	default:
+	}
+	select {
+	case t.send <- f:
+		return nil
+	case <-t.done:
+		return fmt.Errorf("shard: transport closed")
+	}
+}
+
+func (t *memTransport) Recv() (Frame, error) {
+	select {
+	case f := <-t.recv:
+		return f, nil
+	case <-t.done:
+		return Frame{}, io.EOF
+	}
+}
+
+func (t *memTransport) Kill()  { t.once.Do(func() { close(t.done) }) }
+func (t *memTransport) Close() { t.Kill() }

@@ -1,0 +1,156 @@
+package shard
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"syscall"
+	"time"
+
+	"mix"
+)
+
+// Work-item languages and chaos actions.
+const (
+	langCore   = "core"
+	langMicroC = "microc"
+
+	chaosKill   = "kill"   // SIGKILL self before starting the item
+	chaosStall  = "stall"  // go silent (no heartbeats) for StallMS
+	chaosGarble = "garble" // corrupt the protocol stream and exit
+)
+
+// WorkerMain turns this process into a shard worker when the
+// MIX_SHARD_WORKER guard is set, serving work frames on stdin/stdout
+// until EOF, and never returns in that case. Call it first thing in
+// main: the coordinator's process dialer re-executes the host binary
+// with the guard set, so every binary that can coordinate can also
+// serve.
+func WorkerMain() {
+	if os.Getenv(workerEnv) == "" {
+		return
+	}
+	if err := Serve(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mixshard worker:", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// Serve handles work frames on r, answering on w with heartbeats
+// while an item is in flight and one result frame per item. It
+// returns nil on EOF (graceful coordinator shutdown).
+func Serve(r io.Reader, w io.Writer) error {
+	var mu sync.Mutex // heartbeats and results share the write side
+	for {
+		f, err := readFrame(r)
+		if err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+		if f.Kind != frameWork || f.Work == nil {
+			return fmt.Errorf("shard: worker got %q frame, want work", f.Kind)
+		}
+		serveItem(w, &mu, f.Item, f.Work)
+	}
+}
+
+// serveItem runs one work item: chaos directive first (tests only),
+// then heartbeats ticking in the background while the analysis runs,
+// then the result frame.
+func serveItem(w io.Writer, mu *sync.Mutex, item int, spec *WorkSpec) {
+	switch spec.Chaos {
+	case chaosKill:
+		// A real crash, not an orderly exit: the coordinator sees the
+		// pipes break mid-item.
+		syscall.Kill(os.Getpid(), syscall.SIGKILL)
+	case chaosGarble:
+		// An implausible length prefix: the coordinator's next read
+		// fails to frame, classifying the worker as lost.
+		mu.Lock()
+		w.Write([]byte{0xff, 0xff, 0xff, 0xff})
+		mu.Unlock()
+		os.Exit(1)
+	case chaosStall:
+		// Silence — no heartbeats — long enough for the coordinator's
+		// deadline to fire. If the stall is shorter than the deadline,
+		// the item still completes normally; both outcomes are safe.
+		time.Sleep(time.Duration(spec.StallMS) * time.Millisecond)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	if hb := spec.HeartbeatMS; hb > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t := time.NewTicker(time.Duration(hb) * time.Millisecond)
+			defer t.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-t.C:
+					mu.Lock()
+					// A failed heartbeat write means the coordinator is
+					// gone; the result write will fail the same way.
+					writeFrame(w, Frame{Kind: frameHeartbeat, Item: item})
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	res := runItem(spec)
+	close(stop)
+	wg.Wait()
+	mu.Lock()
+	writeFrame(w, Frame{Kind: frameResult, Item: item, Result: res})
+	mu.Unlock()
+}
+
+// runItem executes the analysis for one work item and flattens the
+// facade result into the wire shape.
+func runItem(spec *WorkSpec) *ItemResult {
+	switch spec.Lang {
+	case langCore:
+		cfg := spec.Request.MixConfig()
+		cfg.ShardPrefix = spec.Prefix
+		res := mix.Check(spec.Source, cfg)
+		out := &ItemResult{
+			Type:          res.Type,
+			Reports:       res.Reports,
+			BlockTypes:    res.BlockTypes,
+			Paths:         res.Paths,
+			Merges:        res.Merges,
+			SolverQueries: res.SolverQueries,
+			Degraded:      res.Degraded,
+			Fault:         res.Fault,
+			FaultDetail:   res.FaultDetail,
+		}
+		if res.Err != nil {
+			out.ErrMsg = res.Err.Error()
+		}
+		return out
+	case langMicroC:
+		res, err := mix.AnalyzeC(spec.Source, spec.Request.CConfig())
+		out := &ItemResult{
+			Warnings:       res.Warnings,
+			Merges:         res.Merges,
+			BlocksAnalyzed: res.BlocksAnalyzed,
+			CacheHits:      res.CacheHits,
+			FixpointIters:  res.FixpointIters,
+			SolverQueries:  res.SolverQueries,
+			Degraded:       res.Degraded,
+			Fault:          res.Fault,
+			FaultDetail:    res.FaultDetail,
+		}
+		if err != nil {
+			out.ErrMsg = err.Error()
+		}
+		return out
+	default:
+		return &ItemResult{ErrMsg: fmt.Sprintf("shard: unknown work language %q", spec.Lang)}
+	}
+}
