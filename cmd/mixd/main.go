@@ -6,10 +6,12 @@
 //	     [-default-deadline d] [-max-deadline d]
 //	     [-memo-size n] [-cons-limit n] [-respcache-size n]
 //	     [-cache-dir dir] [-shards n] [-shard-depth d]
-//	     [-drain-timeout d] [-pprof addr]
+//	     [-flight n] [-drain-timeout d] [-pprof addr]
 //
 // Endpoints: POST /check (core language), POST /analyze (MicroC),
-// POST /flush (drop in-memory caches), GET /metrics, GET /healthz.
+// POST /flush (drop in-memory caches), GET /metrics (obs JSON, or
+// Prometheus text format with ?format=prometheus), GET /healthz,
+// GET /debug/flight (recent-request flight recorder, JSONL).
 //
 // With -cache-dir, solver verdicts, counterexample models, and
 // function summaries persist under that directory: a restarted daemon
@@ -17,9 +19,10 @@
 // configuration only — requests cannot name filesystem paths.
 //
 // On SIGTERM/SIGINT the daemon drains: it stops admitting (503 / a
-// failing /healthz), waits up to -drain-timeout for in-flight requests
-// to complete, writes a final metrics snapshot to stderr, and exits 0
-// when nothing was dropped.
+// failing /healthz, while /metrics and /debug/flight keep answering),
+// waits up to -drain-timeout for in-flight requests to complete,
+// writes a final metrics snapshot and the flight-recorder dump to
+// stderr, and exits 0 when nothing was dropped.
 package main
 
 import (
@@ -55,6 +58,7 @@ func main() {
 		cacheDir        = flag.String("cache-dir", "", "persist caches (summaries, solver memo, models) under this directory across restarts")
 		shards          = flag.Int("shards", 0, "run core checks through n shard worker processes (0 = in-process)")
 		shardDepth      = flag.Int("shard-depth", 0, "fork-prefix depth for sharded checks (0 = default, 2)")
+		flightSize      = flag.Int("flight", 0, "flight-recorder capacity in requests (0 = 1024, -1 = off)")
 		drainTimeout    = flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight requests")
 		pprofAddr       = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
@@ -82,6 +86,7 @@ func main() {
 		CacheDir:          *cacheDir,
 		Shards:            *shards,
 		ShardDepth:        *shardDepth,
+		FlightSize:        *flightSize,
 		Registry:          reg,
 	})
 
@@ -119,10 +124,13 @@ func main() {
 		cancel()
 	}
 
-	// Flush the final metrics snapshot so a scrape-less deployment
-	// still gets its lifetime counters.
+	// Flush the final metrics snapshot and the flight recorder so a
+	// scrape-less deployment still gets its lifetime counters and the
+	// last requests the daemon served before going down.
 	if err := reg.WriteJSON(os.Stderr); err == nil {
 		fmt.Fprintln(os.Stderr)
 	}
+	fmt.Fprintln(os.Stderr, "mixd: flight recorder:")
+	_ = srv.WriteFlight(os.Stderr)
 	os.Exit(exit)
 }

@@ -3,7 +3,7 @@
 // programs) at configurable concurrency, and reports serving latency.
 //
 //	mixload -addr http://localhost:7090 [-clients n] [-requests n]
-//	        [-benches a,b,c] [-out BENCH_serve.json]
+//	        [-benches a,b,c] [-out BENCH_serve.json] [-scrape]
 //	mixload -addr ... -smoke [-expect-429]
 //	mixload -addr ... -slow
 //	mixload -addr ... -warm-smoke prime|verify [-warm-out f]
@@ -17,6 +17,12 @@
 // envelope. Requests answered 429 are retried after the advertised
 // Retry-After delay (jittered, capped at 2s) rather than failing the
 // run — admission-control pushback is the daemon working as designed.
+//
+// With -scrape, every bench runs as its own tenant ("load-<bench>")
+// and the daemon's Prometheus exposition is scraped between the cold
+// and warm phases: the run fails unless the tenant's RED counters
+// (requests, errors, latency observations) advance with each phase
+// and end consistent — load generation doubles as a monitoring probe.
 //
 // With MIXBENCH_ENFORCE=1 the run exits 1 unless the ladder-10 row
 // shows warm p50 at least 2x better than cold p50 — the serving
@@ -60,6 +66,7 @@ import (
 	"mix/internal/cgen"
 	"mix/internal/cliflags"
 	"mix/internal/corpus"
+	"mix/internal/obs"
 )
 
 // request mirrors the serve.Request JSON shape (mixload talks to the
@@ -171,6 +178,7 @@ func main() {
 		requests  = flag.Int("requests", 24, "measured requests per bench per phase")
 		benchList = flag.String("benches", "", "comma-separated bench names (default all)")
 		out       = flag.String("out", "BENCH_serve.json", "output path")
+		scrape    = flag.Bool("scrape", false, "scrape /metrics?format=prometheus between bench phases and require the per-tenant RED counters to move")
 		smoke     = flag.Bool("smoke", false, "run the serving-contract smoke probes and exit")
 		expect429 = flag.Bool("expect-429", false, "with -smoke: require the burst probe to see 429 (daemon must be rate-limited)")
 		slow      = flag.Bool("slow", false, "issue one long-running request and exit (drain smoke)")
@@ -209,7 +217,7 @@ func main() {
 
 	var rows []row
 	for _, b := range selected {
-		r := runBench(*addr, b, *clients, *requests)
+		r := runBench(*addr, b, *clients, *requests, *scrape)
 		rows = append(rows, r)
 		fmt.Printf("%-12s cold p50 %8s p99 %8s | warm p50 %8s p99 %8s | %6.1f req/s | hit %4.0f%% | p50 speedup %.1fx\n",
 			r.Bench, time.Duration(r.ColdP50NS), time.Duration(r.ColdP99NS),
@@ -251,7 +259,20 @@ func main() {
 }
 
 // runBench measures one bench cold then warm and returns its row.
-func runBench(addr string, b bench, clients, requests int) row {
+// With scrape on, every request runs as tenant "load-<bench>" and the
+// daemon's Prometheus exposition is scraped between phases: the
+// tenant's RED counters must advance with the cold phase, advance
+// again with the warm phase, and end consistent (latency observations
+// = requests, zero errors) — a load run that can't see itself in the
+// scrape is a monitoring outage, so it fails.
+func runBench(addr string, b bench, clients, requests int, scrape bool) row {
+	tenant := ""
+	if scrape {
+		tenant = "load-" + b.name
+		for i := range b.items {
+			b.items[i].req.Tenant = tenant
+		}
+	}
 	// Cold: flush both server caches before every request, serially —
 	// interleaved flushes from concurrent clients would make "cold"
 	// mean "partially warm".
@@ -269,6 +290,15 @@ func runBench(addr string, b bench, clients, requests int) row {
 		cold = append(cold, time.Since(t0))
 		if resp.Cached {
 			fatalf("%s: cold request answered from cache after flush", b.name)
+		}
+	}
+
+	var afterCold tenantRED
+	if scrape {
+		afterCold = scrapeTenant(addr, tenant)
+		if afterCold.requests < int64(requests) {
+			fatalf("%s: scrape after cold phase: tenant %s requests = %d, want >= %d",
+				b.name, tenant, afterCold.requests, requests)
 		}
 	}
 
@@ -322,6 +352,28 @@ func runBench(addr string, b bench, clients, requests int) row {
 	elapsed := time.Since(t0)
 	if failed != nil {
 		fatalf("%s: warm request: %v", b.name, failed)
+	}
+
+	if scrape {
+		afterWarm := scrapeTenant(addr, tenant)
+		total := int64(2*requests + len(b.items)) // cold + priming + warm
+		if afterWarm.requests != total {
+			fatalf("%s: scrape after warm phase: tenant %s requests = %d, want %d",
+				b.name, tenant, afterWarm.requests, total)
+		}
+		if afterWarm.requests <= afterCold.requests {
+			fatalf("%s: tenant %s RED counters did not move across the warm phase (%d -> %d)",
+				b.name, tenant, afterCold.requests, afterWarm.requests)
+		}
+		if afterWarm.errors != 0 {
+			fatalf("%s: tenant %s errors = %d on an all-success run", b.name, tenant, afterWarm.errors)
+		}
+		if afterWarm.latencyCount != afterWarm.requests {
+			fatalf("%s: tenant %s latency observations = %d, requests = %d: RED series out of sync",
+				b.name, tenant, afterWarm.latencyCount, afterWarm.requests)
+		}
+		fmt.Printf("%-12s scrape ok: tenant %s requests %d -> %d, errors 0, latency count %d\n",
+			b.name, tenant, afterCold.requests, afterWarm.requests, afterWarm.latencyCount)
 	}
 
 	coldP50, coldP99 := percentiles(cold)
@@ -494,6 +546,76 @@ func summaryMetrics(addr string) (computed, diskHits int64, err error) {
 		}
 	}
 	return computed, diskHits, nil
+}
+
+// tenantRED is one tenant's slice of a Prometheus scrape: the request
+// and error counters plus the latency histogram's observation count.
+type tenantRED struct {
+	requests     int64
+	errors       int64
+	latencyCount int64
+}
+
+// promTenantName maps a tenant to its Prometheus series stem, the
+// client-side mirror of the daemon's flattening (dots become one path
+// component) followed by exposition-name sanitization (anything
+// outside [a-zA-Z0-9_] becomes '_').
+func promTenantName(tenant string) string {
+	var b strings.Builder
+	for _, c := range tenant {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			b.WriteRune(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return "serve_tenant_" + b.String()
+}
+
+// scrapeTenant fetches /metrics?format=prometheus and extracts the
+// tenant's RED series. Any transport or format failure is fatal: a
+// load test whose monitoring is down has already failed.
+func scrapeTenant(addr, tenant string) tenantRED {
+	resp, err := http.Get(addr + "/metrics?format=prometheus")
+	if err != nil {
+		fatalf("scrape: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fatalf("scrape: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != obs.PromContentType {
+		fatalf("scrape: content type %q, want %q", ct, obs.PromContentType)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		fatalf("scrape: %v", err)
+	}
+	stem := promTenantName(tenant)
+	var red tenantRED
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 || strings.ContainsRune(fields[0], '{') {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			fatalf("scrape: bad sample %q: %v", line, err)
+		}
+		switch fields[0] {
+		case stem + "_requests":
+			red.requests = int64(v)
+		case stem + "_errors":
+			red.errors = int64(v)
+		case stem + "_latency_ns_count":
+			red.latencyCount = int64(v)
+		}
+	}
+	return red
 }
 
 // runSlow issues one long-running request (drain smoke payload).

@@ -29,6 +29,7 @@ import (
 	"io"
 	"math/bits"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -67,6 +68,16 @@ type Gauge struct{ v atomic.Int64 }
 func (g *Gauge) Set(v int64) {
 	if g != nil {
 		g.v.Store(v)
+	}
+}
+
+// Add increments the gauge by n. Gauges are last-write-wins for
+// owners that Set them; Add exists for the fleet-merge path, where a
+// gauge that records a run total (paths explored, forks charged) must
+// accumulate across worker registries.
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
 	}
 }
 
@@ -220,6 +231,72 @@ func (r *Registry) Histogram(name string) *Histogram {
 		r.hists[name] = h
 	}
 	return h
+}
+
+// Merge folds a snapshot from another registry (typically a shard
+// worker's) into this one: counters and histograms (counts, sums,
+// buckets) add, and gauges add too — every gauge the analysis stack
+// publishes is a run total (paths, forks, solver query time), so
+// summing worker readings reconstructs the fleet-wide total. Adding
+// is commutative and associative, so merging worker snapshots in any
+// order yields the same registry state; the serving layer and the
+// shard coordinator rely on that to merge results as they arrive.
+// A nil registry ignores the merge.
+func (r *Registry) Merge(s MetricsSnapshot) {
+	if r == nil {
+		return
+	}
+	for _, m := range s.Metrics {
+		switch m.Type {
+		case "counter":
+			r.Counter(m.Name).Add(m.Value)
+		case "gauge":
+			r.Gauge(m.Name).Add(m.Value)
+		case "histogram":
+			h := r.Histogram(m.Name)
+			h.count.Add(m.Count)
+			h.sum.Add(m.Sum)
+			for i, b := range m.Buckets {
+				if i >= histBuckets {
+					break
+				}
+				h.buckets[i].Add(b)
+			}
+		}
+	}
+}
+
+// RemovePrefix drops every metric whose dotted name starts with
+// prefix and reports how many were removed. Cached handles to removed
+// metrics keep working but record into orphans the next snapshot no
+// longer sees — callers that evict (the per-tenant serving metrics)
+// must re-look-up handles after eviction.
+func (r *Registry) RemovePrefix(prefix string) int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for name := range r.counters {
+		if strings.HasPrefix(name, prefix) {
+			delete(r.counters, name)
+			n++
+		}
+	}
+	for name := range r.gauges {
+		if strings.HasPrefix(name, prefix) {
+			delete(r.gauges, name)
+			n++
+		}
+	}
+	for name := range r.hists {
+		if strings.HasPrefix(name, prefix) {
+			delete(r.hists, name)
+			n++
+		}
+	}
+	return n
 }
 
 // Metric is one snapshotted metric. For counters and gauges Value

@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromContentType is the Content-Type of the Prometheus text
+// exposition format (version 0.0.4), which WriteProm renders.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promName sanitizes a dotted metric name into the Prometheus
+// identifier alphabet [a-zA-Z0-9_:]: dots and dashes (and anything
+// else outside the alphabet) become underscores, and a leading digit
+// gets an underscore prefix.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promBucketLE is the inclusive upper bound of histogram bucket i in
+// exposition form. Bucket 0 holds v < histBase and bucket i (i >= 1)
+// holds histBase·2^(i-1) <= v < histBase·2^i, so the exact "le" value
+// of bucket i is histBase·2^i - 1 (observations are integers).
+func promBucketLE(i int) string {
+	return strconv.FormatInt(int64(histBase)<<uint(i)-1, 10)
+}
+
+// WritePromSnapshot renders a metrics snapshot in the Prometheus text
+// exposition format (0.0.4): one # HELP and # TYPE line per family,
+// families sorted by exposition name, histograms as cumulative
+// le-buckets plus _sum and _count. The dotted registry name is kept in
+// the HELP line, so a scrape stays mappable back to the -stats schema.
+// Two renderings of the same snapshot are byte-identical.
+func WritePromSnapshot(w io.Writer, s MetricsSnapshot) error {
+	// Snapshot order is dotted-name order; exposition order must be
+	// exposition-name order (the sanitized alphabet sorts differently),
+	// so re-sort by the rendered family name.
+	type family struct {
+		name string // exposition name
+		m    Metric
+	}
+	fams := make([]family, 0, len(s.Metrics))
+	for _, m := range s.Metrics {
+		fams = append(fams, family{promName(m.Name), m})
+	}
+	sort.SliceStable(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	for _, f := range fams {
+		m := f.m
+		if _, err := fmt.Fprintf(w, "# HELP %s mix metric %s\n# TYPE %s %s\n", f.name, m.Name, f.name, m.Type); err != nil {
+			return err
+		}
+		switch m.Type {
+		case "counter", "gauge":
+			if _, err := fmt.Fprintf(w, "%s %d\n", f.name, m.Value); err != nil {
+				return err
+			}
+		case "histogram":
+			cum := int64(0)
+			for i, b := range m.Buckets {
+				cum += b
+				if i >= histBuckets-1 {
+					// The last bucket is open-ended; it folds into +Inf.
+					break
+				}
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", f.name, promBucketLE(i), cum); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n", f.name, m.Count, f.name, m.Sum, f.name, m.Count); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteProm renders the registry's current state in the Prometheus
+// text exposition format; see WritePromSnapshot.
+func (r *Registry) WriteProm(w io.Writer) error {
+	return WritePromSnapshot(w, r.Snapshot())
+}

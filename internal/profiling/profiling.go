@@ -18,13 +18,20 @@ import (
 	"mix/internal/obs"
 )
 
-// MetricsHandler serves reg as a JSON metrics snapshot — the same
-// document the CLIs print under -metrics, so one schema covers files,
-// pipes, and scrapes. collect, when non-nil, runs before each snapshot
-// so the owner can refresh gauges that are computed on demand (cache
-// sizes, in-flight counts) rather than maintained continuously.
+// MetricsHandler serves reg as a metrics snapshot: the obs JSON schema
+// by default — the same document the CLIs print under -metrics, so one
+// schema covers files, pipes, and scrapes — or the Prometheus text
+// exposition format with ?format=prometheus. collect, when non-nil,
+// runs before each snapshot so the owner can refresh gauges that are
+// computed on demand (cache sizes, in-flight counts) rather than
+// maintained continuously.
 func MetricsHandler(reg *obs.Registry, collect func()) http.Handler {
+	prom := PromHandler(reg, collect)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "prometheus" {
+			prom.ServeHTTP(w, r)
+			return
+		}
 		if collect != nil {
 			collect()
 		}
@@ -33,6 +40,19 @@ func MetricsHandler(reg *obs.Registry, collect func()) http.Handler {
 			// Headers are already out; nothing useful left to send.
 			return
 		}
+	})
+}
+
+// PromHandler serves reg in the Prometheus text exposition format
+// (0.0.4) unconditionally — the handler to mount when a deployment
+// wants a dedicated scrape path rather than the format query.
+func PromHandler(reg *obs.Registry, collect func()) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if collect != nil {
+			collect()
+		}
+		w.Header().Set("Content-Type", obs.PromContentType)
+		_ = reg.WriteProm(w)
 	})
 }
 

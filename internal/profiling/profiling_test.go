@@ -3,6 +3,7 @@ package profiling
 import (
 	"encoding/json"
 	"net/http/httptest"
+	"strings"
 	"sync/atomic"
 	"testing"
 
@@ -66,5 +67,64 @@ func TestHealthzHandler(t *testing.T) {
 	HealthzHandler(nil).ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
 	if rec.Code != 200 {
 		t.Fatalf("nil ready: code=%d", rec.Code)
+	}
+}
+
+// TestMetricsHandlerPrometheusFormat pins the format dispatch: the
+// same handler answers ?format=prometheus in the text exposition
+// format — content type, HELP/TYPE lines, and the collect hook still
+// refreshing gauges per scrape.
+func TestMetricsHandlerPrometheusFormat(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("serve.requests").Add(3)
+	var scrapes atomic.Int64
+	h := MetricsHandler(reg, func() {
+		reg.Gauge("cache.entries").Set(scrapes.Add(1))
+	})
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics?format=prometheus", nil))
+	if rec.Code != 200 || rec.Header().Get("Content-Type") != obs.PromContentType {
+		t.Fatalf("code=%d type=%q", rec.Code, rec.Header().Get("Content-Type"))
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		"# HELP serve_requests mix metric serve.requests\n",
+		"# TYPE serve_requests counter\n",
+		"serve_requests 3\n",
+		"cache_entries 1\n",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, body)
+		}
+	}
+
+	// An unknown format value falls back to the JSON schema.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics?format=xml", nil))
+	if rec.Header().Get("Content-Type") != "application/json" {
+		t.Fatalf("unknown format type = %q, want JSON fallback", rec.Header().Get("Content-Type"))
+	}
+}
+
+// TestPromHandler pins the dedicated exposition handler.
+func TestPromHandler(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Histogram("lat.ns").Observe(300)
+	rec := httptest.NewRecorder()
+	PromHandler(reg, nil).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 || rec.Header().Get("Content-Type") != obs.PromContentType {
+		t.Fatalf("code=%d type=%q", rec.Code, rec.Header().Get("Content-Type"))
+	}
+	for _, want := range []string{
+		"# TYPE lat_ns histogram\n",
+		"lat_ns_bucket{le=\"511\"} 1\n",
+		"lat_ns_bucket{le=\"+Inf\"} 1\n",
+		"lat_ns_sum 300\n",
+		"lat_ns_count 1\n",
+	} {
+		if !strings.Contains(rec.Body.String(), want) {
+			t.Fatalf("exposition missing %q:\n%s", want, rec.Body.String())
+		}
 	}
 }

@@ -35,6 +35,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -98,9 +99,15 @@ type Options struct {
 	Shards     int
 	ShardDepth int
 	// Registry receives the server's own metrics (request counts,
-	// rejections, latency, cache gauges). Nil creates a private one;
-	// it is exposed at GET /metrics either way.
+	// rejections, latency, cache gauges, per-tenant RED series). Nil
+	// creates a private one; it is exposed at GET /metrics either way
+	// (obs JSON by default, Prometheus text format with
+	// ?format=prometheus).
 	Registry *obs.Registry
+	// FlightSize bounds the flight recorder — the always-on ring of
+	// recent request summaries dumped at GET /debug/flight and on
+	// drain. 0 means 1024 entries; negative disables it.
+	FlightSize int
 	// Now is the clock (tests only; nil = time.Now).
 	Now func() time.Time
 }
@@ -109,11 +116,13 @@ type Options struct {
 // and the drain flag. Construct with New.
 type Server struct {
 	opts  Options
-	cache *engine.Cache
-	sums  *summary.Store
-	resp  *respCache
-	adm   *tenantBuckets
-	reg   *obs.Registry
+	cache   *engine.Cache
+	sums    *summary.Store
+	resp    *respCache
+	adm     *tenantBuckets
+	reg     *obs.Registry
+	tenants *tenantRED
+	flight  *flightRecorder
 
 	inflight    chan struct{}
 	inflightNow atomic.Int64
@@ -151,6 +160,8 @@ func New(o Options) *Server {
 		resp:     newRespCache(o.ResponseCacheSize),
 		adm:      newTenantBuckets(o.RatePerSec, o.Burst, o.Now),
 		reg:      o.Registry,
+		tenants:  newTenantRED(o.Registry, o.Now),
+		flight:   newFlightRecorder(o.FlightSize),
 		inflight: make(chan struct{}, o.MaxConcurrent),
 
 		requests:    o.Registry.Counter("serve.requests"),
@@ -247,11 +258,17 @@ type errorBody struct {
 
 // Handler returns the daemon's HTTP surface:
 //
-//	POST /check    core-language analysis
-//	POST /analyze  MicroC (MIXY) analysis
-//	POST /flush    drop all in-memory caches (admin)
-//	GET  /metrics  server metrics snapshot (obs JSON schema)
-//	GET  /healthz  readiness (503 once draining)
+//	POST /check         core-language analysis
+//	POST /analyze       MicroC (MIXY) analysis
+//	POST /flush         drop all in-memory caches (admin)
+//	GET  /metrics       server metrics snapshot (obs JSON schema, or
+//	                    Prometheus text format with ?format=prometheus)
+//	GET  /healthz       readiness (503 once draining)
+//	GET  /debug/flight  flight-recorder dump (JSONL, oldest first)
+//
+// The observability endpoints (/metrics, /debug/flight) have no drain
+// gate: a draining daemon keeps answering scrapes — that is exactly
+// when the last readings matter — while the analysis endpoints 503.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("POST /check", s.analysisHandler("core"))
@@ -263,8 +280,17 @@ func (s *Server) Handler() http.Handler {
 	})
 	mux.Handle("GET /metrics", profiling.MetricsHandler(s.reg, s.collect))
 	mux.Handle("GET /healthz", profiling.HealthzHandler(s.Ready))
+	mux.HandleFunc("GET /debug/flight", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_ = s.flight.WriteJSONL(w)
+	})
 	return mux
 }
+
+// WriteFlight dumps the flight recorder as JSONL, oldest entry first —
+// what mixd writes on SIGTERM so a crash-looping deployment leaves its
+// last requests on stderr. A disabled recorder writes nothing.
+func (s *Server) WriteFlight(w io.Writer) error { return s.flight.WriteJSONL(w) }
 
 // Flush drops the in-memory tiers of the solver cache, the summary
 // store, and the verdict cache. The persistent tier (Options.CacheDir)
@@ -362,7 +388,9 @@ func (s *Server) reject(w http.ResponseWriter, code int, retryAfter time.Duratio
 
 // analysisHandler is the shared request lifecycle of /check and
 // /analyze: drain gate → decode → validate (400) → admission (429) →
-// verdict cache → run → respond. kind is "core" or "microc".
+// verdict cache → run → respond. kind is "core" or "microc". Every
+// exit — rejects included — lands in the flight recorder, and every
+// exit with a known tenant lands in that tenant's RED series.
 func (s *Server) analysisHandler(kind string) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		// Register with the drain group before checking the flag:
@@ -371,8 +399,23 @@ func (s *Server) analysisHandler(kind string) http.Handler {
 		// between.
 		s.wg.Add(1)
 		defer s.wg.Done()
+		t0 := time.Now()
+		fe := FlightEntry{TNs: t0.UnixNano(), Kind: kind}
+		// finish records the request in the flight recorder and the
+		// tenant's RED series. It runs before the response bytes go out,
+		// so a client that scrapes right after its own request always
+		// sees that request accounted.
+		finish := func(status int) {
+			fe.Status = status
+			fe.LatencyNS = int64(time.Since(t0))
+			s.flight.record(fe)
+			if fe.Tenant != "" {
+				s.tenants.observe(fe.Tenant, status != http.StatusOK || fe.Verdict == "degraded", fe.LatencyNS)
+			}
+		}
 		if s.draining.Load() {
 			s.rejected503.Inc()
+			finish(http.StatusServiceUnavailable)
 			s.reject(w, http.StatusServiceUnavailable, time.Second, "server is draining")
 			return
 		}
@@ -382,11 +425,13 @@ func (s *Server) analysisHandler(kind string) http.Handler {
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&req); err != nil {
 			s.badRequests.Inc()
+			finish(http.StatusBadRequest)
 			s.reject(w, http.StatusBadRequest, 0, "bad request body: "+err.Error())
 			return
 		}
 		if req.Source == "" {
 			s.badRequests.Inc()
+			finish(http.StatusBadRequest)
 			s.reject(w, http.StatusBadRequest, 0, `missing "source"`)
 			return
 		}
@@ -395,8 +440,10 @@ func (s *Server) analysisHandler(kind string) http.Handler {
 		if tenant == "" {
 			tenant = "default"
 		}
+		fe.Tenant = tenant
 		if ok, retry := s.adm.take(tenant); !ok {
 			s.rejected429.Inc()
+			finish(http.StatusTooManyRequests)
 			s.reject(w, http.StatusTooManyRequests, retry,
 				fmt.Sprintf("tenant %q over admission rate", tenant))
 			return
@@ -410,23 +457,41 @@ func (s *Server) analysisHandler(kind string) http.Handler {
 			}()
 		default:
 			s.rejected429.Inc()
+			finish(http.StatusTooManyRequests)
 			s.reject(w, http.StatusTooManyRequests, time.Second, "server at in-flight capacity")
 			return
 		}
 
 		s.requests.Inc()
-		t0 := time.Now()
-		resp, code, errMsg := s.run(kind, &req)
+		resp, code, errMsg := s.run(kind, &req, &fe)
 		elapsed := time.Since(t0)
 		s.latency.Observe(int64(elapsed))
 		if code != http.StatusOK {
 			s.badRequests.Inc()
+			finish(code)
 			s.reject(w, code, 0, errMsg)
 			return
 		}
+		fe.Cached = resp.Cached
+		fe.Verdict, fe.Fault = verdictOf(resp)
 		resp.LatencyNS = int64(elapsed)
+		finish(http.StatusOK)
 		writeJSON(w, http.StatusOK, resp)
 	})
+}
+
+// verdictOf summarizes a 200 response for the flight recorder.
+func verdictOf(resp *Response) (verdict, faultClass string) {
+	switch {
+	case resp.Check != nil && resp.Check.Degraded:
+		return "degraded", resp.Check.Fault
+	case resp.Analyze != nil && resp.Analyze.Degraded:
+		return "degraded", resp.Analyze.Fault
+	case resp.Check != nil && resp.Check.Error != "":
+		return "reject", ""
+	default:
+		return "ok", ""
+	}
 }
 
 // cacheKey is the verdict-cache key: kind, source, and the canonical
@@ -457,8 +522,9 @@ func (s *Server) deadline(req *Request) time.Duration {
 }
 
 // run executes one admitted request. It returns the response (code
-// 200), or a non-200 code and message.
-func (s *Server) run(kind string, req *Request) (*Response, int, string) {
+// 200), or a non-200 code and message. fe receives the fields only
+// the run can know (shard retry counts).
+func (s *Server) run(kind string, req *Request, fe *FlightEntry) (*Response, int, string) {
 	resp := &Response{Kind: kind}
 
 	// Parse errors are 400s — the client sent a program the language
@@ -508,19 +574,33 @@ func (s *Server) run(kind string, req *Request) (*Response, int, string) {
 		if s.opts.Shards > 0 {
 			// The sharded path trades the daemon's warm caches for
 			// process isolation; the request's deadline still binds each
-			// worker's analysis.
+			// worker's analysis. It always runs with a registry — the
+			// request's own when it asked for metrics, a scratch one
+			// otherwise — because the coordinator merges worker-side
+			// counters into it, and those belong in the server's fleet
+			// totals either way.
+			sreg := reg
+			if sreg == nil {
+				sreg = obs.NewRegistry()
+			}
 			sreq := req.Analysis
 			sreq.Deadline = cliflags.Duration(cfg.Deadline)
 			var serr error
 			res, serr = shard.ExploreCore(req.Source, sreq, shard.Options{
 				Shards:  s.opts.Shards,
 				Depth:   s.opts.ShardDepth,
-				Metrics: reg,
+				Metrics: sreg,
 				Tracer:  tr,
 			})
 			if serr != nil {
 				return nil, http.StatusBadRequest, serr.Error()
 			}
+			// Fold the run's counters — coordinator bookkeeping and the
+			// worker registries it merged — into the server registry, so
+			// /metrics scrapes and the final drain flush account sharded
+			// work like in-process work.
+			s.reg.Merge(sreg.Snapshot())
+			fe.ShardRetries = sreg.Counter("shard.retries").Value()
 		} else {
 			res = mix.Check(req.Source, cfg)
 		}

@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"strings"
+	"sync"
+	"time"
+
+	"mix/internal/obs"
+)
+
+// tenantRED keeps per-tenant RED metrics (Rate, Errors, Duration) in
+// the server registry, under "serve.tenant.<tenant>.": a request
+// counter, an error/degraded counter, and a latency histogram per
+// tenant. Like the admission map, the tenant set is bounded at
+// maxTenants with stalest-eviction, so a tenant-per-request client
+// cannot grow the registry without limit; eviction removes the
+// tenant's metrics from the registry wholesale (obs.Registry
+// RemovePrefix), and a returning tenant starts fresh.
+type tenantRED struct {
+	mu  sync.Mutex
+	reg *obs.Registry
+	now func() time.Time
+	m   map[string]*redEntry
+}
+
+type redEntry struct {
+	last     time.Time
+	requests *obs.Counter
+	errors   *obs.Counter
+	latency  *obs.Histogram
+}
+
+func newTenantRED(reg *obs.Registry, now func() time.Time) *tenantRED {
+	if now == nil {
+		now = time.Now
+	}
+	return &tenantRED{reg: reg, now: now, m: map[string]*redEntry{}}
+}
+
+// redKey flattens a tenant name into one dotted-path component:
+// eviction removes by name prefix, so a dot inside a tenant name must
+// not fabricate path structure (tenant "a" would otherwise evict
+// tenant "a.b"'s metrics).
+func redKey(tenant string) string {
+	return strings.ReplaceAll(tenant, ".", "_")
+}
+
+// observe records one finished request for tenant: the request count,
+// the error/degraded count, and the latency distribution.
+func (t *tenantRED) observe(tenant string, errored bool, latencyNS int64) {
+	t.mu.Lock()
+	e := t.m[tenant]
+	if e == nil {
+		if len(t.m) >= maxTenants {
+			t.evictStalest()
+		}
+		prefix := "serve.tenant." + redKey(tenant) + "."
+		e = &redEntry{
+			requests: t.reg.Counter(prefix + "requests"),
+			errors:   t.reg.Counter(prefix + "errors"),
+			latency:  t.reg.Histogram(prefix + "latency.ns"),
+		}
+		t.m[tenant] = e
+	}
+	e.last = t.now()
+	t.mu.Unlock()
+	e.requests.Inc()
+	if errored {
+		e.errors.Inc()
+	}
+	e.latency.Observe(latencyNS)
+}
+
+// evictStalest drops the tenant idle the longest, together with its
+// registry metrics (caller holds mu).
+func (t *tenantRED) evictStalest() {
+	var stalest string
+	first := true
+	for k, e := range t.m {
+		if first || e.last.Before(t.m[stalest].last) {
+			stalest, first = k, false
+		}
+	}
+	delete(t.m, stalest)
+	t.reg.RemovePrefix("serve.tenant." + redKey(stalest) + ".")
+}

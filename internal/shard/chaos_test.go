@@ -36,7 +36,7 @@ func chaosOpts(shards int) Options {
 		Shards:      shards,
 		Depth:       2,
 		Heartbeat:   25 * time.Millisecond,
-		ItemTimeout: 300 * time.Millisecond,
+		ItemTimeout: time.Second,
 		MaxAttempts: 3,
 		BackoffBase: time.Millisecond,
 		Seed:        7,

@@ -103,6 +103,14 @@ type outcome struct {
 	detail   string
 	attempts int
 	kills    int
+	// pending holds the heartbeat metric deltas of the item's last
+	// attempt. When the attempt succeeds they are discarded (the
+	// result snapshot is authoritative); when the item is finally lost
+	// they are the only accounting its partial work ever gets, merged
+	// into the parent registry via the degrade path. Each attempt
+	// replaces pending wholesale, so a retried item never counts an
+	// abandoned attempt's work.
+	pending []obs.MetricsSnapshot
 }
 
 type coordinator struct {
@@ -132,13 +140,32 @@ func run(items []WorkSpec, opts Options) []outcome {
 	if dial == nil {
 		dial = ProcDialer(opts.WorkerBin)
 	}
+	// Observability rides in the work specs: when the caller threads a
+	// registry or tracer, every worker records its item into fresh
+	// local instances and carries them home in the result frame.
+	for i := range items {
+		items[i].Metrics = opts.Metrics != nil
+		items[i].Trace = opts.Tracer != nil
+		items[i].TraceDet = opts.Tracer.Deterministic()
+	}
 	c := &coordinator{
 		opts:  opts,
-		span:  opts.Tracer.Root("shard.coordinator"),
 		rng:   rand.New(rand.NewSource(opts.Seed)),
 		items: items,
 		queue: make(chan int, len(items)),
 		outs:  make([]outcome, len(items)),
+	}
+	// In timing mode the coordinator's root span exists up front — the
+	// slot goroutines emit lifecycle events on its children as they
+	// work. In deterministic mode those events are suppressed anyway,
+	// and the root must NOT exist yet: the splice below injects worker
+	// roots under their original IDs (r00000...), and a root numbered
+	// before them would collide. The deterministic root is created
+	// after the splice, and only when a lost subtree needs a degrade
+	// event — a clean sharded trace is exactly the unsharded trace.
+	det := opts.Tracer.Deterministic()
+	if !det {
+		c.span = opts.Tracer.Root("shard.coordinator")
 	}
 	for i := range items {
 		c.queue <- i
@@ -161,18 +188,43 @@ func run(items []WorkSpec, opts Options) []outcome {
 		}(w)
 	}
 	wg.Wait()
-	// Degrade events are emitted here — after the barrier, in item
-	// order, on the root span — not from the racing slot goroutines:
-	// they survive deterministic-trace mode, so their paths and order
-	// must be a pure function of the item list, never of scheduling or
-	// shard count.
+	// Aggregation happens here — after the barrier, in item order,
+	// never from the racing slot goroutines: merged metrics and
+	// spliced traces must be a pure function of the item list, so any
+	// shard count (and any interleaving of completions) aggregates to
+	// byte-identical output. Completed items contribute their
+	// authoritative result snapshot; lost items contribute the partial
+	// deltas their last attempt heartbeated before dying — retried
+	// attempts that were superseded are already discarded.
+	lost := false
+	for i := range c.outs {
+		out := &c.outs[i]
+		if out.res != nil {
+			if out.res.Metrics != nil {
+				opts.Metrics.Merge(*out.res.Metrics)
+			}
+			opts.Tracer.Splice(i, out.res.Events)
+			continue
+		}
+		lost = true
+		for _, d := range out.pending {
+			opts.Metrics.Merge(d)
+		}
+	}
+	if det && lost {
+		c.span = opts.Tracer.Root("shard.coordinator")
+	}
+	// Degrade events follow the splice so the deterministic root sorts
+	// after every worker subtree; they are emitted in item order for
+	// the same reason the merge is.
 	for i := range c.outs {
 		out := &c.outs[i]
 		if out.res != nil {
 			continue
 		}
 		c.span.Degrade(out.class.String(), fmt.Sprintf("item %d subtree lost after %d attempts: %s", i, out.attempts, out.detail))
-		c.inc("shard.lost_items")
+		c.inc("shard.lost")
+		c.inc("shard.lost." + out.class.String())
 	}
 	if m := opts.Metrics; m != nil {
 		m.Gauge("shard.items").Set(int64(len(items)))
@@ -249,9 +301,14 @@ func (c *coordinator) runItem(id int, cn **conn, dial Dialer, item int) {
 	var out outcome
 	for {
 		out.attempts++
-		class, detail, res := c.attempt(id, cn, dial, item, out.attempts)
+		class, detail, res, pending := c.attempt(id, cn, dial, item, out.attempts)
+		// Each attempt's heartbeat deltas replace the previous
+		// attempt's: a retry re-runs the item from scratch, so keeping
+		// both would double-count the abandoned attempt's work.
+		out.pending = pending
 		if res != nil {
 			out.res = res
+			out.pending = nil // the result snapshot is authoritative
 			break
 		}
 		out.kills++
@@ -271,6 +328,7 @@ func (c *coordinator) runItem(id int, cn **conn, dial Dialer, item int) {
 		}
 		d := c.backoff(out.attempts)
 		c.inc("shard.retries")
+		c.inc("shard.retries." + class.String())
 		c.spans[id].ShardEvent(fmt.Sprintf("item %d retrying in %v", item, d), class.String())
 		time.Sleep(d)
 	}
@@ -283,19 +341,22 @@ func (c *coordinator) runItem(id int, cn **conn, dial Dialer, item int) {
 }
 
 // attempt dispatches item once. A nil result means the attempt
-// failed; the class and detail say how.
-func (c *coordinator) attempt(id int, cn **conn, dial Dialer, item, attempt int) (fault.Class, string, *ItemResult) {
+// failed; the class and detail say how. pending accumulates the
+// metric deltas the worker heartbeated during this attempt — partial
+// accounting the caller keeps only if the item is finally lost.
+func (c *coordinator) attempt(id int, cn **conn, dial Dialer, item, attempt int) (fault.Class, string, *ItemResult, []obs.MetricsSnapshot) {
+	var pending []obs.MetricsSnapshot
 	// Deterministic in-process chaos: the injector fails the dispatch
 	// before any worker is involved.
 	if inj := c.opts.Injector; inj != nil {
 		if err := inj.At(fault.ShardItem); err != nil {
-			return fault.ClassOf(err), err.Error(), nil
+			return fault.ClassOf(err), err.Error(), nil, nil
 		}
 	}
 	if *cn == nil {
 		nt, err := dial(id)
 		if err != nil {
-			return fault.ShardLost, fmt.Sprintf("item %d attempt %d: dial failed: %v", item, attempt, err), nil
+			return fault.ShardLost, fmt.Sprintf("item %d attempt %d: dial failed: %v", item, attempt, err), nil, nil
 		}
 		*cn = newConn(nt)
 		c.inc("shard.workers_spawned")
@@ -310,7 +371,7 @@ func (c *coordinator) attempt(id int, cn **conn, dial Dialer, item, attempt int)
 	c.spans[id].ShardEvent(fmt.Sprintf("dispatch item %d attempt %d to worker %d", item, attempt, id), "")
 	if err := tr.t.Send(Frame{Kind: frameWork, Item: item, Work: &spec}); err != nil {
 		c.discard(cn)
-		return fault.ShardLost, fmt.Sprintf("item %d attempt %d: send failed: %v", item, attempt, err), nil
+		return fault.ShardLost, fmt.Sprintf("item %d attempt %d: send failed: %v", item, attempt, err), nil, nil
 	}
 
 	// Await the result, enforcing the silence deadline.
@@ -324,11 +385,14 @@ func (c *coordinator) attempt(id int, cn **conn, dial Dialer, item, attempt int)
 				// which is indistinguishable from the outside and equally
 				// fatal to the connection).
 				c.discard(cn)
-				return fault.ShardLost, fmt.Sprintf("item %d attempt %d: worker lost: %v", item, attempt, m.err), nil
+				return fault.ShardLost, fmt.Sprintf("item %d attempt %d: worker lost: %v", item, attempt, m.err), nil, pending
 			}
 			switch {
 			case m.f.Kind == frameHeartbeat && m.f.Item == item:
 				c.inc("shard.heartbeats")
+				if m.f.Metrics != nil {
+					pending = append(pending, *m.f.Metrics)
+				}
 				if !deadline.Stop() {
 					select {
 					case <-deadline.C:
@@ -337,14 +401,14 @@ func (c *coordinator) attempt(id int, cn **conn, dial Dialer, item, attempt int)
 				}
 				deadline.Reset(c.opts.ItemTimeout)
 			case m.f.Kind == frameResult && m.f.Item == item && m.f.Result != nil:
-				return 0, "", m.f.Result
+				return 0, "", m.f.Result, nil
 			default:
 				c.discard(cn)
-				return fault.ShardLost, fmt.Sprintf("item %d attempt %d: protocol violation: %q frame for item %d", item, attempt, m.f.Kind, m.f.Item), nil
+				return fault.ShardLost, fmt.Sprintf("item %d attempt %d: protocol violation: %q frame for item %d", item, attempt, m.f.Kind, m.f.Item), nil, pending
 			}
 		case <-deadline.C:
 			c.discard(cn)
-			return fault.ShardTimeout, fmt.Sprintf("item %d attempt %d: worker silent past %v", item, attempt, c.opts.ItemTimeout), nil
+			return fault.ShardTimeout, fmt.Sprintf("item %d attempt %d: worker silent past %v", item, attempt, c.opts.ItemTimeout), nil, pending
 		}
 	}
 }

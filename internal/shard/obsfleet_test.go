@@ -1,0 +1,299 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mix"
+	"mix/internal/obs"
+)
+
+// The fleet-observability suite pins the cross-process aggregation
+// contract: worker registries merge and worker traces splice so a
+// sharded run reports exactly like an unsharded one — byte-identical
+// deterministic traces at 1 vs N shards and against the unsharded
+// executor, merged metrics byte-identical at 1 vs N shards, partial
+// metrics accounted exactly once across retries and losses.
+
+// isTimingMetric reports whether a metric's value depends on wall
+// clock or process topology rather than on the analyzed program:
+// nanosecond gauges and histograms, and the coordinator's
+// heartbeat/spawn counts (how many workers were dialed depends on how
+// items landed on slots). Identity assertions compare everything
+// else.
+func isTimingMetric(name string) bool {
+	switch name {
+	case "shard.heartbeats", "shard.workers_spawned", "shard.shards":
+		return true
+	}
+	return strings.HasSuffix(name, ".ns") || strings.HasSuffix(name, "_ns")
+}
+
+// stableMetricsJSON renders a registry snapshot minus the timing
+// metrics, the unit of the metrics byte-identity assertions.
+func stableMetricsJSON(t *testing.T, reg *obs.Registry) []byte {
+	t.Helper()
+	snap := reg.Snapshot()
+	kept := snap.Metrics[:0]
+	for _, m := range snap.Metrics {
+		if !isTimingMetric(m.Name) {
+			kept = append(kept, m)
+		}
+	}
+	snap.Metrics = kept
+	b, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// A chaos-free sharded deterministic trace must be byte-identical to
+// the unsharded executor's: forced forks replay the fork spine with
+// the same events, worker subtrees land on the paths the unsharded
+// run would have used, the splice dedups the spine, and no
+// coordinator root is created when nothing was lost.
+func TestShardedDetTraceMatchesUnsharded(t *testing.T) {
+	req := chaosReq()
+
+	unTr := obs.NewTracer(obs.TraceOptions{Deterministic: true})
+	cfg := req.MixConfig()
+	cfg.Tracer = unTr
+	if res := mix.Check(chaosSrc, cfg); res.Err != nil || res.Degraded {
+		t.Fatalf("unsharded run failed: %+v", res)
+	}
+	want := detTrace(t, unTr)
+
+	for _, shards := range []int{1, 2, 4} {
+		shTr := obs.NewTracer(obs.TraceOptions{Deterministic: true})
+		opts := chaosOpts(shards)
+		// No chaos here: give concurrent worker spawns headroom so a
+		// slow fork/exec is never misread as a lost shard.
+		opts.ItemTimeout = 10 * time.Second
+		opts.Tracer = shTr
+		res, err := ExploreCore(chaosSrc, req, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Err != nil || res.Degraded {
+			t.Fatalf("%d shards: run failed: %+v", shards, res)
+		}
+		if got := detTrace(t, shTr); !bytes.Equal(got, want) {
+			t.Fatalf("%d shards: sharded deterministic trace differs from unsharded:\nsharded:\n%s\nunsharded:\n%s", shards, got, want)
+		}
+	}
+}
+
+// Merged metrics must be byte-identical at 1 vs 4 shards under the
+// chaos plan: the item list, the chaos directives, and therefore the
+// surviving items' registries are all independent of the shard count,
+// and the post-barrier merge folds them in item order. The lost item
+// contributes nothing (its workers died before analyzing), and the
+// retried items count exactly once.
+func TestFleetMetricsByteIdentical1v4UnderChaos(t *testing.T) {
+	chaos := []ChaosDirective{
+		{Item: 1, Attempt: 1, Action: chaosKill},
+		{Item: 1, Attempt: 2, Action: chaosKill}, // second kill quarantines item 1
+		{Item: 2, Attempt: 1, Action: chaosGarble},
+		{Item: 3, Attempt: 1, Action: chaosStall, StallMS: 2000},
+	}
+	req := chaosReq()
+	req.Workers = 1 // a sequential engine keeps per-item metrics schedule-free
+	var snaps [][]byte
+	var regs []*obs.Registry
+	for _, shards := range []int{1, 4} {
+		opts := chaosOpts(shards)
+		opts.Chaos = chaos
+		reg := obs.NewRegistry()
+		opts.Metrics = reg
+		if _, err := ExploreCore(chaosSrc, req, opts); err != nil {
+			t.Fatalf("%d shards: %v", shards, err)
+		}
+		snaps = append(snaps, stableMetricsJSON(t, reg))
+		regs = append(regs, reg)
+	}
+	if !bytes.Equal(snaps[0], snaps[1]) {
+		t.Fatalf("merged metrics differ across shard counts:\n1 shard:\n%s\n4 shards:\n%s", snaps[0], snaps[1])
+	}
+	// Worker-side analysis counters must have made it home...
+	reg := regs[0]
+	if v := reg.Gauge("engine.paths").Value(); v <= 0 {
+		t.Fatalf("engine.paths = %d: worker registries were not merged", v)
+	}
+	if v := reg.Gauge("solver.queries").Value(); v <= 0 {
+		t.Fatalf("solver.queries = %d: worker registries were not merged", v)
+	}
+	// ...and the coordinator's loss accounting must be visible, with
+	// its per-class breakdown.
+	if v := reg.Counter("shard.lost").Value(); v != 1 {
+		t.Fatalf("shard.lost = %d, want 1 (the quarantined item)", v)
+	}
+	if v := reg.Counter("shard.lost.shard-poison").Value(); v != 1 {
+		t.Fatalf("shard.lost.shard-poison = %d, want 1", v)
+	}
+	if v := reg.Counter("shard.poisoned").Value(); v != 1 {
+		t.Fatalf("shard.poisoned = %d, want 1", v)
+	}
+	if v := reg.Counter("shard.retries").Value(); v == 0 {
+		t.Fatal("shard.retries = 0: the garbled and stalled items must have retried")
+	}
+	if v := reg.Counter("shard.retries.shard-timeout").Value(); v != 1 {
+		t.Fatalf("shard.retries.shard-timeout = %d, want 1 (the stalled item)", v)
+	}
+}
+
+// heartbeatDialer fakes a worker that heartbeats partial metric
+// deltas mid-item and then follows a script: die (partial work lost
+// with the attempt) or complete with an authoritative snapshot.
+func heartbeatDialer(delta, final obs.MetricsSnapshot, behave func(item, dispatch int) fakeOp) Dialer {
+	var mu sync.Mutex
+	seen := map[int]int{}
+	return func(id int) (Transport, error) {
+		coordSide, workerSide := MemPair()
+		go func() {
+			for {
+				f, err := workerSide.Recv()
+				if err != nil {
+					return
+				}
+				mu.Lock()
+				seen[f.Item]++
+				n := seen[f.Item]
+				mu.Unlock()
+				d := delta
+				workerSide.Send(Frame{Kind: frameHeartbeat, Item: f.Item, Metrics: &d})
+				switch behave(f.Item, n) {
+				case opDie:
+					workerSide.Kill()
+					return
+				default:
+					s := final
+					res := &ItemResult{Type: "int", Metrics: &s}
+					if err := workerSide.Send(Frame{Kind: frameResult, Item: f.Item, Result: res}); err != nil {
+						return
+					}
+				}
+			}
+		}()
+		return coordSide, nil
+	}
+}
+
+func snapOf(vals map[string]int64) obs.MetricsSnapshot {
+	r := obs.NewRegistry()
+	for k, v := range vals {
+		r.Counter(k).Add(v)
+	}
+	return r.Snapshot()
+}
+
+// A retried item must count exactly once: the deltas its failed
+// attempt heartbeated are discarded when the retry delivers an
+// authoritative snapshot.
+func TestRetriedItemNeverDoubleCountsMetrics(t *testing.T) {
+	delta := snapOf(map[string]int64{"worker.partial": 7})
+	final := snapOf(map[string]int64{"worker.partial": 10})
+	reg := obs.NewRegistry()
+	opts := fastOpts(Options{
+		Shards:      1,
+		MaxAttempts: 3,
+		PoisonKills: 3,
+		Metrics:     reg,
+		Dialer: heartbeatDialer(delta, final, func(item, dispatch int) fakeOp {
+			if dispatch == 1 {
+				return opDie
+			}
+			return opResult
+		}),
+	})
+	outs := run([]WorkSpec{{Lang: langCore}}, opts)
+	if outs[0].res == nil {
+		t.Fatalf("retry must recover the item: %+v", outs[0])
+	}
+	if v := reg.Counter("worker.partial").Value(); v != 10 {
+		t.Fatalf("worker.partial = %d, want 10 (the result snapshot alone; the dead attempt's delta of 7 must be discarded)", v)
+	}
+}
+
+// A finally-lost item's partial work is accounted exactly once, via
+// the degrade path: the last attempt's heartbeat deltas merge into
+// the parent registry; earlier attempts' deltas are superseded.
+func TestLostItemAccountsPartialMetricsOnce(t *testing.T) {
+	delta := snapOf(map[string]int64{"worker.partial": 7})
+	final := snapOf(map[string]int64{"worker.partial": 10})
+	reg := obs.NewRegistry()
+	opts := fastOpts(Options{
+		Shards:      1,
+		MaxAttempts: 2,
+		PoisonKills: 5,
+		Metrics:     reg,
+		Dialer: heartbeatDialer(delta, final, func(item, dispatch int) fakeOp {
+			return opDie // every attempt dies after heartbeating one delta
+		}),
+	})
+	outs := run([]WorkSpec{{Lang: langCore}}, opts)
+	if outs[0].res != nil {
+		t.Fatal("the item must be lost")
+	}
+	if v := reg.Counter("worker.partial").Value(); v != 7 {
+		t.Fatalf("worker.partial = %d, want 7 (one delta from the final attempt only)", v)
+	}
+	if v := reg.Counter("shard.lost").Value(); v != 1 {
+		t.Fatalf("shard.lost = %d, want 1", v)
+	}
+}
+
+// A timing-mode sharded trace carries worker events too: renumbered
+// under fresh roots, tagged with their 1-based item of origin, and
+// interleaved with the coordinator's own shard lifecycle events.
+func TestTimedTraceCarriesWorkerEventsWithItemTags(t *testing.T) {
+	tr := obs.NewTracer(obs.TraceOptions{})
+	opts := chaosOpts(2)
+	opts.Tracer = tr
+	if _, err := ExploreCore(chaosSrc, chaosReq(), opts); err != nil {
+		t.Fatal(err)
+	}
+	events := tr.Events()
+	var workerRoots, shardEvents int
+	itemsSeen := map[int64]bool{}
+	for _, e := range events {
+		if e.Item != 0 {
+			itemsSeen[e.Item] = true
+			if e.Kind == obs.KindRoot {
+				workerRoots++
+			}
+		}
+		if e.Kind == obs.KindShard {
+			shardEvents++
+		}
+	}
+	if workerRoots == 0 {
+		t.Fatal("no worker-origin roots were spliced into the timed trace")
+	}
+	if shardEvents == 0 {
+		t.Fatal("coordinator shard lifecycle events missing from the timed trace")
+	}
+	for item := int64(1); item <= 4; item++ {
+		if !itemsSeen[item] {
+			t.Fatalf("no events tagged with item %d (saw %v)", item, itemsSeen)
+		}
+	}
+	// Paths must stay well-formed after the renumbering splice: every
+	// parent a strict prefix, no duplicate roots.
+	roots := map[string]bool{}
+	for _, e := range events {
+		if e.Kind == obs.KindRoot {
+			if roots[e.Path] {
+				t.Fatalf("duplicate root %s after splice", e.Path)
+			}
+			roots[e.Path] = true
+		}
+		if e.Parent != "" && !strings.HasPrefix(e.Path, e.Parent+".") {
+			t.Fatalf("event path %q not under parent %q", e.Path, e.Parent)
+		}
+	}
+}

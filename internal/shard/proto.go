@@ -32,6 +32,7 @@ import (
 	"io"
 
 	"mix/internal/cliflags"
+	"mix/internal/obs"
 )
 
 // Frame kinds. The coordinator sends work; workers answer with a
@@ -53,6 +54,14 @@ type Frame struct {
 	Item   int         `json:"item"`
 	Work   *WorkSpec   `json:"work,omitempty"`
 	Result *ItemResult `json:"result,omitempty"`
+	// Metrics, on a heartbeat frame, carries the incremental metrics
+	// delta since the previous heartbeat of this item — the partial
+	// accounting of a long-running item. The coordinator accumulates
+	// deltas per attempt and discards them when the attempt delivers a
+	// result (whose snapshot is authoritative); only a finally-lost
+	// item's last-attempt deltas are merged, via the degrade path, so
+	// retried items never double-count.
+	Metrics *obs.MetricsSnapshot `json:"metrics,omitempty"`
 }
 
 // WorkSpec is one dispatched work item: the full program plus the
@@ -79,6 +88,16 @@ type WorkSpec struct {
 	// count.
 	Chaos   string `json:"chaos,omitempty"`
 	StallMS int    `json:"stall_ms,omitempty"`
+	// Metrics asks the worker to record the item's analysis into a
+	// fresh registry and return its snapshot in the result frame (plus
+	// incremental deltas on heartbeats).
+	Metrics bool `json:"metrics,omitempty"`
+	// Trace asks the worker to record the item's trace events and
+	// return them in the result frame; TraceDet selects deterministic
+	// mode (must match the coordinator's tracer, or the splice would
+	// mix timed and wall-clock-free events).
+	Trace    bool `json:"trace,omitempty"`
+	TraceDet bool `json:"trace_det,omitempty"`
 }
 
 // ItemResult is one completed item's outcome — the serializable slice
@@ -101,6 +120,12 @@ type ItemResult struct {
 	Degraded      bool   `json:"degraded,omitempty"`
 	Fault         string `json:"fault,omitempty"`
 	FaultDetail   string `json:"fault_detail,omitempty"`
+	// Observability payload (present when the WorkSpec asked for it):
+	// the item's full registry snapshot and trace events, carried home
+	// so the coordinator can merge and splice them — a sharded run
+	// then reports -stats and -trace like an unsharded one.
+	Metrics *obs.MetricsSnapshot `json:"metrics,omitempty"`
+	Events  []obs.Event          `json:"events,omitempty"`
 }
 
 // writeFrame encodes f as a length-prefixed JSON frame.

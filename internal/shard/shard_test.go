@@ -183,8 +183,8 @@ func TestTransientLossRetriesAndRecovers(t *testing.T) {
 	if got := reg.Counter("shard.retries").Value(); got != 1 {
 		t.Fatalf("shard.retries = %d, want 1", got)
 	}
-	if got := reg.Counter("shard.lost_items").Value(); got != 0 {
-		t.Fatalf("shard.lost_items = %d, want 0", got)
+	if got := reg.Counter("shard.lost").Value(); got != 0 {
+		t.Fatalf("shard.lost = %d, want 0", got)
 	}
 }
 

@@ -147,7 +147,17 @@ func (t *memTransport) Recv() (Frame, error) {
 	case f := <-t.recv:
 		return f, nil
 	case <-t.done:
-		return Frame{}, io.EOF
+		// Frames sent before the kill are still readable, matching a
+		// real pipe (data written before SIGKILL survives the writer).
+		// Without this drain, a heartbeat buffered just before Kill
+		// races the closed done channel in the select above and can be
+		// silently dropped.
+		select {
+		case f := <-t.recv:
+			return f, nil
+		default:
+			return Frame{}, io.EOF
+		}
 	}
 }
 

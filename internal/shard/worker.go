@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"mix"
+	"mix/internal/obs"
 )
 
 // Work-item languages and chaos actions.
@@ -60,7 +61,10 @@ func Serve(r io.Reader, w io.Writer) error {
 
 // serveItem runs one work item: chaos directive first (tests only),
 // then heartbeats ticking in the background while the analysis runs,
-// then the result frame.
+// then the result frame. When the spec asks for metrics, heartbeats
+// carry incremental registry deltas — the partial accounting the
+// coordinator keeps in case this worker never delivers a result — and
+// the result frame carries the authoritative full snapshot.
 func serveItem(w io.Writer, mu *sync.Mutex, item int, spec *WorkSpec) {
 	switch spec.Chaos {
 	case chaosKill:
@@ -80,6 +84,14 @@ func serveItem(w io.Writer, mu *sync.Mutex, item int, spec *WorkSpec) {
 		// the item still completes normally; both outcomes are safe.
 		time.Sleep(time.Duration(spec.StallMS) * time.Millisecond)
 	}
+	var reg *obs.Registry
+	var tr *obs.Tracer
+	if spec.Metrics {
+		reg = obs.NewRegistry()
+	}
+	if spec.Trace {
+		tr = obs.NewTracer(obs.TraceOptions{Deterministic: spec.TraceDet})
+	}
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
 	if hb := spec.HeartbeatMS; hb > 0 {
@@ -88,35 +100,54 @@ func serveItem(w io.Writer, mu *sync.Mutex, item int, spec *WorkSpec) {
 			defer wg.Done()
 			t := time.NewTicker(time.Duration(hb) * time.Millisecond)
 			defer t.Stop()
+			last := reg.Snapshot()
 			for {
 				select {
 				case <-stop:
 					return
 				case <-t.C:
+					f := Frame{Kind: frameHeartbeat, Item: item}
+					if reg != nil {
+						cur := reg.Snapshot()
+						if d := cur.Delta(last); len(d.Metrics) > 0 {
+							f.Metrics = &d
+						}
+						last = cur
+					}
 					mu.Lock()
 					// A failed heartbeat write means the coordinator is
 					// gone; the result write will fail the same way.
-					writeFrame(w, Frame{Kind: frameHeartbeat, Item: item})
+					writeFrame(w, f)
 					mu.Unlock()
 				}
 			}
 		}()
 	}
-	res := runItem(spec)
+	res := runItem(spec, reg, tr)
 	close(stop)
 	wg.Wait()
+	if reg != nil {
+		snap := reg.Snapshot()
+		res.Metrics = &snap
+	}
+	if tr != nil {
+		res.Events = tr.Events()
+	}
 	mu.Lock()
 	writeFrame(w, Frame{Kind: frameResult, Item: item, Result: res})
 	mu.Unlock()
 }
 
 // runItem executes the analysis for one work item and flattens the
-// facade result into the wire shape.
-func runItem(spec *WorkSpec) *ItemResult {
+// facade result into the wire shape. reg and tr, when non-nil,
+// receive the item's metrics and trace events.
+func runItem(spec *WorkSpec, reg *obs.Registry, tr *obs.Tracer) *ItemResult {
 	switch spec.Lang {
 	case langCore:
 		cfg := spec.Request.MixConfig()
 		cfg.ShardPrefix = spec.Prefix
+		cfg.Metrics = reg
+		cfg.Tracer = tr
 		res := mix.Check(spec.Source, cfg)
 		out := &ItemResult{
 			Type:          res.Type,
@@ -134,7 +165,10 @@ func runItem(spec *WorkSpec) *ItemResult {
 		}
 		return out
 	case langMicroC:
-		res, err := mix.AnalyzeC(spec.Source, spec.Request.CConfig())
+		cfg := spec.Request.CConfig()
+		cfg.Metrics = reg
+		cfg.Tracer = tr
+		res, err := mix.AnalyzeC(spec.Source, cfg)
 		out := &ItemResult{
 			Warnings:       res.Warnings,
 			Merges:         res.Merges,

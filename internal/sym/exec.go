@@ -815,10 +815,14 @@ func (x *Executor) runIf(env *Env, st State, e lang.If) ([]Result, error) {
 // prefix bit consumed, and the unexplored sibling is summarized by a
 // Pruned result whose guard — the sibling subtree's root path
 // condition — stands in for every one of its leaves in the caller's
-// exhaustiveness disjunction. No fork is charged, counted, or traced:
-// the fork belongs to the work-item boundary, not to this shard's
-// exploration. Results keep depth-first order (then before else) with
-// the pruned sibling in its subtree's place.
+// exhaustiveness disjunction. No fork is charged or counted: the fork
+// belongs to the work-item boundary, not to this shard's exploration.
+// It is traced, though, exactly as a real fork — same fork/child/join
+// events at the same (path, pseq) — so every work item replays the
+// shared fork spine identically and the coordinator's trace splice
+// dedups the spine while the per-item subtrees land on the paths the
+// unsharded run would have used. Results keep depth-first order (then
+// before else) with the pruned sibling in its subtree's place.
 func (x *Executor) forceBranch(env *Env, s1 State, g1 Val, e lang.If) ([]Result, error) {
 	bit := x.Prefix[s1.prefixPos]
 	taken := s1
@@ -828,13 +832,21 @@ func (x *Executor) forceBranch(env *Env, s1 State, g1 Val, e lang.If) ([]Result,
 	pruned.State = s1
 	pruned.State.depth++
 	pruned.State.prefixPos = len(x.Prefix)
+	// Both children are created — child numbering encodes the branch
+	// (then = 0, else = 1) — but only the taken arm ever emits to its
+	// span; the sibling's events come from the item that owns it.
+	s1.span.Fork(2)
+	thenSpan := s1.span.Child()
+	elseSpan := s1.span.Child()
 	var arm lang.Expr
 	if !bit {
 		taken.Guard = MkAnd(s1.Guard, g1)
+		taken.span = thenSpan
 		pruned.State.Guard = MkAnd(s1.Guard, MkNot(g1))
 		arm = e.Then
 	} else {
 		taken.Guard = MkAnd(s1.Guard, MkNot(g1))
+		taken.span = elseSpan
 		pruned.State.Guard = MkAnd(s1.Guard, g1)
 		arm = e.Else
 	}
@@ -842,6 +854,7 @@ func (x *Executor) forceBranch(env *Env, s1 State, g1 Val, e lang.If) ([]Result,
 	if err != nil {
 		return nil, err
 	}
+	s1.span.Join()
 	if !bit {
 		return append(rs, pruned), nil
 	}
