@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	mixbench [-table E1..E8|X1..X11|all] [-cpuprofile f] [-memprofile f]
+//	mixbench [-table E1..E8|X1..X12|all] [-cpuprofile f] [-memprofile f]
 //	mixbench -diff old.json new.json
 //
 // The X4..X11 tables also write machine-readable BENCH_*.json
@@ -30,7 +30,13 @@
 // trace aggregation on sharded ladder-10, per-request serving RED +
 // flight-recorder cost, Prometheus render and snapshot-merge micro
 // rows; under MIXBENCH_ENFORCE=1 it exits 1 if fleet metrics cost more
-// than 5% over a telemetry-off sharded run.
+// than 5% over a telemetry-off sharded run. X12 measures the CDCL
+// search core (DESIGN.md section 17) against the legacy chronological
+// DPLL oracle on a hard conflict-driven family plus the easy
+// ladder/vsftpd workloads; under MIXBENCH_ENFORCE=1 it exits 1 unless
+// CDCL with pooled assumption reuse is at least 2x faster than DPLL on
+// the hard family, or if the CDCL default regresses an easy workload
+// by more than 5%.
 //
 // -diff old.json new.json joins two BENCH_*.json artifacts by row
 // name and prints per-row speedups. It exits 1 when a deterministic
@@ -74,6 +80,7 @@ import (
 	"mix/internal/serve"
 	"mix/internal/shard"
 	"mix/internal/signs"
+	"mix/internal/solver"
 	"mix/internal/summary"
 	"mix/internal/sym"
 	"mix/internal/symexec"
@@ -82,7 +89,7 @@ import (
 
 func main() {
 	shard.WorkerMain() // X10's worker processes re-exec this binary
-	table := flag.String("table", "all", "experiment to run (E1..E8, X1..X10, or all)")
+	table := flag.String("table", "all", "experiment to run (E1..E8, X1..X12, or all)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected tables to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken after the run to this file")
 	diff := flag.Bool("diff", false, "compare two BENCH_*.json artifacts: mixbench -diff old.json new.json")
@@ -115,10 +122,10 @@ func runTables(table string) {
 		"E5": tableE5, "E6": tableE6, "E7": tableE7, "E8": tableE8,
 		"X1": tableX1, "X2": tableX2, "X3": tableX3, "X4": tableX4,
 		"X5": tableX5, "X6": tableX6, "X7": tableX7, "X8": tableX8,
-		"X9": tableX9, "X10": tableX10, "X11": tableX11,
+		"X9": tableX9, "X10": tableX10, "X11": tableX11, "X12": tableX12,
 	}
 	if table == "all" {
-		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "X1", "X2", "X3", "X4", "X5", "X6", "X7", "X8", "X9", "X10", "X11"} {
+		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "X1", "X2", "X3", "X4", "X5", "X6", "X7", "X8", "X9", "X10", "X11", "X12"} {
 			tables[id]()
 			fmt.Println()
 		}
@@ -1597,4 +1604,211 @@ func tableX11() {
 	w.Flush()
 
 	writeBench("BENCH_obsfleet.json", rows)
+}
+
+// tableX12 — the CDCL search core vs the legacy chronological DPLL
+// (DESIGN.md section 17). Three claims, three row families:
+//
+//   - hard-8x4: a satisfiable stalled or-chain prefix (every clause
+//     needs two decisions before it propagates) conjoined per query
+//     with a child-local contradiction. Chronological DPLL re-refutes
+//     the contradiction once per busy-prefix assignment — exponential
+//     in the prefix length — while CDCL's first conflict learns a unit
+//     clause over the contradiction and backjumps to level 0. The
+//     cdcl+assume mode additionally solves the four children on one
+//     warm solver via the assumption stack, the way the engine pool
+//     asserts forked path conditions, so the shared prefix is encoded
+//     once instead of four times.
+//   - ladder-N: the propagation-friendly workload the seed's DPLL was
+//     already good at, run through the full mix pipeline under each
+//     -solver setting. The core swap must not tax it.
+//   - vsftpd-12x2: the branch-light MIXY fixpoint workload, same
+//     contract.
+//
+// With MIXBENCH_ENFORCE=1 the run exits 1 unless cdcl+assume beats
+// dpll by at least 2x on the hard family, and whenever default cdcl is
+// more than 5% slower than dpll on a ladder/vsftpd row. Rows land in
+// BENCH_cdcl.json.
+func tableX12() {
+	fmt.Println("X12 — CDCL core: learned clauses, incremental assumptions, portfolio racing")
+	fmt.Println("claims: conflict learning collapses the hard family; warm assumption reuse beats re-encoding; the core swap does not tax easy workloads")
+
+	type row struct {
+		Bench     string `json:"bench"`
+		Mode      string `json:"mode"`
+		TimeNS    int64  `json:"time_ns"`
+		Queries   int    `json:"queries"`
+		Decisions int    `json:"decisions"`
+		Conflicts int    `json:"conflicts"`
+		Learned   int    `json:"learned"`
+		Paths     int    `json:"paths,omitempty"`
+	}
+	var rows []row
+	w := newTab()
+	fmt.Fprintln(w, "bench\tmode\tqueries\tdecisions\tconflicts\tlearned\ttime")
+	const reps = 7
+	enforce := os.Getenv("MIXBENCH_ENFORCE") == "1"
+	best := map[string]time.Duration{} // "bench/mode" -> best wall clock
+
+	// The hard family: busy or-chain prefix (shared by every child)
+	// plus one contradiction per child over child-local variables.
+	const busyN, children = 8, 4
+	bv := func(p string, i int) solver.Formula {
+		return solver.BoolVar{Name: p + string(rune('a'+i%26)) + string(rune('0'+i/26))}
+	}
+	prefix := []solver.Formula{solver.Disj(bv("y", 0), bv("z", 0), bv("w", 0))}
+	for i := 1; i <= busyN; i++ {
+		prefix = append(prefix, solver.Disj(
+			solver.NewNot(bv("w", i-1)), bv("y", i), bv("z", i), bv("w", i)))
+	}
+	contra := func(child int) solver.Formula {
+		a, b := bv("ca", child), bv("cb", child)
+		return solver.Conj(
+			solver.NewOr(a, b),
+			solver.NewOr(a, solver.NewNot(b)),
+			solver.NewOr(solver.NewNot(a), b),
+			solver.NewOr(solver.NewNot(a), solver.NewNot(b)),
+		)
+	}
+	mkSolver := func(algo solver.Algo) *solver.Solver {
+		s := solver.New()
+		s.Algo = algo
+		s.MaxDecisions = 1 << 26 // room for DPLL's exponential refutations
+		return s
+	}
+	hardBench := fmt.Sprintf("hard-%dx%d", busyN, children)
+	record := func(bench, mode string, r row, dur time.Duration) {
+		key := bench + "/" + mode
+		if b, ok := best[key]; !ok || dur < b {
+			best[key] = dur
+		}
+		if dur == best[key] {
+			r.Bench, r.Mode, r.TimeNS = bench, mode, dur.Nanoseconds()
+			replaced := false
+			for i := range rows {
+				if rows[i].Bench == bench && rows[i].Mode == mode {
+					rows[i], replaced = r, true
+				}
+			}
+			if !replaced {
+				rows = append(rows, r)
+			}
+		}
+	}
+	hardModes := []struct {
+		mode string
+		algo solver.Algo
+		warm bool // one solver + assumption stack across children
+	}{
+		{"dpll", solver.AlgoDPLL, false},
+		{"cdcl", solver.AlgoCDCL, false},
+		{"cdcl+assume", solver.AlgoCDCL, true},
+		{"portfolio", solver.AlgoPortfolio, false},
+	}
+	// Reps are the outer loop everywhere in this table: interleaving
+	// the modes keeps slow drift (CPU frequency, heap growth) from
+	// biasing whichever mode happens to run last.
+	for rep := 0; rep < reps; rep++ {
+		for _, m := range hardModes {
+			var stats solver.Stats
+			start := time.Now()
+			if m.warm {
+				s := mkSolver(m.algo)
+				for child := 0; child < children; child++ {
+					sat, err := s.SatAssuming(append(append([]solver.Formula{}, prefix...), contra(child))...)
+					must(err)
+					if sat {
+						must(fmt.Errorf("hard family child %d: want unsat", child))
+					}
+				}
+				stats = s.Stats
+			} else {
+				for child := 0; child < children; child++ {
+					s := mkSolver(m.algo)
+					sat, err := s.Sat(solver.Conj(append(append([]solver.Formula{}, prefix...), contra(child))...))
+					must(err)
+					if sat {
+						must(fmt.Errorf("hard family child %d: want unsat", child))
+					}
+					stats.Decisions += s.Stats.Decisions
+					stats.Conflicts += s.Stats.Conflicts
+					stats.LearnedClauses += s.Stats.LearnedClauses
+				}
+			}
+			record(hardBench, m.mode, row{
+				Queries: children, Decisions: stats.Decisions,
+				Conflicts: stats.Conflicts, Learned: stats.LearnedClauses,
+			}, time.Since(start))
+		}
+	}
+
+	// The easy workloads through the full pipeline: the regression
+	// guard for making CDCL the default core.
+	easyModes := []string{"dpll", "cdcl", "portfolio"}
+	for _, n := range []int{10, 12} {
+		src, envPairs := corpus.Ladder(n)
+		env := envMap(envPairs)
+		for rep := 0; rep < reps; rep++ {
+			for _, mode := range easyModes {
+				start := time.Now()
+				res := mix.Check(src, mix.Config{
+					Mode: mix.StartSymbolic, Env: env, Workers: 1, Solver: mode,
+				})
+				must(res.Err)
+				record(fmt.Sprintf("ladder-%d", n), mode, row{
+					Queries: res.SolverQueries, Paths: res.Paths,
+				}, time.Since(start))
+			}
+		}
+	}
+	vsftpdSrc := corpus.SyntheticVsftpd(12, 2)
+	for rep := 0; rep < reps; rep++ {
+		for _, mode := range easyModes {
+			start := time.Now()
+			res, err := mix.AnalyzeC(vsftpdSrc, mix.CConfig{Solver: mode})
+			must(err)
+			_ = res
+			record("vsftpd-12x2", mode, row{}, time.Since(start))
+		}
+	}
+
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Bench != rows[j].Bench {
+			return rows[i].Bench < rows[j].Bench
+		}
+		return rows[i].Mode < rows[j].Mode
+	})
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%d\t%d\t%v\n",
+			r.Bench, r.Mode, r.Queries, r.Decisions, r.Conflicts, r.Learned,
+			time.Duration(r.TimeNS).Round(time.Microsecond))
+	}
+	w.Flush()
+
+	writeBench("BENCH_cdcl.json", rows)
+
+	if enforce {
+		fail := false
+		dpllHard, assumeHard := best[hardBench+"/dpll"], best[hardBench+"/cdcl+assume"]
+		if assumeHard*2 > dpllHard {
+			fmt.Fprintf(os.Stderr, "MIXBENCH_ENFORCE: cdcl+assume (%v) is not 2x faster than dpll (%v) on %s\n",
+				assumeHard, dpllHard, hardBench)
+			fail = true
+		} else {
+			fmt.Printf("MIXBENCH_ENFORCE: cdcl+assume %.1fx faster than dpll on %s: ok\n",
+				float64(dpllHard)/float64(assumeHard), hardBench)
+		}
+		for _, bench := range []string{"ladder-10", "ladder-12", "vsftpd-12x2"} {
+			d, c := best[bench+"/dpll"], best[bench+"/cdcl"]
+			if float64(c) > float64(d)*1.05 {
+				fmt.Fprintf(os.Stderr, "MIXBENCH_ENFORCE: cdcl (%v) regresses %s by more than 5%% over dpll (%v)\n",
+					c, bench, d)
+				fail = true
+			}
+		}
+		if fail {
+			os.Exit(1)
+		}
+		fmt.Println("MIXBENCH_ENFORCE: cdcl within 5% of dpll on every easy row: ok")
+	}
 }

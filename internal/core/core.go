@@ -67,6 +67,11 @@ type Options struct {
 	// worker pool and routes every solver query through its memoizing
 	// SolverPool. Nil preserves the sequential single-solver behavior.
 	Engine *engine.Engine
+	// Solver selects the search core and resource bounds of the
+	// checker's own solver (the one used when Engine is nil, and for
+	// the address-equality side queries). The zero value is the
+	// default CDCL core with standard bounds.
+	Solver solver.Config
 	// ShardPrefix, when non-empty, restricts every top-level symbolic
 	// block to the subtree selected by forcing its first
 	// len(ShardPrefix) fork decisions (false = then, true = else); the
@@ -125,7 +130,7 @@ type Checker struct {
 // symbolic executor, each given a hook that invokes the corresponding
 // mix rule.
 func New(opts Options) *Checker {
-	c := &Checker{opts: opts, solv: solver.New(), eng: opts.Engine}
+	c := &Checker{opts: opts, solv: opts.Solver.NewSolver(), eng: opts.Engine}
 	c.typs = &types.Checker{SymBlock: c.tSymBlock}
 	c.exec = sym.NewExecutor()
 	c.exec.Mode = opts.IfMode

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"testing"
+
+	"mix/internal/engine"
+	"mix/internal/langgen"
+	"mix/internal/solver"
+	"mix/internal/types"
+)
+
+// TestSearchCoresMatchOnGeneratedPrograms: the CDCL core, the legacy
+// DPLL core, and the portfolio racer are interchangeable back ends —
+// checking randomly generated programs must produce the same
+// accept/reject verdict and the same derived type under every
+// -solver setting, both directly and through an engine. The DPLL core
+// stays in the tree exactly to serve as this differential oracle.
+func TestSearchCoresMatchOnGeneratedPrograms(t *testing.T) {
+	const programs = 120
+	algos := []solver.Algo{solver.AlgoCDCL, solver.AlgoDPLL, solver.AlgoPortfolio}
+
+	for _, symb := range []bool{false, true} {
+		name := "typed"
+		if symb {
+			name = "symbolic"
+		}
+		t.Run(name, func(t *testing.T) {
+			gen := langgen.New(0xCDC1, langgen.DefaultConfig())
+			accepted, rejected := 0, 0
+			for i := 0; i < programs; i++ {
+				prog := gen.Closed()
+				check := func(opts Options) (types.Type, error) {
+					c := New(opts)
+					if symb {
+						return c.CheckSymbolic(types.EmptyEnv(), prog)
+					}
+					return c.Check(types.EmptyEnv(), prog)
+				}
+				wantTy, wantErr := check(Options{})
+				for _, a := range algos {
+					gotTy, gotErr := check(Options{Solver: solver.Config{Algo: a}})
+					if (wantErr == nil) != (gotErr == nil) {
+						t.Fatalf("program %s: verdict diverges under %v: default err=%v, got err=%v",
+							prog, a, wantErr, gotErr)
+					}
+					if wantErr == nil && !types.Equal(wantTy, gotTy) {
+						t.Fatalf("program %s: type diverges under %v: %s vs %s",
+							prog, a, wantTy, gotTy)
+					}
+
+					eng := engine.New(engine.Options{Workers: 2, SolverAlgo: a})
+					gotTy, gotErr = check(Options{Engine: eng})
+					eng.Close()
+					if (wantErr == nil) != (gotErr == nil) {
+						t.Fatalf("program %s: engine verdict diverges under %v: default err=%v, got err=%v",
+							prog, a, wantErr, gotErr)
+					}
+					if wantErr == nil && !types.Equal(wantTy, gotTy) {
+						t.Fatalf("program %s: engine type diverges under %v: %s vs %s",
+							prog, a, wantTy, gotTy)
+					}
+				}
+				if wantErr == nil {
+					accepted++
+				} else {
+					rejected++
+				}
+			}
+			if accepted == 0 || rejected == 0 {
+				t.Fatalf("degenerate distribution: %d accepted, %d rejected", accepted, rejected)
+			}
+		})
+	}
+}

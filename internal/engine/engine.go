@@ -78,6 +78,11 @@ type Options struct {
 	// NewSolver builds the per-worker solver instances; nil means
 	// solver.New. Use it to propagate non-default resource bounds.
 	NewSolver func() *solver.Solver
+	// SolverAlgo selects the search core of every pooled solver (CDCL,
+	// the legacy DPLL oracle, or a portfolio racing both). It is applied
+	// per borrowed query, so runs with different algorithms can share
+	// one warm Cache.
+	SolverAlgo solver.Algo
 	// Context, when non-nil, governs the whole run: cancellation and
 	// deadline expiry are observed cooperatively at fork charges and
 	// inside the DPLL loop, classified as fault.Canceled/fault.Timeout.

@@ -32,6 +32,23 @@ func iffChain(n int) solver.Formula {
 	return f
 }
 
+// orChain builds (y0∨z0∨w0) ∧ (¬w0∨y1∨z1∨w1) ∧ ... — a single
+// entangled component (each clause shares w with the next) where unit
+// propagation stalls: every clause needs two decisions before it
+// propagates, under chronological DPLL and CDCL alike, so n links cost
+// at least 2n decisions in either core.
+func orChain(n int) solver.Formula {
+	v := func(p string, i int) solver.Formula {
+		return solver.BoolVar{Name: p + string(rune('a'+i%26)) + string(rune('0'+i/26))}
+	}
+	f := solver.Disj(v("y", 0), v("z", 0), v("w", 0))
+	for i := 1; i <= n; i++ {
+		link := solver.Disj(solver.NewNot(v("w", i-1)), v("y", i), v("z", i), v("w", i))
+		f = solver.NewAnd(f, link)
+	}
+	return f
+}
+
 // tightEngine builds a single-worker engine whose pooled solvers carry
 // the given bounds, so pipeline-stage limit handling can be exercised
 // without huge formulas.
@@ -54,13 +71,13 @@ func tightEngine(t *testing.T, maxAtoms, maxDecisions int) *engine.Engine {
 	return eng
 }
 
-// TestDecisionBudgetMapsToErrLimit: DPLL decision-budget exhaustion
+// TestDecisionBudgetMapsToErrLimit: decision-budget exhaustion
 // must come back through the pipeline as ErrLimit / solver-limit, and
 // it must be memoized — re-running the same query under the same
 // bounds would only rediscover the same exhaustion.
 func TestDecisionBudgetMapsToErrLimit(t *testing.T) {
 	eng := tightEngine(t, 0, 1)
-	f := iffChain(4)
+	f := orChain(2)
 	_, err := eng.Sat(f)
 	if err == nil {
 		t.Fatal("an entangled chain under MaxDecisions=1 must exhaust the budget")
@@ -162,25 +179,32 @@ func TestSolverTimeoutClassifiesTimeout(t *testing.T) {
 }
 
 // TestMidDPLLInjectionReachesDecisionLoop: the mid-DPLL injection site
-// sits on the decision-loop poll (every 32 decisions); a long
-// entangled chain must trip it and surface the planned fault class.
+// sits on the decision-loop poll (every 32 decisions; the CDCL core
+// and the portfolio racers poll the same fault.MidDPLL site); a long
+// entangled chain must trip it under every search core and surface the
+// planned fault class.
 func TestMidDPLLInjectionReachesDecisionLoop(t *testing.T) {
-	inj := fault.NewInjector(1).Plan(fault.MidDPLL, fault.Plan{Class: fault.SolverLimit})
-	eng := engine.New(engine.Options{Workers: 1, FaultInjector: inj})
-	defer eng.Close()
+	for _, algo := range []solver.Algo{solver.AlgoCDCL, solver.AlgoDPLL, solver.AlgoPortfolio} {
+		t.Run(algo.String(), func(t *testing.T) {
+			inj := fault.NewInjector(1).Plan(fault.MidDPLL, fault.Plan{Class: fault.SolverLimit})
+			eng := engine.New(engine.Options{Workers: 1, FaultInjector: inj, SolverAlgo: algo})
+			defer eng.Close()
 
-	// ~65 decisions: comfortably past the 32-decision poll cadence.
-	_, err := eng.Sat(iffChain(64))
-	if got := fault.ClassOf(err); got != fault.SolverLimit {
-		t.Fatalf("fault class = %v (err %v), want the injected solver-limit", got, err)
-	}
-	if fault.Of(err) == nil {
-		t.Fatalf("injected faults are transient and must not be memoizable: %v", err)
-	}
-	if n := inj.Counters().Snapshot().Of(fault.SolverLimit); n == 0 {
-		t.Fatal("the mid-DPLL site never fired")
-	}
-	if hits := eng.Snapshot().MemoHits; hits != 0 {
-		t.Fatalf("injected faults must never be memoized, got %d hits", hits)
+			// ~80 decisions (two per link): comfortably past the
+			// 32-decision poll cadence of both cores.
+			_, err := eng.Sat(orChain(40))
+			if got := fault.ClassOf(err); got != fault.SolverLimit {
+				t.Fatalf("fault class = %v (err %v), want the injected solver-limit", got, err)
+			}
+			if fault.Of(err) == nil {
+				t.Fatalf("injected faults are transient and must not be memoizable: %v", err)
+			}
+			if n := inj.Counters().Snapshot().Of(fault.SolverLimit); n == 0 {
+				t.Fatal("the mid-DPLL site never fired")
+			}
+			if hits := eng.Snapshot().MemoHits; hits != 0 {
+				t.Fatalf("injected faults must never be memoized, got %d hits", hits)
+			}
+		})
 	}
 }

@@ -51,6 +51,7 @@ type SolverPool struct {
 	// fault injector; nil only in direct-pool unit tests.
 	eng     *Engine
 	timeout time.Duration // per-query solver timeout (0 = none)
+	algo    solver.Algo   // search core applied to every borrowed solver
 	solvers *sync.Pool
 	// cache holds the memo/hash-cons/model state; nil when memoization
 	// is disabled (Options.NoMemo).
@@ -91,6 +92,7 @@ func newSolverPool(e *Engine, o Options) *SolverPool {
 	p := &SolverPool{
 		eng:       e,
 		timeout:   o.SolverTimeout,
+		algo:      o.SolverAlgo,
 		queryHist: o.Metrics.Histogram("solver.query.ns"),
 		dpllHist:  o.Metrics.Histogram("solver.dpll.ns"),
 	}
@@ -345,7 +347,7 @@ func (p *SolverPool) decideComponent(sp *obs.Span, g *cacheGen, cs []conjunct, f
 		tr = p.eng.Tracer()
 		ts = tr.Now()
 	}
-	sat, model, err := p.solve(conj, small && g != nil)
+	sat, model, err := p.solve(sub, small && g != nil)
 	if sp != nil {
 		sp.Stage("dpll", verdictOf(sat, err), tr.Now()-ts)
 	}
@@ -407,9 +409,23 @@ func (p *SolverPool) memoStore(sh *memoShard, key uint64, sat bool, err error) {
 
 // solve runs one query on a pooled per-worker solver instance, wired
 // to the run context (plus the per-query timeout, if configured) and
-// the fault injector for the duration of the query.
-func (p *SolverPool) solve(f solver.Formula, wantModel bool) (bool, *solver.Model, error) {
+// the fault injector for the duration of the query. The component's
+// conjuncts are handed over as separate assumption formulas, not one
+// flat conjunction: a warm CDCL instance has already encoded the
+// shared prefix of the path condition, so the query pays only for its
+// new conjunct.
+func (p *SolverPool) solve(sub []solver.Formula, wantModel bool) (bool, *solver.Model, error) {
 	s := p.solvers.Get().(*solver.Solver)
+	s.Algo = p.algo
+	// A pooled instance retains learned clauses and encodings across
+	// queries (that is the point), but never across cache generations:
+	// a flush marks "start over", and the solver follows it.
+	if p.cache != nil {
+		if epoch := uint64(p.cache.flushes.Load()); s.Gen != epoch {
+			s.Reset()
+			s.Gen = epoch
+		}
+	}
 	var cancel context.CancelFunc
 	if p.eng != nil {
 		ctx := p.eng.Context()
@@ -425,9 +441,9 @@ func (p *SolverPool) solve(f solver.Formula, wantModel bool) (bool, *solver.Mode
 		err   error
 	)
 	if wantModel {
-		sat, model, err = s.SatModel(f)
+		sat, model, err = s.SatAssumingModel(sub...)
 	} else {
-		sat, err = s.Sat(f)
+		sat, err = s.SatAssuming(sub...)
 	}
 	d := time.Since(t0)
 	p.nanos.Add(int64(d))

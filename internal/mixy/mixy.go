@@ -74,6 +74,11 @@ type Options struct {
 	// used, so a CLI -trace captures MIXY structure with no extra
 	// wiring; with neither, tracing is off.
 	Tracer *obs.Tracer
+	// Solver selects the search core and resource bounds of the
+	// per-block executor's own solver (used when Engine is nil; with
+	// an engine, the pool's solvers are configured by the engine's
+	// own options). The zero value is the default CDCL core.
+	Solver solver.Config
 }
 
 // Warning is an analysis finding.
@@ -162,6 +167,7 @@ func Run(prog *microc.Program, opts Options) (*Analysis, error) {
 	// it in deterministic program order.
 	m.span = tr.Root("mixy.fixpoint")
 	m.Exec = symexec.New(prog, m.PA)
+	opts.Solver.Apply(m.Exec.Solv)
 	m.Exec.InitCell = m.initCell
 	m.Exec.TypedCall = m.typedCall
 	m.Exec.MergeMode = opts.Merge

@@ -1,0 +1,159 @@
+package solver
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// This file is the incremental front door of the solver: an assumption
+// stack mirroring the engine's path conditions, the SatAssuming entry
+// points that decide a query as a set of conjuncts instead of one flat
+// conjunction, and the dispatch between the CDCL core, the legacy DPLL
+// oracle, and the portfolio racing both.
+//
+// Keeping the conjuncts separate is what makes the CDCL core
+// incremental: each conjunct encodes to one root literal, memoized for
+// the solver's lifetime, and a query asserts its roots as assumption
+// levels over the persistent learned-clause database. A forked path
+// condition that shares its prefix with the previous query therefore
+// pays only for its new conjunct.
+
+// Push asserts f for every subsequent query until the matching Pop.
+// Push/Pop frames mirror solver.PC forks: a child context pushes its
+// new conjunct, queries, and pops, without re-sending the prefix.
+func (s *Solver) Push(f Formula) {
+	s.stack = append(s.stack, f)
+}
+
+// Pop retracts the most recent Push. Panics when the stack is empty,
+// mirroring an unbalanced frame bug at the call site.
+func (s *Solver) Pop() {
+	s.stack = s.stack[:len(s.stack)-1]
+}
+
+// Assumptions returns the current stack depth.
+func (s *Solver) Assumptions() int { return len(s.stack) }
+
+// Reset drops the assumption stack and every retained encoding and
+// learned clause. Pool owners call it when their cache generation
+// turns over; bounds, context, and stats are untouched.
+func (s *Solver) Reset() {
+	s.d = nil
+	s.stack = nil
+}
+
+// SatAssuming reports whether the conjunction of the assumption stack
+// and fs is satisfiable.
+func (s *Solver) SatAssuming(fs ...Formula) (bool, error) {
+	ok, _, err := s.satAssuming(false, fs)
+	return ok, err
+}
+
+// SatAssumingModel is SatAssuming plus a witness when satisfiable (the
+// model may be nil even on sat; extraction is best-effort).
+func (s *Solver) SatAssumingModel(fs ...Formula) (bool, *Model, error) {
+	return s.satAssuming(true, fs)
+}
+
+// satAssuming is the single dispatch point for every query.
+func (s *Solver) satAssuming(wantModel bool, fs []Formula) (bool, *Model, error) {
+	if err := s.ctxErr("solver.sat"); err != nil {
+		return false, nil, err
+	}
+	s.Stats.SatQueries++
+	all := fs
+	if len(s.stack) > 0 {
+		all = make([]Formula, 0, len(s.stack)+len(fs))
+		all = append(all, s.stack...)
+		all = append(all, fs...)
+	}
+	switch s.Algo {
+	case AlgoDPLL:
+		return s.satDPLL(Conj(all...), wantModel)
+	case AlgoPortfolio:
+		return s.satPortfolio(all, wantModel)
+	default:
+		return s.satCDCL(all, wantModel)
+	}
+}
+
+// satCDCL answers through the persistent CDCL core, creating it on
+// first use.
+func (s *Solver) satCDCL(fs []Formula, wantModel bool) (bool, *Model, error) {
+	if s.d == nil {
+		s.d = newCDCL(s)
+	}
+	return s.d.solve(fs, wantModel)
+}
+
+// satPortfolio races the CDCL core against a scratch DPLL solver on
+// the same query; the first definite answer wins and cancels the
+// loser. Both cores are sound and complete modulo resource bounds, so
+// whichever finishes first the verdict is the same — the race only
+// decides how fast it arrives, which keeps portfolio mode inside the
+// engine's determinism contract (verdicts, not stats).
+func (s *Solver) satPortfolio(fs []Formula, wantModel bool) (bool, *Model, error) {
+	base := s.Ctx
+	if base == nil {
+		base = context.Background()
+	}
+	ctx, cancel := context.WithCancel(base)
+	defer cancel()
+
+	scratch := &Solver{
+		Algo:         AlgoDPLL,
+		MaxAtoms:     s.MaxAtoms,
+		MaxDecisions: s.MaxDecisions,
+		MaxLearned:   s.MaxLearned,
+		Ctx:          ctx,
+		Injector:     s.Injector,
+	}
+
+	type res struct {
+		ok  bool
+		m   *Model
+		err error
+	}
+	var dpll res
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		dpll.ok, dpll.m, dpll.err = scratch.satDPLL(Conj(fs...), wantModel)
+		if dpll.err == nil {
+			cancel()
+		}
+	}()
+
+	// The CDCL side runs in this goroutine against s itself, so its
+	// learned clauses persist for the next query; only the context is
+	// swapped for the race.
+	oldCtx := s.Ctx
+	s.Ctx = ctx
+	var c res
+	c.ok, c.m, c.err = s.satCDCL(fs, wantModel)
+	if c.err == nil {
+		cancel()
+	}
+	wg.Wait()
+	s.Ctx = oldCtx
+	s.Stats.TheoryChecks += scratch.Stats.TheoryChecks
+	s.Stats.Decisions += scratch.Stats.Decisions
+	s.Stats.Atoms += scratch.Stats.Atoms
+
+	if c.err == nil {
+		return c.ok, c.m, nil
+	}
+	if dpll.err == nil {
+		return dpll.ok, dpll.m, nil
+	}
+	// Both failed. Prefer a classified fault over a plain resource
+	// limit: the engine memoizes ErrLimit as a permanent unknown, and
+	// a query one core merely never finished (timeout, cancellation)
+	// must not be recorded as forever-undecidable.
+	if errors.Is(c.err, ErrLimit) && !errors.Is(dpll.err, ErrLimit) {
+		return false, nil, dpll.err
+	}
+	return false, nil, c.err
+}

@@ -2,7 +2,6 @@ package solver
 
 import (
 	"strconv"
-	"strings"
 )
 
 // elimIte removes every Ite term from f by definitional extension:
@@ -76,11 +75,18 @@ func termHasIte(t Term) bool {
 
 // iteLower is the state of one lowering pass: a fresh-variable counter,
 // the accumulated defining clauses, and the key→variable table that
-// shares definitions between identical ites.
+// shares definitions between identical ites. The CDCL core keeps one
+// iteLower alive across queries (distinct ites must never collide on a
+// "$ite<n>" name once encodings persist) and sets defsByKey/used to
+// recover, per formula, exactly the definitions that formula depends
+// on; elimIte's one-shot use leaves both nil.
 type iteLower struct {
 	n    int
 	defs []Formula
 	vars map[string]IntVar
+
+	defsByKey map[string][2]Formula
+	used      map[string]bool
 }
 
 func (lw *iteLower) formula(f Formula) Formula {
@@ -134,9 +140,10 @@ func (lw *iteLower) term(t Term) Term {
 		if termEq(x, y) {
 			return x
 		}
-		var sb strings.Builder
-		termKey(Ite{G: g, X: x, Y: y}, &sb)
-		key := sb.String()
+		key := string(appendTermKey(nil, Ite{G: g, X: x, Y: y}))
+		if lw.used != nil {
+			lw.used[key] = true
+		}
 		if v, ok := lw.vars[key]; ok {
 			return v
 		}
@@ -145,9 +152,12 @@ func (lw *iteLower) term(t Term) Term {
 		v := IntVar{Name: "$ite" + strconv.Itoa(lw.n)}
 		lw.n++
 		lw.vars[key] = v
-		lw.defs = append(lw.defs,
-			Or{NewNot(g), Eq{v, x}},
-			Or{g, Eq{v, y}})
+		d1 := Or{NewNot(g), Eq{v, x}}
+		d2 := Or{g, Eq{v, y}}
+		lw.defs = append(lw.defs, d1, d2)
+		if lw.defsByKey != nil {
+			lw.defsByKey[key] = [2]Formula{d1, d2}
+		}
 		return v
 	}
 	return t

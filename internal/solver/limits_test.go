@@ -29,10 +29,13 @@ func TestMaxAtomsExhaustion(t *testing.T) {
 func TestMaxDecisionsExhaustion(t *testing.T) {
 	s := New()
 	s.MaxDecisions = 1
-	// (a <-> b) needs decisions on both boolean atoms before any
-	// assignment satisfies it, so a budget of one decision is exhausted
-	// mid-search.
-	f := Iff{X: BoolVar{Name: "a"}, Y: BoolVar{Name: "b"}}
+	// (p || q) && (r || s) needs two decisions under any search order —
+	// no single assignment propagates the rest in either core — so a
+	// budget of one decision is exhausted mid-search.
+	f := NewAnd(
+		NewOr(BoolVar{Name: "p"}, BoolVar{Name: "q"}),
+		NewOr(BoolVar{Name: "r"}, BoolVar{Name: "s"}),
+	)
 	_, err := s.Sat(f)
 	if !errors.Is(err, ErrLimit) {
 		t.Fatalf("err = %v, want errors.Is(err, ErrLimit)", err)

@@ -19,6 +19,7 @@ type atom struct {
 	key  string
 	l    *lin
 	name string
+	negl *lin // cached negated form; see (*atom).negLin in theory.go
 }
 
 // node is a formula in negation normal form: negation appears only on

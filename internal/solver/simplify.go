@@ -6,13 +6,6 @@ import (
 	"strings"
 )
 
-// writeInt appends a decimal integer without fmt's reflection overhead
-// (keys are built in hot simplifier/memo paths).
-func writeInt(sb *strings.Builder, v int64) {
-	var buf [20]byte
-	sb.Write(strconv.AppendInt(buf[:0], v, 10))
-}
-
 // Simplify returns a formula equivalent to f with constants folded and
 // common redundancies canonicalized away:
 //
@@ -574,115 +567,123 @@ func formulaEq(a, b Formula) bool {
 // name can forge a delimiter). Negation is normalized so that
 // key(¬x) == "!"+key(x).
 func FormulaKey(f Formula) string {
-	var sb strings.Builder
-	formulaKey(f, &sb)
-	return sb.String()
+	return string(appendFormulaKey(nil, f))
 }
 
-func formulaKey(f Formula, sb *strings.Builder) {
+// appendFormulaKey is the allocation-free form of FormulaKey: it
+// appends the key to b and returns the extended slice, so hot paths
+// can serialize into a reusable scratch buffer and probe a map with
+// the no-copy string(b) conversion the compiler elides.
+func appendFormulaKey(b []byte, f Formula) []byte {
 	switch f := f.(type) {
 	case BoolConst:
 		if f.Val {
-			sb.WriteString("T")
+			b = append(b, 'T')
 		} else {
-			sb.WriteString("F")
+			b = append(b, 'F')
 		}
 	case BoolVar:
-		sb.WriteByte('b')
-		writeInt(sb, int64(len(f.Name)))
-		sb.WriteByte(':')
-		sb.WriteString(f.Name)
+		b = append(b, 'b')
+		b = strconv.AppendInt(b, int64(len(f.Name)), 10)
+		b = append(b, ':')
+		b = append(b, f.Name...)
 	case Not:
 		// Normalize nested negation at the key level.
 		if inner, ok := f.X.(Not); ok {
-			formulaKey(inner.X, sb)
-			return
+			return appendFormulaKey(b, inner.X)
 		}
-		sb.WriteString("!")
-		formulaKey(f.X, sb)
+		b = append(b, '!')
+		b = appendFormulaKey(b, f.X)
 	case And:
-		sb.WriteString("&(")
-		formulaKey(f.X, sb)
-		sb.WriteString(",")
-		formulaKey(f.Y, sb)
-		sb.WriteString(")")
+		b = append(b, "&("...)
+		b = appendFormulaKey(b, f.X)
+		b = append(b, ',')
+		b = appendFormulaKey(b, f.Y)
+		b = append(b, ')')
 	case Or:
-		sb.WriteString("|(")
-		formulaKey(f.X, sb)
-		sb.WriteString(",")
-		formulaKey(f.Y, sb)
-		sb.WriteString(")")
+		b = append(b, "|("...)
+		b = appendFormulaKey(b, f.X)
+		b = append(b, ',')
+		b = appendFormulaKey(b, f.Y)
+		b = append(b, ')')
 	case Iff:
-		sb.WriteString("~(")
-		formulaKey(f.X, sb)
-		sb.WriteString(",")
-		formulaKey(f.Y, sb)
-		sb.WriteString(")")
+		b = append(b, "~("...)
+		b = appendFormulaKey(b, f.X)
+		b = append(b, ',')
+		b = appendFormulaKey(b, f.Y)
+		b = append(b, ')')
 	case Eq:
-		sb.WriteString("=(")
-		termKey(f.X, sb)
-		sb.WriteString(",")
-		termKey(f.Y, sb)
-		sb.WriteString(")")
+		b = append(b, "=("...)
+		b = appendTermKey(b, f.X)
+		b = append(b, ',')
+		b = appendTermKey(b, f.Y)
+		b = append(b, ')')
 	case Le:
-		sb.WriteString("<=(")
-		termKey(f.X, sb)
-		sb.WriteString(",")
-		termKey(f.Y, sb)
-		sb.WriteString(")")
+		b = append(b, "<=("...)
+		b = appendTermKey(b, f.X)
+		b = append(b, ',')
+		b = appendTermKey(b, f.Y)
+		b = append(b, ')')
 	case Lt:
-		sb.WriteString("<(")
-		termKey(f.X, sb)
-		sb.WriteString(",")
-		termKey(f.Y, sb)
-		sb.WriteString(")")
+		b = append(b, "<("...)
+		b = appendTermKey(b, f.X)
+		b = append(b, ',')
+		b = appendTermKey(b, f.Y)
+		b = append(b, ')')
 	default:
-		fmt.Fprintf(sb, "?%T", f)
+		b = fmt.Appendf(b, "?%T", f)
 	}
+	return b
 }
 
-func termKey(t Term, sb *strings.Builder) {
+func appendTermKey(b []byte, t Term) []byte {
 	switch t := t.(type) {
 	case IntConst:
-		sb.WriteByte('c')
-		writeInt(sb, t.Val)
+		b = append(b, 'c')
+		b = strconv.AppendInt(b, t.Val, 10)
 	case IntVar:
-		sb.WriteByte('v')
-		writeInt(sb, int64(len(t.Name)))
-		sb.WriteByte(':')
-		sb.WriteString(t.Name)
+		b = append(b, 'v')
+		b = strconv.AppendInt(b, int64(len(t.Name)), 10)
+		b = append(b, ':')
+		b = append(b, t.Name...)
 	case Add:
-		sb.WriteString("+(")
-		termKey(t.X, sb)
-		sb.WriteString(",")
-		termKey(t.Y, sb)
-		sb.WriteString(")")
+		b = append(b, "+("...)
+		b = appendTermKey(b, t.X)
+		b = append(b, ',')
+		b = appendTermKey(b, t.Y)
+		b = append(b, ')')
 	case Neg:
-		sb.WriteString("-")
-		termKey(t.X, sb)
+		b = append(b, '-')
+		b = appendTermKey(b, t.X)
 	case Mul:
-		fmt.Fprintf(sb, "*%d", t.K)
-		termKey(t.X, sb)
+		b = append(b, '*')
+		b = strconv.AppendInt(b, t.K, 10)
+		b = appendTermKey(b, t.X)
 	case App:
-		fmt.Fprintf(sb, "@%d:%s(", len(t.Fn), t.Fn)
+		b = append(b, '@')
+		b = strconv.AppendInt(b, int64(len(t.Fn)), 10)
+		b = append(b, ':')
+		b = append(b, t.Fn...)
+		b = append(b, '(')
 		for i, a := range t.Args {
 			if i > 0 {
-				sb.WriteString(",")
+				b = append(b, ',')
 			}
-			termKey(a, sb)
+			b = appendTermKey(b, a)
 		}
-		sb.WriteString(")")
+		b = append(b, ')')
 	case Ite:
-		sb.WriteString("I(")
-		formulaKey(t.G, sb)
-		sb.WriteString(",")
-		termKey(t.X, sb)
-		sb.WriteString(",")
-		termKey(t.Y, sb)
-		sb.WriteString(")")
+		b = append(b, "I("...)
+		b = appendFormulaKey(b, t.G)
+		b = append(b, ',')
+		b = appendTermKey(b, t.X)
+		b = append(b, ',')
+		b = appendTermKey(b, t.Y)
+		b = append(b, ')')
 	default:
-		fmt.Fprintf(sb, "?%T", t)
+		b = fmt.Appendf(b, "?%T", t)
 	}
+	return b
 }
 
 // Support returns the sorted independence tokens of f: "b:" boolean

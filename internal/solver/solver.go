@@ -14,29 +14,52 @@ func ratNegOne() *big.Rat { return big.NewRat(-1, 1) }
 // Stats counts solver work; benchmarks read these to compare the
 // fork-vs-defer tradeoff from Section 3.1 of the paper.
 type Stats struct {
-	SatQueries   int // top-level Sat/Valid calls
+	SatQueries   int // top-level Sat/Valid/SatAssuming calls
 	TheoryChecks int // conjunction checks handed to the arithmetic core
-	Decisions    int // DPLL branch decisions
+	Decisions    int // branch decisions (DPLL and CDCL)
 	Atoms        int // decision atoms across all queries
+
+	// CDCL-only counters.
+	Conflicts        int // conflicts hit (boolean and theory)
+	TheoryConflicts  int // conflicts contributed by the arithmetic core
+	Propagations     int // literals propagated by the watch lists
+	LearnedClauses   int // clauses learned by 1-UIP analysis
+	ForgottenClauses int // learned clauses dropped by database reduction
+	Restarts         int // Luby restarts
 }
 
 // Solver decides satisfiability and validity. The zero value is not
 // ready; use New.
 type Solver struct {
+	// Algo selects the search core: CDCL (the zero value), the legacy
+	// DPLL kept as a differential oracle, or a portfolio racing both.
+	Algo Algo
 	// MaxAtoms bounds the number of decision atoms per query; queries
 	// above the bound return an error rather than running away.
 	MaxAtoms int
-	// MaxDecisions bounds total DPLL decisions per query.
+	// MaxDecisions bounds branch decisions per query.
 	MaxDecisions int
+	// MaxLearned bounds the CDCL learned-clause database; past the
+	// bound, low-activity clauses are forgotten. 0 means the built-in
+	// default.
+	MaxLearned int
 	// Ctx, when non-nil, is polled at query entry and about every 32
-	// DPLL decisions; expiry or cancellation aborts the query with a
-	// classified fault wrapping ctx.Err(), so a deadline cuts even a
-	// single runaway query short.
+	// decisions or conflicts; expiry or cancellation aborts the query
+	// with a classified fault wrapping ctx.Err(), so a deadline cuts
+	// even a single runaway query short.
 	Ctx context.Context
 	// Injector, when non-nil, is visited at the fault.MidDPLL point on
 	// the same cadence as the ctx poll (chaos tests only).
 	Injector *fault.Injector
-	Stats    Stats
+	// Gen is an opaque generation tag for pool owners: the engine
+	// compares it against its cache's flush epoch and calls Reset when
+	// they diverge, so pooled solvers never outlive the memoization
+	// generation their learned clauses were earned under.
+	Gen uint64
+	Stats Stats
+
+	d     *cdcl     // persistent CDCL state, created on first use
+	stack []Formula // assumption stack (Push/Pop)
 }
 
 // New returns a Solver with default resource bounds.
@@ -96,8 +119,9 @@ func (s *Solver) ctxErr(op string) error {
 	}
 }
 
-// poll is the cooperative interruption point of the DPLL loop: it
-// checks the context and visits the mid-DPLL injection site.
+// poll is the cooperative interruption point of both search loops: it
+// checks the context and visits the mid-search injection site (named
+// MidDPLL for historical reasons; the CDCL core polls it too).
 func (s *Solver) poll() error {
 	if err := s.ctxErr("solver.dpll"); err != nil {
 		return err
@@ -105,11 +129,16 @@ func (s *Solver) poll() error {
 	return s.Injector.At(fault.MidDPLL)
 }
 
+// sat answers one query through the dispatch in assume.go, so plain
+// Sat/SatModel calls see the assumption stack and the configured
+// search core exactly like SatAssuming does.
 func (s *Solver) sat(f Formula, wantModel bool) (bool, *Model, error) {
-	if err := s.ctxErr("solver.sat"); err != nil {
-		return false, nil, err
-	}
-	s.Stats.SatQueries++
+	return s.satAssuming(wantModel, []Formula{f})
+}
+
+// satDPLL is the legacy chronological search, kept verbatim as the
+// differential oracle for the CDCL core (-solver=dpll).
+func (s *Solver) satDPLL(f Formula, wantModel bool) (bool, *Model, error) {
 	f = Simplify(f)
 	// Lower guarded (Ite) terms to fresh variables with defining
 	// clauses; after this point the formula is in the core language.
@@ -146,10 +175,13 @@ func (s *Solver) Tautology(gs ...Formula) (bool, error) {
 	return s.Valid(Disj(gs...))
 }
 
-// searchCtx is the state of one DPLL search.
+// searchCtx is the state of one DPLL search. order mirrors assign as a
+// stack in decision order: iterating it instead of the map keeps model
+// extraction and theory-check construction deterministic across runs.
 type searchCtx struct {
 	solver    *Solver
 	assign    map[*atom]bool
+	order     []*atom
 	budget    int
 	wantModel bool
 	model     *Model
@@ -184,6 +216,7 @@ func (c *searchCtx) search(n node) (bool, error) {
 		}
 	}
 	pick := firstLit(n)
+	c.order = append(c.order, pick)
 	for _, v := range [2]bool{true, false} {
 		c.assign[pick] = v
 		if pick.kind == atomBool || c.theoryOK() {
@@ -193,11 +226,13 @@ func (c *searchCtx) search(n node) (bool, error) {
 				return false, err
 			}
 			if sat {
+				c.order = c.order[:len(c.order)-1]
 				delete(c.assign, pick)
 				return true, nil
 			}
 		}
 	}
+	c.order = c.order[:len(c.order)-1]
 	delete(c.assign, pick)
 	return false, nil
 }
@@ -251,42 +286,22 @@ func condition(n node, a *atom, v bool) (node, bool) {
 }
 
 // capture extracts a model from the current (theory-consistent, NNF-
-// monotone-complete) assignment. Extraction is best-effort: on any
-// numeric corner the model is dropped and the sat verdict stands.
+// monotone-complete) assignment, walking the decision stack in order
+// so the witness is the same on every run. Extraction is best-effort:
+// on any numeric corner the model is dropped and the sat verdict
+// stands.
 func (c *searchCtx) capture() {
 	m := &Model{Ints: map[string]*big.Rat{}, Bools: map[string]bool{}}
-	var eqs []*lin
-	var ineqs []ineq
-	var diseqs []*lin
-	for a, v := range c.assign {
-		switch a.kind {
-		case atomBool:
+	var ls theoryLits
+	for _, a := range c.order {
+		v := c.assign[a]
+		if a.kind == atomBool {
 			m.Bools[a.name] = v
-		case atomEq:
-			if v {
-				eqs = append(eqs, a.l)
-			} else {
-				diseqs = append(diseqs, a.l)
-			}
-		case atomLe:
-			if v {
-				ineqs = append(ineqs, ineq{a.l, false})
-			} else {
-				neg := a.l.clone()
-				neg.scale(ratNegOne())
-				ineqs = append(ineqs, ineq{neg, true})
-			}
-		case atomLt:
-			if v {
-				ineqs = append(ineqs, ineq{a.l, true})
-			} else {
-				neg := a.l.clone()
-				neg.scale(ratNegOne())
-				ineqs = append(ineqs, ineq{neg, false})
-			}
+		} else {
+			ls.add(a, v)
 		}
 	}
-	ints, ok := theoryModel(eqs, ineqs, diseqs)
+	ints, ok := ls.model()
 	if !ok {
 		c.model = nil
 		return
@@ -296,39 +311,12 @@ func (c *searchCtx) capture() {
 }
 
 // theoryOK checks the arithmetic consistency of the current literal
-// set.
+// set, built in decision order via the shared classifier in theory.go.
 func (c *searchCtx) theoryOK() bool {
 	c.solver.Stats.TheoryChecks++
-	var eqs []*lin
-	var ineqs []ineq
-	var diseqs []*lin
-	for a, v := range c.assign {
-		switch a.kind {
-		case atomBool:
-			// Boolean atoms are theory-free.
-		case atomEq:
-			if v {
-				eqs = append(eqs, a.l)
-			} else {
-				diseqs = append(diseqs, a.l)
-			}
-		case atomLe:
-			if v {
-				ineqs = append(ineqs, ineq{a.l, false})
-			} else {
-				neg := a.l.clone()
-				neg.scale(ratNegOne())
-				ineqs = append(ineqs, ineq{neg, true})
-			}
-		case atomLt:
-			if v {
-				ineqs = append(ineqs, ineq{a.l, true})
-			} else {
-				neg := a.l.clone()
-				neg.scale(ratNegOne())
-				ineqs = append(ineqs, ineq{neg, false})
-			}
-		}
+	var ls theoryLits
+	for _, a := range c.order {
+		ls.add(a, c.assign[a])
 	}
-	return theoryConj(eqs, ineqs, diseqs)
+	return ls.consistent()
 }
